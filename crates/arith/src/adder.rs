@@ -1,0 +1,220 @@
+//! Gate-level adders and the MAC accumulate path.
+//!
+//! Adders appear twice in the DVAFS story: as the final carry-propagate
+//! stage of the Wallace tree (its depth dominates the multiplier's critical
+//! path and shrinks with precision) and as the accumulator of a MAC unit.
+
+use crate::netlist::{Netlist, NodeId};
+
+/// Builds a ripple-carry adder over two equal-width buses.
+///
+/// Returns `width + 1` sum bits (LSB first, last bit is the carry out).
+///
+/// # Panics
+///
+/// Panics if the two buses have different widths.
+pub fn ripple_carry_adder(nl: &mut Netlist, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(a.len(), b.len(), "adder operand widths must match");
+    let mut carry = nl.zero();
+    let mut out = Vec::with_capacity(a.len() + 1);
+    for (&ai, &bi) in a.iter().zip(b.iter()) {
+        let (s, c) = nl.full_adder(ai, bi, carry);
+        out.push(s);
+        carry = c;
+    }
+    out.push(carry);
+    out
+}
+
+/// Builds a carry-save adder stage: three input rows are compressed to a
+/// `(sum, carry)` row pair, each `width` bits; the carry row is shifted one
+/// position left by the caller.
+///
+/// # Panics
+///
+/// Panics if the rows have different widths.
+pub fn carry_save_stage(
+    nl: &mut Netlist,
+    a: &[NodeId],
+    b: &[NodeId],
+    c: &[NodeId],
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    assert!(
+        a.len() == b.len() && b.len() == c.len(),
+        "carry-save rows must share a width"
+    );
+    let mut sums = Vec::with_capacity(a.len());
+    let mut carries = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (s, co) = nl.full_adder(a[i], b[i], c[i]);
+        sums.push(s);
+        carries.push(co);
+    }
+    (sums, carries)
+}
+
+/// A saturating signed accumulator, the behavioral model of a MAC unit's
+/// accumulate register (wide enough that CNN dot products do not overflow).
+///
+/// # Example
+///
+/// ```
+/// use dvafs_arith::adder::Accumulator;
+///
+/// let mut acc = Accumulator::new(48);
+/// acc.add(1000);
+/// acc.add(-250);
+/// assert_eq!(acc.value(), 750);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accumulator {
+    value: i64,
+    width: u32,
+}
+
+impl Accumulator {
+    /// Creates an accumulator with the given register width in bits
+    /// (`2..=63`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `2..=63`.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!((2..=63).contains(&width), "accumulator width out of range");
+        Accumulator { value: 0, width }
+    }
+
+    /// Saturating add of a product term.
+    pub fn add(&mut self, term: i64) {
+        let hi = (1i64 << (self.width - 1)) - 1;
+        let lo = -(1i64 << (self.width - 1));
+        self.value = self.value.saturating_add(term).clamp(lo, hi);
+    }
+
+    /// The current accumulated value.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Clears the accumulator.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+
+    /// Register width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{from_bits, to_bits, Simulator};
+
+    fn add_via_netlist(a: u64, b: u64, width: usize) -> u64 {
+        let mut nl = Netlist::new();
+        let ba = nl.input_bus(width);
+        let bb = nl.input_bus(width);
+        let sum = ripple_carry_adder(&mut nl, &ba, &bb);
+        nl.mark_output_bus(&sum);
+        let mut sim = Simulator::new(nl);
+        let mut inputs = to_bits(a, width);
+        inputs.extend(to_bits(b, width));
+        from_bits(&sim.eval(&inputs).unwrap())
+    }
+
+    #[test]
+    fn ripple_adder_exhaustive_4b() {
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(add_via_netlist(a, b, 4), a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_adder_wide_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let a: u64 = rng.gen_range(0..(1 << 20));
+            let b: u64 = rng.gen_range(0..(1 << 20));
+            assert_eq!(add_via_netlist(a, b, 20), a + b);
+        }
+    }
+
+    #[test]
+    fn carry_save_preserves_sum_exhaustive_3x3b() {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                for c in 0..8u64 {
+                    let mut nl = Netlist::new();
+                    let ba = nl.input_bus(3);
+                    let bb = nl.input_bus(3);
+                    let bc = nl.input_bus(3);
+                    let (s, carry) = carry_save_stage(&mut nl, &ba, &bb, &bc);
+                    nl.mark_output_bus(&s);
+                    nl.mark_output_bus(&carry);
+                    let mut sim = Simulator::new(nl);
+                    let mut inp = to_bits(a, 3);
+                    inp.extend(to_bits(b, 3));
+                    inp.extend(to_bits(c, 3));
+                    let out = sim.eval(&inp).unwrap();
+                    let sum = from_bits(&out[..3]);
+                    let car = from_bits(&out[3..]);
+                    assert_eq!(sum + (car << 1), a + b + c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_depth_scales_with_width() {
+        let mut small = Netlist::new();
+        let a4 = small.input_bus(4);
+        let b4 = small.input_bus(4);
+        let s = ripple_carry_adder(&mut small, &a4, &b4);
+        small.mark_output_bus(&s);
+
+        let mut big = Netlist::new();
+        let a16 = big.input_bus(16);
+        let b16 = big.input_bus(16);
+        let s = ripple_carry_adder(&mut big, &a16, &b16);
+        big.mark_output_bus(&s);
+
+        assert!(big.critical_depth() > small.critical_depth() * 2);
+    }
+
+    #[test]
+    fn accumulator_basic() {
+        let mut acc = Accumulator::new(32);
+        acc.add(5);
+        acc.add(-3);
+        assert_eq!(acc.value(), 2);
+        acc.clear();
+        assert_eq!(acc.value(), 0);
+    }
+
+    #[test]
+    fn accumulator_saturates_both_ways() {
+        let mut acc = Accumulator::new(8);
+        for _ in 0..10 {
+            acc.add(100);
+        }
+        assert_eq!(acc.value(), 127);
+        for _ in 0..20 {
+            acc.add(-100);
+        }
+        assert_eq!(acc.value(), -128);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn accumulator_rejects_width_1() {
+        let _ = Accumulator::new(1);
+    }
+}

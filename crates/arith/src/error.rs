@@ -1,0 +1,104 @@
+//! Error type for the arithmetic substrate.
+
+use std::fmt;
+
+/// Errors reported by constructors and evaluators in this crate.
+///
+/// # Example
+///
+/// ```
+/// use dvafs_arith::{ArithError, Precision};
+///
+/// let err = Precision::new(0).unwrap_err();
+/// assert!(matches!(err, ArithError::InvalidPrecision { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArithError {
+    /// Requested operand precision is outside the supported `1..=16` range.
+    InvalidPrecision {
+        /// The offending number of bits.
+        bits: u32,
+    },
+    /// A netlist node id did not refer to an existing node.
+    UnknownNode {
+        /// The offending node index.
+        id: usize,
+    },
+    /// An input vector did not match the number of netlist inputs.
+    InputLengthMismatch {
+        /// Number of inputs the netlist declares.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// Operand does not fit in the declared precision.
+    OperandOutOfRange {
+        /// The offending operand value.
+        value: i64,
+        /// Precision it was expected to fit in.
+        bits: u32,
+    },
+    /// A subword slice had the wrong number of lanes for the selected mode.
+    LaneCountMismatch {
+        /// Lanes required by the mode.
+        expected: usize,
+        /// Lanes supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::InvalidPrecision { bits } => {
+                write!(f, "precision must be between 1 and 16 bits, got {bits}")
+            }
+            ArithError::UnknownNode { id } => write!(f, "unknown netlist node id {id}"),
+            ArithError::InputLengthMismatch { expected, actual } => {
+                write!(f, "netlist expects {expected} input bits, got {actual}")
+            }
+            ArithError::OperandOutOfRange { value, bits } => {
+                write!(f, "operand {value} does not fit in {bits} signed bits")
+            }
+            ArithError::LaneCountMismatch { expected, actual } => {
+                write!(f, "mode requires {expected} lanes, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArithError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<ArithError> = vec![
+            ArithError::InvalidPrecision { bits: 0 },
+            ArithError::UnknownNode { id: 3 },
+            ArithError::InputLengthMismatch {
+                expected: 32,
+                actual: 16,
+            },
+            ArithError::OperandOutOfRange { value: 99, bits: 4 },
+            ArithError::LaneCountMismatch {
+                expected: 4,
+                actual: 2,
+            },
+        ];
+        for c in cases {
+            let msg = c.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArithError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! # dvafs-arith — precision-scalable arithmetic substrate
+//!
+//! Bit-accurate, gate-level models of the arithmetic circuits evaluated in
+//! *DVAFS: Trading Computational Accuracy for Energy Through
+//! Dynamic-Voltage-Accuracy-Frequency-Scaling* (Moons et al., DATE 2017).
+//!
+//! The crate provides three layers:
+//!
+//! 1. **Gate level** ([`netlist`]): combinational netlists built from 2-input
+//!    gates with per-gate toggle counting and levelized depth analysis. This
+//!    replaces the paper's synthesized 40 nm netlists: switching activity and
+//!    critical-path scaling are extracted by simulating the real gate
+//!    structure on data streams.
+//! 2. **Circuit structures** ([`booth`], [`wallace`], [`adder`],
+//!    [`multiplier`]): Booth-encoded Wallace-tree and array multipliers, in
+//!    exact, DAS (input-gated) and DVAFS (subword-parallel) variants, plus the
+//!    approximate-multiplier baselines of the paper's Fig. 3b.
+//! 3. **Value level** ([`fixed`], [`subword`]): fixed-point quantization,
+//!    packed subword values and error metrics (RMSE) used by the evaluation.
+//!
+//! ## Example
+//!
+//! ```
+//! use dvafs_arith::multiplier::DvafsMultiplier;
+//! use dvafs_arith::subword::SubwordMode;
+//!
+//! let m = DvafsMultiplier::new();
+//! // One full-precision 16x16 multiply.
+//! assert_eq!(m.mul_full(-1234, 567), -1234i32 * 567);
+//! // Four packed 4x4 multiplies in a single "cycle".
+//! let a = [1, 2, 3, -4];
+//! let b = [5, 6, 7, -8];
+//! let p = m.mul_subwords(&a, &b, SubwordMode::X4);
+//! assert_eq!(p, vec![5, 12, 21, 32]);
+//! ```
+
+pub mod activity;
+pub mod adder;
+pub mod booth;
+pub mod error;
+pub mod fixed;
+pub mod metrics;
+pub mod multiplier;
+pub mod netlist;
+pub mod subword;
+pub mod wallace;
+
+pub use error::ArithError;
+pub use fixed::{Fixed, Precision, Quantizer, RoundingMode};
+pub use subword::SubwordMode;

@@ -1,0 +1,163 @@
+//! Error metrics for approximate arithmetic.
+//!
+//! Fig. 3b of the paper expresses accuracy as Root-Mean-Square Error (RMSE)
+//! of the multiplier output, normalized so that different designs can share
+//! one axis. These helpers compute absolute and full-scale-relative RMSE
+//! over operand streams.
+
+use crate::multiplier::ApproximateMultiplier;
+use rand::{Rng, SeedableRng};
+
+/// Full-scale product value of a 16×16 unsigned multiplier, used to
+/// normalize RMSE onto the paper's relative axis.
+pub const FULL_SCALE: f64 = 4294836225.0; // 65535 * 65535
+
+/// RMSE of a set of signed errors.
+///
+/// # Example
+///
+/// ```
+/// use dvafs_arith::metrics::rmse;
+///
+/// assert!((rmse(&[3.0, -4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+/// assert_eq!(rmse(&[]), 0.0);
+/// ```
+#[must_use]
+pub fn rmse(errors: &[f64]) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    (errors.iter().map(|e| e * e).sum::<f64>() / errors.len() as f64).sqrt()
+}
+
+/// Deterministic uniform operand stream for error measurement.
+#[must_use]
+pub fn operand_stream(samples: usize, seed: u64) -> Vec<(u16, u16)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..samples).map(|_| (rng.gen(), rng.gen())).collect()
+}
+
+/// Absolute product RMSE of an approximate multiplier over a stream.
+#[must_use]
+pub fn product_rmse<M: ApproximateMultiplier + ?Sized>(m: &M, pairs: &[(u16, u16)]) -> f64 {
+    let errors: Vec<f64> = pairs
+        .iter()
+        .map(|&(a, b)| {
+            let exact = u64::from(a) * u64::from(b);
+            m.mul(a, b) as f64 - exact as f64
+        })
+        .collect();
+    rmse(&errors)
+}
+
+/// Product RMSE normalized to the full-scale 16×16 product — the x axis of
+/// Fig. 3b.
+#[must_use]
+pub fn relative_rmse<M: ApproximateMultiplier + ?Sized>(m: &M, pairs: &[(u16, u16)]) -> f64 {
+    product_rmse(m, pairs) / FULL_SCALE
+}
+
+/// RMSE of a reduced-precision (DAS/DVAFS) multiplication, where both
+/// operands are truncated to `bits` MSBs of a 16-bit word, normalized to
+/// full scale. This is how the DVAFS curve of Fig. 3b maps precision to the
+/// shared RMSE axis.
+#[must_use]
+pub fn precision_relative_rmse(bits: u32, pairs: &[(u16, u16)]) -> f64 {
+    let drop = 16 - bits;
+    let errors: Vec<f64> = pairs
+        .iter()
+        .map(|&(a, b)| {
+            let exact = u64::from(a) * u64::from(b);
+            let aq = u64::from(a >> drop << drop);
+            let bq = u64::from(b >> drop << drop);
+            (aq * bq) as f64 - exact as f64
+        })
+        .collect();
+    rmse(&errors) / FULL_SCALE
+}
+
+/// Signal-to-noise ratio in dB between a reference and a degraded signal.
+///
+/// Used by the JPEG-DCT fault-tolerance demonstration from the paper's
+/// introduction (ref \[7\]: 4-bit DCT at ~2 dB SNR loss).
+///
+/// # Example
+///
+/// ```
+/// use dvafs_arith::metrics::snr_db;
+///
+/// let reference = vec![1.0, -2.0, 3.0];
+/// assert!(snr_db(&reference, &reference).is_infinite());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn snr_db(reference: &[f64], degraded: &[f64]) -> f64 {
+    assert_eq!(reference.len(), degraded.len(), "signal lengths must match");
+    let signal: f64 = reference.iter().map(|x| x * x).sum();
+    let noise: f64 = reference
+        .iter()
+        .zip(degraded.iter())
+        .map(|(r, d)| (r - d) * (r - d))
+        .sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::TruncatedMultiplier;
+
+    #[test]
+    fn rmse_of_constant_error() {
+        assert!((rmse(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operand_stream_is_deterministic() {
+        assert_eq!(operand_stream(10, 7), operand_stream(10, 7));
+        assert_ne!(operand_stream(10, 7), operand_stream(10, 8));
+    }
+
+    #[test]
+    fn exact_multiplier_has_zero_rmse() {
+        let m = TruncatedMultiplier::new(0);
+        let pairs = operand_stream(100, 1);
+        assert_eq!(product_rmse(&m, &pairs), 0.0);
+        assert_eq!(relative_rmse(&m, &pairs), 0.0);
+    }
+
+    #[test]
+    fn precision_rmse_monotone_in_bits() {
+        let pairs = operand_stream(400, 2);
+        let e4 = precision_relative_rmse(4, &pairs);
+        let e8 = precision_relative_rmse(8, &pairs);
+        let e12 = precision_relative_rmse(12, &pairs);
+        let e16 = precision_relative_rmse(16, &pairs);
+        assert!(e4 > e8 && e8 > e12 && e12 > e16);
+        assert_eq!(e16, 0.0);
+        // 8-bit truncation errors sit around 1e-3..1e-2 relative; the paper
+        // plots DVAFS between 1e-6 and 1e-2 for 16..4 bits.
+        assert!(e8 > 1e-4 && e8 < 1e-1, "e8={e8}");
+    }
+
+    #[test]
+    fn snr_decreases_with_noise() {
+        let reference: Vec<f64> = (0..64).map(|i| f64::from(i)).collect();
+        let slightly: Vec<f64> = reference.iter().map(|x| x + 0.1).collect();
+        let very: Vec<f64> = reference.iter().map(|x| x + 5.0).collect();
+        assert!(snr_db(&reference, &slightly) > snr_db(&reference, &very));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn snr_rejects_length_mismatch() {
+        let _ = snr_db(&[1.0], &[1.0, 2.0]);
+    }
+}

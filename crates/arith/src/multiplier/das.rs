@@ -1,0 +1,178 @@
+//! Dynamic-Accuracy-Scaling (DAS) multiplier.
+//!
+//! DAS (paper Section II-A) truncates or rounds a variable number of input
+//! LSBs at run time. The gated bits stop toggling, which reduces the
+//! circuit's switching activity by the factor `k0` of equation (1) and
+//! shortens the sensitizable critical path (enabling DVAS voltage scaling).
+//!
+//! The functional behaviour is exactly "multiply the quantized operands";
+//! the physical behaviour (activity, path length) is extracted by driving
+//! the underlying gate-level multiplier with gated stimuli.
+
+use crate::fixed::{Precision, Quantizer, RoundingMode};
+use crate::multiplier::exact::ExactMultiplier;
+
+/// A run-time precision-scalable multiplier with LSB input gating.
+///
+/// # Example
+///
+/// ```
+/// use dvafs_arith::multiplier::DasMultiplier;
+/// use dvafs_arith::{Precision, RoundingMode};
+///
+/// let mut m = DasMultiplier::new(RoundingMode::Truncate);
+/// m.set_precision(Precision::new(8)?);
+/// // Operands are quantized to 8 MSBs before multiplying.
+/// assert_eq!(m.mul(0x1234, 0x0101), 0x1200i64 * 0x0100);
+/// # Ok::<(), dvafs_arith::ArithError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DasMultiplier {
+    inner: ExactMultiplier,
+    quantizer: Quantizer,
+}
+
+impl DasMultiplier {
+    /// Creates a 16-bit DAS multiplier at full precision.
+    #[must_use]
+    pub fn new(mode: RoundingMode) -> Self {
+        DasMultiplier {
+            inner: ExactMultiplier::booth_wallace(16),
+            quantizer: Quantizer::new(Precision::FULL, mode),
+        }
+    }
+
+    /// Reconfigures the operating precision (the run-time knob of DAS).
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.quantizer = Quantizer::new(precision, self.quantizer.rounding_mode());
+    }
+
+    /// The current operating precision.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.quantizer.precision()
+    }
+
+    /// The quantizer applied to both operands.
+    #[must_use]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The underlying exact multiplier.
+    #[must_use]
+    pub fn inner(&self) -> &ExactMultiplier {
+        &self.inner
+    }
+
+    /// Multiplies two 16-bit words at the configured precision.
+    #[must_use]
+    pub fn mul(&self, x: i32, y: i32) -> i64 {
+        let xq = self.quantizer.quantize(x);
+        let yq = self.quantizer.quantize(y);
+        self.inner.mul(i64::from(xq), i64::from(yq))
+    }
+
+    /// The signed quantization error of the product relative to the exact
+    /// full-precision product.
+    #[must_use]
+    pub fn product_error(&self, x: i32, y: i32) -> i64 {
+        self.mul(x, y) - i64::from(x) * i64::from(y)
+    }
+}
+
+impl Default for DasMultiplier {
+    fn default() -> Self {
+        DasMultiplier::new(RoundingMode::Truncate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn full_precision_is_exact() {
+        let m = DasMultiplier::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let x = rng.gen_range(-32768..=32767);
+            let y = rng.gen_range(-32768..=32767);
+            assert_eq!(m.mul(x, y), i64::from(x) * i64::from(y));
+        }
+    }
+
+    #[test]
+    fn product_equals_exact_product_of_quantized_operands() {
+        let mut m = DasMultiplier::new(RoundingMode::Truncate);
+        for bits in [4u32, 8, 12] {
+            m.set_precision(Precision::new(bits).unwrap());
+            let q = *m.quantizer();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(u64::from(bits));
+            for _ in 0..100 {
+                let x = rng.gen_range(-32768..=32767);
+                let y = rng.gen_range(-32768..=32767);
+                let expect = i64::from(q.quantize(x)) * i64::from(q.quantize(y));
+                assert_eq!(m.mul(x, y), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_precision() {
+        // RMSE at 12b must be far below RMSE at 4b.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let data: Vec<(i32, i32)> = (0..500)
+            .map(|_| (rng.gen_range(-32768..=32767), rng.gen_range(-32768..=32767)))
+            .collect();
+        let mut rmse = |bits: u32| -> f64 {
+            let mut m = DasMultiplier::new(RoundingMode::Truncate);
+            m.set_precision(Precision::new(bits).unwrap());
+            let se: f64 = data
+                .iter()
+                .map(|&(x, y)| {
+                    let e = m.product_error(x, y) as f64;
+                    e * e
+                })
+                .sum();
+            (se / data.len() as f64).sqrt()
+        };
+        let e4 = rmse(4);
+        let e8 = rmse(8);
+        let e12 = rmse(12);
+        assert!(e4 > e8 && e8 > e12, "e4={e4} e8={e8} e12={e12}");
+        assert!(e4 / e8 > 8.0, "per-4-bit error drop should be large");
+    }
+
+    #[test]
+    fn rounding_beats_truncation_on_average() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let data: Vec<(i32, i32)> = (0..500)
+            .map(|_| (rng.gen_range(-32768..=32767), rng.gen_range(-32768..=32767)))
+            .collect();
+        let rmse = |mode: RoundingMode| -> f64 {
+            let mut m = DasMultiplier::new(mode);
+            m.set_precision(Precision::new(8).unwrap());
+            let se: f64 = data
+                .iter()
+                .map(|&(x, y)| {
+                    let e = m.product_error(x, y) as f64;
+                    e * e
+                })
+                .sum();
+            (se / data.len() as f64).sqrt()
+        };
+        assert!(rmse(RoundingMode::RoundNearest) < rmse(RoundingMode::Truncate));
+    }
+
+    #[test]
+    fn precision_is_reconfigurable_at_run_time() {
+        let mut m = DasMultiplier::default();
+        assert_eq!(m.precision().bits(), 16);
+        m.set_precision(Precision::new(4).unwrap());
+        assert_eq!(m.precision().bits(), 4);
+        m.set_precision(Precision::new(16).unwrap());
+        assert_eq!(m.mul(-3, 7), -21);
+    }
+}

@@ -1,0 +1,422 @@
+//! The DVAFS subword-parallel multiplier (the paper's core circuit).
+//!
+//! At reduced precision the multiplier's idle cells are *reused* instead of
+//! gated: in `2x8b` mode it computes two independent 8-bit products per
+//! cycle, in `4x4b` mode four 4-bit products (paper Fig. 1b). At constant
+//! computational throughput the clock can then drop by the subword factor
+//! `N`, which lets the supply voltage of the **whole** system — including
+//! non-accuracy-scalable decoders and memories — scale down. This is the
+//! mechanism behind equation (3).
+//!
+//! Two models are provided:
+//!
+//! * a behavioral unit ([`DvafsMultiplier::mul_subwords`]) with per-lane
+//!   signed semantics, used by the SIMD processor and CNN substrates;
+//! * a gate-level netlist ([`DvafsMultiplier::build_netlist`]) where
+//!   cross-subword partial products are killed by mode-select gates; this is
+//!   the activity/critical-path extraction vehicle (unsigned lane
+//!   semantics, as the physical array computes magnitudes per quadrant).
+
+use crate::error::ArithError;
+use crate::netlist::{from_bits, to_bits, ActivityStats, Netlist, Simulator};
+use crate::subword::SubwordMode;
+use crate::wallace::ColumnStack;
+
+/// Builds the mode-gated 16×16 subword array multiplier netlist.
+///
+/// Inputs (in order): `m2`, `m4` (mode selects: both low = `1x16b`,
+/// `m2` = `2x8b`, `m4` = `4x4b`), then `x[0..16]`, then `y[0..16]`
+/// (LSB first). Outputs: `p[0..32]`.
+///
+/// In subword modes, partial products crossing a lane boundary are forced to
+/// zero, so the `N` lane products appear in disjoint fields of `p`
+/// (`2x8b`: bits 0–15 and 16–31; `4x4b`: four byte fields).
+#[must_use]
+pub fn build_subword_multiplier() -> Netlist {
+    let mut nl = Netlist::new();
+    let m2 = nl.input();
+    let m4 = nl.input();
+    let x = nl.input_bus(16);
+    let y = nl.input_bus(16);
+    // alive when full mode (neither m2 nor m4) for cross-half terms,
+    // alive when not m4 for same-half/cross-quarter terms,
+    // always alive on the diagonal quarter blocks.
+    //
+    // Operand isolation: the x operand is gated *once per row and
+    // aliveness class* before entering the partial-product AND gates, so a
+    // killed region's cells see constant inputs and stop toggling entirely
+    // (this is what lets the subword modes reach the paper's k3).
+    let full = nl.nor(m2, m4);
+    let not_m4 = nl.not(m4);
+    let x_full: Vec<_> = x.iter().map(|&xi| nl.and(xi, full)).collect();
+    let x_nm4: Vec<_> = x.iter().map(|&xi| nl.and(xi, not_m4)).collect();
+    let mut stack = ColumnStack::new(32);
+    for i in 0..16 {
+        for (j, &yj) in y.iter().enumerate() {
+            let same_quarter = i / 4 == j / 4;
+            let same_half = i / 8 == j / 8;
+            let xi = if same_quarter {
+                x[i]
+            } else if same_half {
+                x_nm4[i]
+            } else {
+                x_full[i]
+            };
+            let pp = nl.and(xi, yj);
+            stack.push_bit(i + j, pp);
+        }
+    }
+    let product = stack.reduce_to_sum(&mut nl);
+    nl.mark_output_bus(&product);
+    nl
+}
+
+/// Builds the subword multiplier *without* operand isolation: partial
+/// products are computed first and killed afterwards, so dead cells keep
+/// toggling with the data. Functionally identical to
+/// [`build_subword_multiplier`]; kept as the ablation baseline showing why
+/// operand isolation is what lets the subword modes reach the paper's `k3`
+/// (see the `ablations` experiment binary).
+#[must_use]
+pub fn build_subword_multiplier_unisolated() -> Netlist {
+    let mut nl = Netlist::new();
+    let m2 = nl.input();
+    let m4 = nl.input();
+    let x = nl.input_bus(16);
+    let y = nl.input_bus(16);
+    let full = nl.nor(m2, m4);
+    let not_m4 = nl.not(m4);
+    let mut stack = ColumnStack::new(32);
+    for (i, &xi) in x.iter().enumerate() {
+        for (j, &yj) in y.iter().enumerate() {
+            let same_quarter = i / 4 == j / 4;
+            let same_half = i / 8 == j / 8;
+            // Gate AFTER the product: the AND cell itself still toggles.
+            let pp = nl.and(xi, yj);
+            let gated = if same_quarter {
+                pp
+            } else if same_half {
+                nl.and(pp, not_m4)
+            } else {
+                nl.and(pp, full)
+            };
+            stack.push_bit(i + j, gated);
+        }
+    }
+    let product = stack.reduce_to_sum(&mut nl);
+    nl.mark_output_bus(&product);
+    nl
+}
+
+/// The DVAFS multiplier: one 16-bit unit that processes `N` packed words per
+/// cycle at `16/N`-bit precision.
+///
+/// # Example
+///
+/// ```
+/// use dvafs_arith::multiplier::DvafsMultiplier;
+/// use dvafs_arith::SubwordMode;
+///
+/// let m = DvafsMultiplier::new();
+/// assert_eq!(m.mul_full(-32768, 32767), -32768i32 * 32767);
+/// let p = m.mul_subwords(&[-8, 7], &[3, -4], SubwordMode::X2);
+/// assert_eq!(p, vec![-24, -28]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DvafsMultiplier {
+    _private: (),
+}
+
+impl DvafsMultiplier {
+    /// Creates a DVAFS multiplier.
+    #[must_use]
+    pub fn new() -> Self {
+        DvafsMultiplier { _private: () }
+    }
+
+    /// Full-precision 16×16 signed multiply (`1x16b` mode).
+    #[must_use]
+    pub fn mul_full(&self, x: i32, y: i32) -> i32 {
+        debug_assert!(i32::from(x as i16) == x && i32::from(y as i16) == y);
+        x * y
+    }
+
+    /// Multiplies `N` independent signed lane pairs in one cycle.
+    ///
+    /// Lane operands must fit the mode's lane width; lane products are full
+    /// precision (`2 * lane_bits` wide), exactly as the disjoint quadrants
+    /// of the physical array produce them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not have `mode.lanes()` elements (see
+    /// [`try_mul_subwords`](Self::try_mul_subwords) for a fallible variant).
+    #[must_use]
+    pub fn mul_subwords(&self, a: &[i32], b: &[i32], mode: SubwordMode) -> Vec<i32> {
+        self.try_mul_subwords(a, b, mode)
+            .expect("lane counts must match the mode")
+    }
+
+    /// Fallible variant of [`mul_subwords`](Self::mul_subwords).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::LaneCountMismatch`] on a lane-count mismatch and
+    /// [`ArithError::OperandOutOfRange`] when a lane operand does not fit
+    /// the mode's lane width.
+    pub fn try_mul_subwords(
+        &self,
+        a: &[i32],
+        b: &[i32],
+        mode: SubwordMode,
+    ) -> Result<Vec<i32>, ArithError> {
+        let lanes = mode.lanes();
+        if a.len() != lanes || b.len() != lanes {
+            return Err(ArithError::LaneCountMismatch {
+                expected: lanes,
+                actual: a.len().min(b.len()).min(a.len().max(b.len())).max(a.len()),
+            });
+        }
+        let w = mode.lane_bits();
+        let lo = -(1i32 << (w - 1));
+        let hi = (1i32 << (w - 1)) - 1;
+        for &v in a.iter().chain(b.iter()) {
+            if v < lo || v > hi {
+                return Err(ArithError::OperandOutOfRange {
+                    value: i64::from(v),
+                    bits: w,
+                });
+            }
+        }
+        Ok(a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect())
+    }
+
+    /// Packed unsigned lane multiply matching the gate-level netlist: each
+    /// lane's product lands in its disjoint `2*lane_bits` field of the
+    /// 32-bit result.
+    #[must_use]
+    pub fn mul_packed(&self, a: u16, b: u16, mode: SubwordMode) -> u32 {
+        let w = mode.lane_bits();
+        let mask = (1u32 << w) - 1;
+        let mut out = 0u32;
+        for lane in 0..mode.lanes() as u32 {
+            let xa = (u32::from(a) >> (lane * w)) & mask;
+            let xb = (u32::from(b) >> (lane * w)) & mask;
+            out |= (xa * xb) << (lane * 2 * w);
+        }
+        out
+    }
+
+    /// Builds the gate-level mode-gated netlist (see
+    /// [`build_subword_multiplier`]).
+    #[must_use]
+    pub fn build_netlist(&self) -> Netlist {
+        build_subword_multiplier()
+    }
+
+    /// Evaluates the netlist on one packed operand pair in the given mode.
+    #[must_use]
+    pub fn mul_packed_via_netlist(&self, a: u16, b: u16, mode: SubwordMode) -> u32 {
+        let mut sim = Simulator::new(self.build_netlist());
+        let out = sim
+            .eval(&Self::stimulus(a, b, mode))
+            .expect("stimulus width is fixed");
+        from_bits(&out) as u32
+    }
+
+    /// Encodes one packed operand pair as a netlist stimulus vector.
+    #[must_use]
+    pub fn stimulus(a: u16, b: u16, mode: SubwordMode) -> Vec<bool> {
+        let mut inputs = vec![mode == SubwordMode::X2, mode == SubwordMode::X4];
+        inputs.extend(to_bits(u64::from(a), 16));
+        inputs.extend(to_bits(u64::from(b), 16));
+        inputs
+    }
+
+    /// Drives the netlist with a stream of packed operand pairs in a fixed
+    /// mode and returns the switching-activity statistics — the `α`
+    /// extraction behind the paper's Fig. 2d and Table I.
+    #[must_use]
+    pub fn simulate_stream(&self, pairs: &[(u16, u16)], mode: SubwordMode) -> ActivityStats {
+        let mut sim = Simulator::new(self.build_netlist());
+        for &(a, b) in pairs {
+            sim.eval(&Self::stimulus(a, b, mode))
+                .expect("stimulus width is fixed");
+        }
+        sim.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn netlist_full_mode_exhaustive_small_values() {
+        let m = DvafsMultiplier::new();
+        for a in 0u16..16 {
+            for b in 0u16..16 {
+                assert_eq!(
+                    m.mul_packed_via_netlist(a, b, SubwordMode::X1),
+                    u32::from(a) * u32::from(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_full_mode_random_16b() {
+        let m = DvafsMultiplier::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..40 {
+            let a: u16 = rng.gen();
+            let b: u16 = rng.gen();
+            assert_eq!(
+                m.mul_packed_via_netlist(a, b, SubwordMode::X1),
+                u32::from(a) * u32::from(b)
+            );
+        }
+    }
+
+    #[test]
+    fn netlist_matches_behavioral_in_all_modes() {
+        let m = DvafsMultiplier::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        for mode in SubwordMode::ALL {
+            for _ in 0..30 {
+                let a: u16 = rng.gen();
+                let b: u16 = rng.gen();
+                assert_eq!(
+                    m.mul_packed_via_netlist(a, b, mode),
+                    m.mul_packed(a, b, mode),
+                    "mode={mode} a={a:#06x} b={b:#06x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x4_mode_lanes_are_independent_exhaustive_one_lane() {
+        let m = DvafsMultiplier::new();
+        // Exhaust lane 2 while the others carry fixed garbage.
+        for xa in 0u16..16 {
+            for xb in 0u16..16 {
+                // Lane 2 (bits 8..12) is zero in both masks.
+                let a = 0x900F | (xa << 8);
+                let b = 0x3005 | (xb << 8);
+                let p = m.mul_packed_via_netlist(a, b, SubwordMode::X4);
+                let lane2 = (p >> 16) & 0xFF;
+                assert_eq!(lane2, u32::from(xa) * u32::from(xb));
+            }
+        }
+    }
+
+    #[test]
+    fn behavioral_subword_signed_products() {
+        let m = DvafsMultiplier::new();
+        let p = m.mul_subwords(&[-8, 7, -1, 0], &[7, -8, -1, 5], SubwordMode::X4);
+        assert_eq!(p, vec![-56, -56, 1, 0]);
+    }
+
+    #[test]
+    fn try_mul_subwords_validates_ranges() {
+        let m = DvafsMultiplier::new();
+        assert!(matches!(
+            m.try_mul_subwords(&[8, 0, 0, 0], &[0; 4], SubwordMode::X4),
+            Err(ArithError::OperandOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.try_mul_subwords(&[1, 2], &[3, 4, 5], SubwordMode::X2),
+            Err(ArithError::LaneCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn activity_drops_in_subword_modes() {
+        // The heart of DVAFS: per-cycle switched capacitance shrinks when
+        // cross-lane partial products are killed (k3 of Table I).
+        let m = DvafsMultiplier::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let full: Vec<(u16, u16)> = (0..150).map(|_| (rng.gen(), rng.gen())).collect();
+        let s1 = m.simulate_stream(&full, SubwordMode::X1);
+        let s2 = m.simulate_stream(&full, SubwordMode::X2);
+        let s4 = m.simulate_stream(&full, SubwordMode::X4);
+        assert!(
+            s1.weighted_toggles > s2.weighted_toggles,
+            "x1={} x2={}",
+            s1.weighted_toggles,
+            s2.weighted_toggles
+        );
+        assert!(
+            s2.weighted_toggles > s4.weighted_toggles,
+            "x2={} x4={}",
+            s2.weighted_toggles,
+            s4.weighted_toggles
+        );
+        // 4x4b should cut per-cycle activity by roughly 2.5-5x (paper: 3.2).
+        let ratio = s1.weighted_toggles / s4.weighted_toggles;
+        assert!(ratio > 2.0 && ratio < 8.0, "k3-like ratio {ratio}");
+    }
+
+    #[test]
+    fn active_critical_path_shrinks_in_subword_modes() {
+        let m = DvafsMultiplier::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let data: Vec<(u16, u16)> = (0..100).map(|_| (rng.gen(), rng.gen())).collect();
+        let d1 = m.simulate_stream(&data, SubwordMode::X1).active_depth;
+        let d4 = m.simulate_stream(&data, SubwordMode::X4).active_depth;
+        assert!(d4 < d1, "x1 depth {d1}, x4 depth {d4}");
+    }
+
+    #[test]
+    fn unisolated_variant_is_functionally_identical() {
+        // The ablation baseline must compute the same products; only its
+        // switching activity differs.
+        let m = DvafsMultiplier::new();
+        let nl = build_subword_multiplier_unisolated();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for mode in SubwordMode::ALL {
+            let mut sim = crate::netlist::Simulator::new(nl.clone());
+            for _ in 0..15 {
+                let a: u16 = rng.gen();
+                let b: u16 = rng.gen();
+                let out = sim
+                    .eval(&DvafsMultiplier::stimulus(a, b, mode))
+                    .expect("stimulus fits");
+                assert_eq!(
+                    crate::netlist::from_bits(&out) as u32,
+                    m.mul_packed(a, b, mode),
+                    "mode={mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolation_reduces_subword_activity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(56);
+        let pairs: Vec<(u16, u16)> = (0..80).map(|_| (rng.gen(), rng.gen())).collect();
+        let drive = |nl: &crate::netlist::Netlist| {
+            let mut sim = crate::netlist::Simulator::new(nl.clone());
+            for &(a, b) in &pairs {
+                sim.eval(&DvafsMultiplier::stimulus(a, b, SubwordMode::X4))
+                    .expect("fits");
+            }
+            sim.stats().weighted_toggles
+        };
+        let isolated = drive(&build_subword_multiplier());
+        let unisolated = drive(&build_subword_multiplier_unisolated());
+        assert!(
+            isolated < unisolated,
+            "isolated {isolated} should beat unisolated {unisolated}"
+        );
+    }
+
+    #[test]
+    fn mul_full_matches_i32() {
+        let m = DvafsMultiplier::new();
+        assert_eq!(m.mul_full(-32768, -32768), 1 << 30);
+        assert_eq!(m.mul_full(1234, -5678), -7006652);
+    }
+}

@@ -1,0 +1,26 @@
+//! Multiplier models: exact, DAS, DVAFS and approximate baselines.
+//!
+//! * [`exact`] — bit-accurate gate-level reference multipliers: a signed
+//!   Booth-encoded Wallace-tree multiplier (the paper's design style) and an
+//!   unsigned array multiplier.
+//! * [`das`] — Dynamic-Accuracy-Scaling: run-time input LSB gating
+//!   (Section II-A / Fig. 1a).
+//! * [`dvafs`] — the subword-parallel DVAFS multiplier (Section II-C /
+//!   Fig. 1b), both as a behavioral packed-lane unit and as a mode-gated
+//!   gate-level netlist for activity extraction.
+//! * [`baselines`] — re-implementations of the approximate multipliers the
+//!   paper compares against in Fig. 3b: Kulkarni \[4\], Kyaw \[5\], Liu \[3\] and
+//!   the programmable truncated multiplier of de la Guia Solaz \[8\].
+
+pub mod baselines;
+pub mod das;
+pub mod dvafs;
+pub mod exact;
+
+pub use baselines::{
+    ApproximateMultiplier, KulkarniMultiplier, KyawMultiplier, LiuMultiplier,
+    TruncatedMultiplier,
+};
+pub use das::DasMultiplier;
+pub use dvafs::DvafsMultiplier;
+pub use exact::{build_array_multiplier, build_booth_wallace, ExactMultiplier};

@@ -1,0 +1,240 @@
+//! Subword-parallel operating modes and packed-word helpers.
+//!
+//! DVAFS (Section II-C) reuses idle arithmetic cells at reduced precision:
+//! a 16-bit multiplier processes `N` independent `16/N`-bit words per cycle.
+//! [`SubwordMode`] enumerates the three modes of the paper's multiplier and
+//! of Envision (`1×16b`, `2×8b`, `4×4b`), and the packing helpers convert
+//! between lane values and the packed 16-bit operand a subword unit sees.
+
+use crate::error::ArithError;
+use crate::fixed::Precision;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Degree of subword parallelism `N` in a DVAFS data path.
+///
+/// # Example
+///
+/// ```
+/// use dvafs_arith::SubwordMode;
+///
+/// let mode = SubwordMode::X4;
+/// assert_eq!(mode.lanes(), 4);
+/// assert_eq!(mode.lane_bits(), 4);
+/// assert_eq!(mode.words_per_cycle(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SubwordMode {
+    /// One 16-bit word per cycle (full precision).
+    X1,
+    /// Two packed 8-bit words per cycle.
+    X2,
+    /// Four packed 4-bit words per cycle.
+    X4,
+}
+
+impl SubwordMode {
+    /// All modes, from full precision down.
+    pub const ALL: [SubwordMode; 3] = [SubwordMode::X1, SubwordMode::X2, SubwordMode::X4];
+
+    /// The number of parallel lanes `N`.
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        match self {
+            SubwordMode::X1 => 1,
+            SubwordMode::X2 => 2,
+            SubwordMode::X4 => 4,
+        }
+    }
+
+    /// Bits per lane (`16 / N`).
+    #[must_use]
+    pub fn lane_bits(self) -> u32 {
+        16 / self.lanes() as u32
+    }
+
+    /// Words processed per cycle at constant clock — equal to [`lanes`].
+    ///
+    /// [`lanes`]: SubwordMode::lanes
+    #[must_use]
+    pub fn words_per_cycle(self) -> usize {
+        self.lanes()
+    }
+
+    /// The lane precision as a [`Precision`].
+    #[must_use]
+    pub fn lane_precision(self) -> Precision {
+        Precision::new(self.lane_bits()).expect("lane width is always 4, 8 or 16")
+    }
+
+    /// Picks the widest mode whose lanes still hold `bits`-wide operands —
+    /// the mode a DVAFS controller selects for a precision requirement.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dvafs_arith::{Precision, SubwordMode};
+    ///
+    /// assert_eq!(SubwordMode::for_precision(Precision::new(3)?), SubwordMode::X4);
+    /// assert_eq!(SubwordMode::for_precision(Precision::new(5)?), SubwordMode::X2);
+    /// assert_eq!(SubwordMode::for_precision(Precision::new(9)?), SubwordMode::X1);
+    /// # Ok::<(), dvafs_arith::ArithError>(())
+    /// ```
+    #[must_use]
+    pub fn for_precision(p: Precision) -> SubwordMode {
+        match p.bits() {
+            1..=4 => SubwordMode::X4,
+            5..=8 => SubwordMode::X2,
+            _ => SubwordMode::X1,
+        }
+    }
+}
+
+impl Default for SubwordMode {
+    fn default() -> Self {
+        SubwordMode::X1
+    }
+}
+
+impl fmt::Display for SubwordMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}b", self.lanes(), self.lane_bits())
+    }
+}
+
+/// Packs signed lane values into one 16-bit operand word.
+///
+/// Lane 0 occupies the LSBs. Each lane value must fit in the mode's lane
+/// width as a signed two's-complement field.
+///
+/// # Errors
+///
+/// Returns [`ArithError::LaneCountMismatch`] when `lanes.len()` differs from
+/// the mode's lane count, and [`ArithError::OperandOutOfRange`] when a lane
+/// value does not fit its field.
+///
+/// # Example
+///
+/// ```
+/// use dvafs_arith::subword::{pack_lanes, unpack_lanes};
+/// use dvafs_arith::SubwordMode;
+///
+/// let w = pack_lanes(&[1, -1], SubwordMode::X2)?;
+/// assert_eq!(unpack_lanes(w, SubwordMode::X2), vec![1, -1]);
+/// # Ok::<(), dvafs_arith::ArithError>(())
+/// ```
+pub fn pack_lanes(lanes: &[i32], mode: SubwordMode) -> Result<u16, ArithError> {
+    if lanes.len() != mode.lanes() {
+        return Err(ArithError::LaneCountMismatch {
+            expected: mode.lanes(),
+            actual: lanes.len(),
+        });
+    }
+    let w = mode.lane_bits();
+    let lo = -(1i32 << (w - 1));
+    let hi = (1i32 << (w - 1)) - 1;
+    let mask = (1u32 << w) - 1;
+    let mut packed: u32 = 0;
+    for (i, &v) in lanes.iter().enumerate() {
+        if v < lo || v > hi {
+            return Err(ArithError::OperandOutOfRange {
+                value: i64::from(v),
+                bits: w,
+            });
+        }
+        packed |= ((v as u32) & mask) << (i as u32 * w);
+    }
+    Ok(packed as u16)
+}
+
+/// Unpacks a 16-bit operand word into signed lane values (lane 0 = LSBs).
+#[must_use]
+pub fn unpack_lanes(word: u16, mode: SubwordMode) -> Vec<i32> {
+    let w = mode.lane_bits();
+    let mask = (1u32 << w) - 1;
+    (0..mode.lanes())
+        .map(|i| {
+            let field = (u32::from(word) >> (i as u32 * w)) & mask;
+            // Sign-extend the lane field.
+            let shift = 32 - w;
+            ((field << shift) as i32) >> shift
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_geometry() {
+        assert_eq!(SubwordMode::X1.lanes(), 1);
+        assert_eq!(SubwordMode::X1.lane_bits(), 16);
+        assert_eq!(SubwordMode::X2.lanes(), 2);
+        assert_eq!(SubwordMode::X2.lane_bits(), 8);
+        assert_eq!(SubwordMode::X4.lanes(), 4);
+        assert_eq!(SubwordMode::X4.lane_bits(), 4);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(SubwordMode::X1.to_string(), "1x16b");
+        assert_eq!(SubwordMode::X2.to_string(), "2x8b");
+        assert_eq!(SubwordMode::X4.to_string(), "4x4b");
+    }
+
+    #[test]
+    fn mode_for_precision_covers_all_bits() {
+        for b in 1..=16 {
+            let p = Precision::new(b).unwrap();
+            let m = SubwordMode::for_precision(p);
+            assert!(m.lane_bits() >= b, "{b} bits must fit in {m}");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_x4() {
+        let lanes = [-8, 7, -1, 3];
+        let w = pack_lanes(&lanes, SubwordMode::X4).unwrap();
+        assert_eq!(unpack_lanes(w, SubwordMode::X4), lanes.to_vec());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_x2() {
+        let lanes = [-128, 127];
+        let w = pack_lanes(&lanes, SubwordMode::X2).unwrap();
+        assert_eq!(unpack_lanes(w, SubwordMode::X2), lanes.to_vec());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_x1() {
+        let lanes = [-32768];
+        let w = pack_lanes(&lanes, SubwordMode::X1).unwrap();
+        assert_eq!(unpack_lanes(w, SubwordMode::X1), lanes.to_vec());
+    }
+
+    #[test]
+    fn pack_rejects_wrong_lane_count() {
+        assert!(matches!(
+            pack_lanes(&[1, 2], SubwordMode::X4),
+            Err(ArithError::LaneCountMismatch { expected: 4, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn pack_rejects_out_of_range_lane() {
+        assert!(matches!(
+            pack_lanes(&[8, 0, 0, 0], SubwordMode::X4),
+            Err(ArithError::OperandOutOfRange { .. })
+        ));
+        assert!(pack_lanes(&[-8, 0, 0, 0], SubwordMode::X4).is_ok());
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_x4_single_lane_range() {
+        for v in -8..=7 {
+            let w = pack_lanes(&[v, 0, 0, 0], SubwordMode::X4).unwrap();
+            assert_eq!(unpack_lanes(w, SubwordMode::X4)[0], v);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Wallace-tree carry-save reduction.
+//!
+//! The partial products of a multiplier are organized as per-column dot
+//! diagrams and compressed with full/half adders until at most two rows
+//! remain; a final carry-propagate adder produces the product. The tree's
+//! logarithmic depth — and the way the *active* part of it shrinks when
+//! operand LSBs are gated — is what gives DVAS/DVAFS its critical-path slack
+//! (paper Fig. 2b).
+
+use crate::adder::ripple_carry_adder;
+use crate::netlist::{Netlist, NodeId};
+
+/// Per-column dot diagram: `columns[i]` holds the bits of weight `2^i`.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStack {
+    columns: Vec<Vec<NodeId>>,
+}
+
+impl ColumnStack {
+    /// Creates an empty stack with `width` columns.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        ColumnStack {
+            columns: vec![Vec::new(); width],
+        }
+    }
+
+    /// Number of columns (output width).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Adds one bit of weight `2^col`. Bits beyond the stack width are
+    /// discarded (modular arithmetic, as in a fixed-width multiplier).
+    pub fn push_bit(&mut self, col: usize, bit: NodeId) {
+        if col < self.columns.len() {
+            self.columns[col].push(bit);
+        }
+    }
+
+    /// Adds a row of bits starting at column `offset` (LSB first).
+    pub fn push_row(&mut self, offset: usize, row: &[NodeId]) {
+        for (i, &bit) in row.iter().enumerate() {
+            self.push_bit(offset + i, bit);
+        }
+    }
+
+    /// The maximum column height — proportional to the number of reduction
+    /// stages the Wallace tree needs.
+    #[must_use]
+    pub fn max_height(&self) -> usize {
+        self.columns.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Reduces the stack with 3:2 and 2:2 counters until every column holds
+    /// at most two bits, then returns the two remaining rows, each `width`
+    /// bits (missing positions filled with constant 0).
+    pub fn reduce(mut self, nl: &mut Netlist) -> (Vec<NodeId>, Vec<NodeId>) {
+        while self.max_height() > 2 {
+            let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); self.columns.len()];
+            for (i, col) in self.columns.iter().enumerate() {
+                let mut bits = col.as_slice();
+                // Compress triples with full adders, then a leftover pair
+                // with a half adder when the column is still too tall.
+                while bits.len() >= 3 {
+                    let (s, c) = nl.full_adder(bits[0], bits[1], bits[2]);
+                    next[i].push(s);
+                    if i + 1 < next.len() {
+                        next[i + 1].push(c);
+                    }
+                    bits = &bits[3..];
+                }
+                if bits.len() == 2 && col.len() > 2 {
+                    let (s, c) = nl.half_adder(bits[0], bits[1]);
+                    next[i].push(s);
+                    if i + 1 < next.len() {
+                        next[i + 1].push(c);
+                    }
+                } else {
+                    next[i].extend_from_slice(bits);
+                }
+            }
+            self.columns = next;
+        }
+        let zero = nl.zero();
+        let mut row_a = Vec::with_capacity(self.columns.len());
+        let mut row_b = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            row_a.push(col.first().copied().unwrap_or(zero));
+            row_b.push(col.get(1).copied().unwrap_or(zero));
+        }
+        (row_a, row_b)
+    }
+
+    /// Reduces the stack and resolves the final two rows with a
+    /// carry-propagate adder, returning `width` product bits (carry-out
+    /// discarded: fixed-width modular product).
+    pub fn reduce_to_sum(self, nl: &mut Netlist) -> Vec<NodeId> {
+        let width = self.width();
+        let (a, b) = self.reduce(nl);
+        let mut sum = ripple_carry_adder(nl, &a, &b);
+        sum.truncate(width);
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{from_bits, to_bits, Simulator};
+    use rand::{Rng, SeedableRng};
+
+    /// Sums `rows.len()` unsigned values via the Wallace tree and compares
+    /// with the arithmetic sum.
+    fn wallace_sum(values: &[u64], width: usize) -> u64 {
+        let mut nl = Netlist::new();
+        let mut stack = ColumnStack::new(width);
+        let mut all_inputs = Vec::new();
+        for _ in values {
+            let bus = nl.input_bus(width);
+            stack.push_row(0, &bus);
+            all_inputs.push(bus);
+        }
+        let sum = stack.reduce_to_sum(&mut nl);
+        nl.mark_output_bus(&sum);
+        let mut sim = Simulator::new(nl);
+        let mut stim = Vec::new();
+        for &v in values {
+            stim.extend(to_bits(v, width));
+        }
+        from_bits(&sim.eval(&stim).unwrap())
+    }
+
+    #[test]
+    fn sums_three_values_exhaustive_3b() {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                for c in 0..8u64 {
+                    assert_eq!(wallace_sum(&[a, b, c], 6), a + b + c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sums_many_random_rows() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for rows in [4usize, 5, 8, 9] {
+            for _ in 0..20 {
+                let vals: Vec<u64> = (0..rows).map(|_| rng.gen_range(0..1 << 12)).collect();
+                let expect: u64 = vals.iter().sum();
+                assert_eq!(wallace_sum(&vals, 16), expect, "rows={rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn modular_truncation_of_overflow() {
+        // Two max 4-bit values summed into a 4-bit stack wraps mod 16.
+        assert_eq!(wallace_sum(&[15, 15, 15], 4), 45 % 16);
+    }
+
+    #[test]
+    fn tree_depth_is_sublinear_in_rows() {
+        // Wallace depth grows ~log(rows): 16 rows should need far fewer than
+        // 16 full-adder stages before the final CPA.
+        let build = |rows: usize| {
+            let mut nl = Netlist::new();
+            let mut stack = ColumnStack::new(8);
+            for _ in 0..rows {
+                let bus = nl.input_bus(8);
+                stack.push_row(0, &bus);
+            }
+            let (a, b) = stack.reduce(&mut nl);
+            nl.mark_output_bus(&a);
+            nl.mark_output_bus(&b);
+            nl.critical_depth()
+        };
+        let d4 = build(4);
+        let d16 = build(16);
+        // log2(16/2)/log1.5 ~ 6 stages vs log2(4/2)/log1.5 ~ 2 stages.
+        assert!(d16 < d4 * 4, "d4={d4} d16={d16}");
+    }
+
+    #[test]
+    fn push_bit_beyond_width_is_discarded() {
+        let mut nl = Netlist::new();
+        let mut stack = ColumnStack::new(2);
+        let a = nl.input();
+        stack.push_bit(5, a);
+        assert_eq!(stack.max_height(), 0);
+    }
+
+    #[test]
+    fn empty_stack_reduces_to_zero() {
+        let mut nl = Netlist::new();
+        let stack = ColumnStack::new(4);
+        let sum = stack.reduce_to_sum(&mut nl);
+        nl.mark_output_bus(&sum);
+        let mut sim = Simulator::new(nl);
+        let out = sim.eval(&[]).unwrap();
+        assert_eq!(from_bits(&out), 0);
+    }
+}

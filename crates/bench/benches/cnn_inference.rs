@@ -1,0 +1,38 @@
+//! Criterion benchmarks of fixed-point CNN inference (the Fig. 6 engine):
+//! LeNet-5 forward passes at several quantization settings, and the
+//! Envision chip-model sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvafs_envision::chip::EnvisionChip;
+use dvafs_envision::measure::table3;
+use dvafs_nn::dataset::SyntheticDataset;
+use dvafs_nn::models;
+use dvafs_nn::network::QuantConfig;
+use std::hint::black_box;
+
+fn bench_lenet_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lenet5_forward");
+    let net = models::lenet5(1);
+    let data = SyntheticDataset::digits(4, 2);
+    for bits in [16u32, 8, 4] {
+        group.bench_with_input(BenchmarkId::new("uniform", bits), &bits, |b, &bits| {
+            let cfg = QuantConfig::uniform(net.layer_count(), bits, bits);
+            b.iter(|| {
+                for img in data.images() {
+                    black_box(net.forward(img, &cfg).expect("forward succeeds"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_envision_table3(c: &mut Criterion) {
+    c.bench_function("envision_table3", |b| {
+        let chip = EnvisionChip::new();
+        b.iter(|| black_box(table3(&chip)));
+    });
+}
+
+criterion_group!(benches, bench_lenet_forward, bench_envision_table3);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the gate-level multiplier simulation —
+//! the engine behind Table I / Fig. 2 / Fig. 3a extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvafs_arith::multiplier::{build_booth_wallace, DvafsMultiplier};
+use dvafs_arith::netlist::Simulator;
+use dvafs_arith::subword::SubwordMode;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_netlist_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_eval");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let pairs: Vec<(u16, u16)> = (0..64).map(|_| (rng.gen(), rng.gen())).collect();
+
+    let m = DvafsMultiplier::new();
+    for mode in SubwordMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("subword_multiplier", mode.to_string()),
+            &mode,
+            |b, &mode| {
+                let mut sim = Simulator::new(m.build_netlist());
+                b.iter(|| {
+                    for &(x, y) in &pairs {
+                        black_box(
+                            sim.eval(&DvafsMultiplier::stimulus(x, y, mode))
+                                .expect("stimulus fits"),
+                        );
+                    }
+                });
+            },
+        );
+    }
+
+    group.bench_function("booth_wallace_16b", |b| {
+        let mut sim = Simulator::new(build_booth_wallace(16));
+        b.iter(|| {
+            for &(x, y) in &pairs {
+                let mut inputs = dvafs_arith::netlist::to_bits(u64::from(x), 16);
+                inputs.extend(dvafs_arith::netlist::to_bits(u64::from(y), 16));
+                black_box(sim.eval(&inputs).expect("stimulus fits"));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_activity_extraction(c: &mut Criterion) {
+    c.bench_function("extract_dvafs_profile_50", |b| {
+        b.iter(|| black_box(dvafs_arith::activity::extract_dvafs_profile(50, 7)));
+    });
+}
+
+fn bench_behavioral_mul(c: &mut Criterion) {
+    let m = DvafsMultiplier::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let pairs: Vec<(u16, u16)> = (0..1024).map(|_| (rng.gen(), rng.gen())).collect();
+    c.bench_function("behavioral_packed_x4_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(u64::from(m.mul_packed(x, y, SubwordMode::X4)));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_netlist_eval,
+    bench_activity_extraction,
+    bench_behavioral_mul
+);
+criterion_main!(benches);

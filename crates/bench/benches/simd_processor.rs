@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the SIMD processor simulator (Fig. 4 /
+//! Table II engine): cycle-level execution of the convolution kernel in
+//! each scaling regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvafs_simd::energy::SimdEnergyModel;
+use dvafs_simd::kernels::ConvKernel;
+use dvafs_simd::processor::{ProcConfig, Processor};
+use dvafs_tech::scaling::ScalingMode;
+use std::hint::black_box;
+
+fn bench_kernel_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_kernel");
+    let model = SimdEnergyModel::new();
+    let kernel = ConvKernel::random(9, 512, 42);
+    for (label, scaling, bits) in [
+        ("das_16b", ScalingMode::Das, 16u32),
+        ("dvas_4b", ScalingMode::Dvas, 4),
+        ("dvafs_4x4b", ScalingMode::Dvafs, 4),
+    ] {
+        group.bench_with_input(BenchmarkId::new("sw8", label), &(), |b, ()| {
+            let cfg = ProcConfig::new(8, scaling, bits).expect("valid");
+            let proc = Processor::with_model(cfg, model.clone());
+            b.iter(|| black_box(proc.run_kernel(&kernel).expect("runs")));
+        });
+    }
+    group.bench_function("sw64_dvafs_4x4b", |b| {
+        let cfg = ProcConfig::new(64, ScalingMode::Dvafs, 4).expect("valid");
+        let proc = Processor::with_model(cfg, model.clone());
+        let kernel = ConvKernel::random(9, 1024, 43);
+        b.iter(|| black_box(proc.run_kernel(&kernel).expect("runs")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_execution);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! # dvafs-bench — experiment harness
+//!
+//! One binary per table/figure of the DVAFS paper (DATE 2017):
+//!
+//! | target | artefact | run with |
+//! |---|---|---|
+//! | `table1` | Table I (k parameters) | `cargo run -p dvafs-bench --release --bin table1` |
+//! | `fig2` | Fig. 2a–d (f, slack, V, activity) | `--bin fig2` |
+//! | `fig3a` | Fig. 3a (energy/word, DAS/DVAS/DVAFS) | `--bin fig3a` |
+//! | `fig3b` | Fig. 3b (energy vs RMSE vs baselines) | `--bin fig3b` |
+//! | `fig4` | Fig. 4 (SIMD energy/word, SW=8/64) | `--bin fig4` |
+//! | `table2` | Table II (SIMD power split) | `--bin table2` |
+//! | `fig6` | Fig. 6 (per-layer bits, LeNet-5/AlexNet) | `--bin fig6` |
+//! | `fig8` | Fig. 8a/8b (Envision energy/word) | `--bin fig8` |
+//! | `table3` | Table III (per-layer power on Envision) | `--bin table3` |
+//! | `ablations` | design-choice ablation studies | `--bin ablations` |
+//!
+//! Criterion micro-benchmarks of the simulators live in `benches/`.
+
+/// Shared seed for every experiment binary (full determinism).
+pub const EXPERIMENT_SEED: u64 = 0xDA7E2017;
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("=== DVAFS reproduction | {id}: {title} ===");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seed_is_fixed() {
+        assert_eq!(super::EXPERIMENT_SEED, 0xDA7E2017);
+    }
+}

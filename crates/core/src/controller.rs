@@ -1,0 +1,233 @@
+//! The DVAFS run-time controller: from a precision requirement to a full
+//! operating point.
+//!
+//! This is the paper's contribution expressed as a policy: given how many
+//! bits a task actually needs (a JPEG DCT tolerates 4, LeNet-5 layers 1–6,
+//! AlexNet layers 5–9 — Fig. 6), choose the subword mode, drop the clock by
+//! the subword factor at constant throughput, and lower both rails onto the
+//! calibrated delay model. The controller also schedules task *sequences*
+//! (e.g. a CNN's layers) and estimates total energy, which is how an
+//! Envision-class processor hops between operating points at run time.
+
+use dvafs_arith::activity::{extract_das_profile, extract_dvafs_profile, ActivityProfile};
+use dvafs_arith::{ArithError, Precision, SubwordMode};
+use dvafs_tech::scaling::{OperatingPoint, ScalingMode};
+use dvafs_tech::technology::Technology;
+use serde::{Deserialize, Serialize};
+
+/// A fully-resolved DVAFS operating decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPlan {
+    /// Requested precision.
+    pub precision: Precision,
+    /// Chosen subword mode.
+    pub mode: SubwordMode,
+    /// Clock in MHz (nominal / lanes, constant computational throughput).
+    pub frequency_mhz: f64,
+    /// Accuracy-scalable rail in volts.
+    pub v_as: f64,
+    /// Non-accuracy-scalable rail in volts.
+    pub v_nas: f64,
+    /// Estimated data-path energy per word relative to full precision.
+    pub relative_energy_per_word: f64,
+}
+
+/// The DVAFS policy engine.
+///
+/// # Example
+///
+/// ```
+/// use dvafs::controller::DvafsController;
+/// use dvafs_arith::Precision;
+///
+/// let c = DvafsController::new();
+/// let p8 = c.plan(Precision::new(8)?)?;
+/// let p16 = c.plan(Precision::new(16)?)?;
+/// assert!(p8.relative_energy_per_word < p16.relative_energy_per_word);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DvafsController {
+    tech: Technology,
+    das_profile: ActivityProfile,
+    dvafs_profile: ActivityProfile,
+}
+
+impl DvafsController {
+    /// Extraction sample count.
+    const SAMPLES: usize = 150;
+    /// Extraction seed.
+    const SEED: u64 = 0xC0117;
+
+    /// Creates a controller on the 40 nm LP technology with freshly
+    /// extracted activity profiles.
+    #[must_use]
+    pub fn new() -> Self {
+        DvafsController::with_technology(Technology::lp40())
+    }
+
+    /// Creates a controller for a specific technology.
+    #[must_use]
+    pub fn with_technology(tech: Technology) -> Self {
+        DvafsController {
+            tech,
+            das_profile: extract_das_profile(Self::SAMPLES, Self::SEED),
+            dvafs_profile: extract_dvafs_profile(Self::SAMPLES, Self::SEED),
+        }
+    }
+
+    /// The technology the controller plans for.
+    #[must_use]
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Plans the operating point for a precision requirement.
+    ///
+    /// The profiles cover the paper's 4/8/12/16-bit grid; requirements in
+    /// between are planned at the next precision on the grid (a 5-bit task
+    /// runs as `2x8b`, as Envision does for VGG16's 5-bit weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::InvalidPrecision`] only through `Precision`
+    /// construction by callers; planning itself cannot fail for a valid
+    /// precision.
+    pub fn plan(&self, precision: Precision) -> Result<OperatingPlan, ArithError> {
+        let grid_bits = match precision.bits() {
+            1..=4 => 4,
+            5..=8 => 8,
+            9..=12 => 12,
+            _ => 16,
+        };
+        let op = OperatingPoint::derive(
+            &self.tech,
+            ScalingMode::Dvafs,
+            grid_bits,
+            &self.das_profile,
+            &self.dvafs_profile,
+        );
+        Ok(OperatingPlan {
+            precision,
+            mode: SubwordMode::for_precision(precision),
+            frequency_mhz: op.frequency_mhz,
+            v_as: op.v_as,
+            v_nas: op.v_nas,
+            relative_energy_per_word: op.energy_per_word_relative(&self.tech),
+        })
+    }
+
+    /// Plans a sequence of `(precision, words)` tasks — e.g. CNN layers at
+    /// their Fig. 6 requirements — and returns the per-task plans plus the
+    /// total relative energy (words weighted), normalized so running every
+    /// word at full precision costs `1.0` per word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors (none for valid precisions).
+    pub fn schedule(
+        &self,
+        tasks: &[(Precision, u64)],
+    ) -> Result<(Vec<OperatingPlan>, f64), ArithError> {
+        let mut plans = Vec::with_capacity(tasks.len());
+        let mut energy = 0.0f64;
+        let mut words = 0u64;
+        for &(p, n) in tasks {
+            let plan = self.plan(p)?;
+            energy += plan.relative_energy_per_word * n as f64;
+            words += n;
+            plans.push(plan);
+        }
+        let avg = if words == 0 { 0.0 } else { energy / words as f64 };
+        Ok((plans, avg))
+    }
+}
+
+impl Default for DvafsController {
+    fn default() -> Self {
+        DvafsController::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> DvafsController {
+        DvafsController::new()
+    }
+
+    #[test]
+    fn full_precision_plan_is_nominal() {
+        let c = controller();
+        let p = c.plan(Precision::new(16).unwrap()).unwrap();
+        assert_eq!(p.mode, SubwordMode::X1);
+        assert_eq!(p.frequency_mhz, 500.0);
+        assert_eq!(p.v_as, 1.1);
+        assert!((p.relative_energy_per_word - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_bit_plan_engages_full_dvafs() {
+        let c = controller();
+        let p = c.plan(Precision::new(4).unwrap()).unwrap();
+        assert_eq!(p.mode, SubwordMode::X4);
+        assert_eq!(p.frequency_mhz, 125.0);
+        assert!(p.v_as < 0.85 && p.v_nas < 0.95);
+        assert!(p.relative_energy_per_word < 0.06);
+    }
+
+    #[test]
+    fn off_grid_precision_rounds_up() {
+        let c = controller();
+        let p5 = c.plan(Precision::new(5).unwrap()).unwrap();
+        assert_eq!(p5.mode, SubwordMode::X2);
+        assert_eq!(p5.frequency_mhz, 250.0);
+        let p9 = c.plan(Precision::new(9).unwrap()).unwrap();
+        assert_eq!(p9.mode, SubwordMode::X1);
+        assert_eq!(p9.frequency_mhz, 500.0);
+    }
+
+    #[test]
+    fn energy_monotone_in_precision_on_grid() {
+        let c = controller();
+        let mut prev = f64::INFINITY;
+        for bits in [16u32, 12, 8, 4] {
+            let e = c
+                .plan(Precision::new(bits).unwrap())
+                .unwrap()
+                .relative_energy_per_word;
+            assert!(e < prev, "{bits}b energy {e} not below {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn schedule_weights_by_word_count() {
+        let c = controller();
+        let p4 = Precision::new(4).unwrap();
+        let p16 = Precision::new(16).unwrap();
+        let (_, only4) = c.schedule(&[(p4, 1000)]).unwrap();
+        let (_, mixed) = c.schedule(&[(p4, 500), (p16, 500)]).unwrap();
+        let (plans, only16) = c.schedule(&[(p16, 1000)]).unwrap();
+        assert_eq!(plans.len(), 1);
+        assert!(only4 < mixed && mixed < only16);
+        assert!((mixed - (only4 + only16) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_schedule_is_zero_energy() {
+        let c = controller();
+        let (plans, avg) = c.schedule(&[]).unwrap();
+        assert!(plans.is_empty());
+        assert_eq!(avg, 0.0);
+    }
+
+    #[test]
+    fn envision_technology_controller() {
+        let c = DvafsController::with_technology(Technology::fdsoi28());
+        let p = c.plan(Precision::new(4).unwrap()).unwrap();
+        assert_eq!(p.frequency_mhz, 50.0);
+        assert!(p.v_as <= 0.70, "28nm 4x4b rail {}", p.v_as);
+    }
+}

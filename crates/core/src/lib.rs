@@ -1,0 +1,60 @@
+//! # dvafs — Dynamic-Voltage-Accuracy-Frequency-Scaling
+//!
+//! A production-style reproduction of *DVAFS: Trading Computational
+//! Accuracy for Energy Through Dynamic-Voltage-Accuracy-Frequency-Scaling*
+//! (Moons, Uytterhoeven, Dehaene, Verhelst — DATE 2017).
+//!
+//! DVAFS is a circuit-level approximate-computing technique: a
+//! subword-parallel multiplier processes `N` reduced-precision words per
+//! cycle, so at constant computational throughput the clock — and with it
+//! the supply voltage of the **whole** system, including control and
+//! memory — can scale down together with switching activity. This crate
+//! ties the substrate crates together and adds the run-time policy:
+//!
+//! * [`controller`] — [`DvafsController`]: pick mode, frequency and rail
+//!   voltages for a precision requirement, and schedule mixed-precision
+//!   task sequences (e.g. CNN layers);
+//! * [`sweep`] — regenerates the paper's multiplier-level evaluation data
+//!   (Fig. 2, Fig. 3a, Fig. 3b);
+//! * [`report`] — plain-text table rendering for the experiment binaries.
+//!
+//! Substrates, re-exported here: [`dvafs_arith`] (gate-level
+//! precision-scalable arithmetic), [`dvafs_tech`] (delay/voltage/power
+//! models), [`dvafs_simd`] (the SIMD vector processor of Section III-B),
+//! [`dvafs_nn`] (fixed-point CNNs, Fig. 6) and [`dvafs_envision`] (the
+//! Envision chip of Section V).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dvafs::controller::DvafsController;
+//! use dvafs_arith::Precision;
+//!
+//! let controller = DvafsController::new();
+//! let plan = controller.plan(Precision::new(4)?)?;
+//! assert_eq!(plan.mode.lanes(), 4);          // 4x4b subwords
+//! assert!(plan.frequency_mhz < 200.0);       // clock scaled down
+//! assert!(plan.v_as < 1.1);                  // rails scaled down
+//! assert!(plan.relative_energy_per_word < 0.1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod controller;
+pub mod report;
+pub mod sweep;
+
+pub use controller::{DvafsController, OperatingPlan};
+pub use dvafs_arith as arith;
+pub use dvafs_envision as envision;
+pub use dvafs_nn as nn;
+pub use dvafs_simd as simd;
+pub use dvafs_tech as tech;
+pub use sweep::MultiplierSweep;
+
+/// Convenience re-exports for typical use.
+pub mod prelude {
+    pub use crate::controller::{DvafsController, OperatingPlan};
+    pub use crate::sweep::MultiplierSweep;
+    pub use dvafs_arith::{Precision, SubwordMode};
+    pub use dvafs_tech::{ScalingMode, Technology};
+}

@@ -1,0 +1,250 @@
+//! Multiplier-level evaluation sweeps: the data behind Fig. 2, Fig. 3a and
+//! Fig. 3b.
+
+use dvafs_arith::activity::{extract_das_profile, extract_dvafs_profile, ActivityProfile};
+use dvafs_arith::metrics::{operand_stream, precision_relative_rmse, relative_rmse};
+use dvafs_arith::multiplier::{
+    ApproximateMultiplier, KulkarniMultiplier, KyawMultiplier, LiuMultiplier, TruncatedMultiplier,
+};
+use dvafs_tech::power::{extract_k_params, EnergySample, KParams, MultiplierEnergyModel};
+use dvafs_tech::scaling::{OperatingPoint, ScalingMode};
+use dvafs_tech::technology::Technology;
+use serde::{Deserialize, Serialize};
+
+/// One point of a Fig. 3b energy-vs-RMSE curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RmsePoint {
+    /// Design label.
+    pub design: String,
+    /// Product RMSE relative to full scale (x axis of Fig. 3b).
+    pub rmse: f64,
+    /// Energy relative to the design's own exact implementation (y axis).
+    pub energy: f64,
+}
+
+/// The multiplier-level sweep harness.
+///
+/// # Example
+///
+/// ```
+/// use dvafs::sweep::MultiplierSweep;
+///
+/// let sweep = MultiplierSweep::new();
+/// let fig3a = sweep.fig3a();
+/// assert_eq!(fig3a.len(), 12); // 3 regimes x 4 precisions
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiplierSweep {
+    tech: Technology,
+    das_profile: ActivityProfile,
+    dvafs_profile: ActivityProfile,
+    samples: usize,
+    seed: u64,
+}
+
+impl MultiplierSweep {
+    /// Creates the sweep on the paper's 40 nm technology.
+    #[must_use]
+    pub fn new() -> Self {
+        let seed = 0x5EE9;
+        MultiplierSweep {
+            tech: Technology::lp40(),
+            das_profile: extract_das_profile(200, seed),
+            dvafs_profile: extract_dvafs_profile(200, seed),
+            samples: 2000,
+            seed,
+        }
+    }
+
+    /// The extracted DAS activity profile.
+    #[must_use]
+    pub fn das_profile(&self) -> &ActivityProfile {
+        &self.das_profile
+    }
+
+    /// The extracted DVAFS activity profile.
+    #[must_use]
+    pub fn dvafs_profile(&self) -> &ActivityProfile {
+        &self.dvafs_profile
+    }
+
+    /// Table I: the extracted k parameters.
+    #[must_use]
+    pub fn table1(&self) -> Vec<KParams> {
+        extract_k_params(&self.tech, &self.das_profile, &self.dvafs_profile)
+    }
+
+    /// Fig. 2: operating points (frequency, slack, voltage, activity) for
+    /// all regimes and precisions.
+    #[must_use]
+    pub fn fig2(&self) -> Vec<OperatingPoint> {
+        let mut out = Vec::new();
+        for mode in ScalingMode::ALL {
+            out.extend(OperatingPoint::sweep(
+                &self.tech,
+                mode,
+                &self.das_profile,
+                &self.dvafs_profile,
+            ));
+        }
+        out
+    }
+
+    /// Fig. 3a: energy per word across regimes and precisions, normalized
+    /// to the non-reconfigurable 16-bit baseline (2.16 pJ).
+    #[must_use]
+    pub fn fig3a(&self) -> Vec<EnergySample> {
+        MultiplierEnergyModel::new(
+            self.tech.clone(),
+            self.das_profile.clone(),
+            self.dvafs_profile.clone(),
+        )
+        .fig3a_sweep()
+    }
+
+    /// Fig. 3b: the DVAFS energy-vs-RMSE curve against the four baselines
+    /// (\[3\], \[3\]+VS, \[4\], \[5\], \[8\]).
+    #[must_use]
+    pub fn fig3b(&self) -> Vec<RmsePoint> {
+        let pairs = operand_stream(self.samples, self.seed);
+        let mut out = Vec::new();
+
+        // DVAFS: precision maps to RMSE, energy from the Fig. 3a model
+        // normalized to its own full-precision (reconfigurable) point.
+        let model = MultiplierEnergyModel::new(
+            self.tech.clone(),
+            self.das_profile.clone(),
+            self.dvafs_profile.clone(),
+        );
+        let own_full = model.energy_per_word(ScalingMode::Dvafs, 16).relative;
+        for bits in [12u32, 8, 4] {
+            let s = model.energy_per_word(ScalingMode::Dvafs, bits);
+            out.push(RmsePoint {
+                design: "DVAFS".to_string(),
+                rmse: precision_relative_rmse(bits, &pairs),
+                energy: s.relative / own_full,
+            });
+        }
+
+        // Liu [3] with and without voltage scaling, at several recovery
+        // depths.
+        for k in [0u32, 2, 6, 12] {
+            let m = LiuMultiplier::new(k);
+            out.push(RmsePoint {
+                design: "Liu [3]".to_string(),
+                rmse: relative_rmse(&m, &pairs),
+                energy: m.relative_energy(),
+            });
+            let mv = LiuMultiplier::new(k).with_voltage_scaling();
+            out.push(RmsePoint {
+                design: "Liu [3]+VS".to_string(),
+                rmse: relative_rmse(&mv, &pairs),
+                energy: mv.relative_energy(),
+            });
+        }
+
+        // Kulkarni [4] and Kyaw [5]: fixed design points.
+        let kulkarni = KulkarniMultiplier::new();
+        out.push(RmsePoint {
+            design: "Kulkarni [4]".to_string(),
+            rmse: relative_rmse(&kulkarni, &pairs),
+            energy: kulkarni.relative_energy(),
+        });
+        let kyaw = KyawMultiplier::new(8);
+        out.push(RmsePoint {
+            design: "Kyaw [5]".to_string(),
+            rmse: relative_rmse(&kyaw, &pairs),
+            energy: kyaw.relative_energy(),
+        });
+
+        // de la Guia Solaz [8]: the run-time truncated multiplier sweep.
+        for t in [4u32, 8, 12, 16, 20] {
+            let m = TruncatedMultiplier::new(t);
+            out.push(RmsePoint {
+                design: "Trunc [8]".to_string(),
+                rmse: relative_rmse(&m, &pairs),
+                energy: m.relative_energy(),
+            });
+        }
+        out
+    }
+}
+
+impl Default for MultiplierSweep {
+    fn default() -> Self {
+        MultiplierSweep::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> MultiplierSweep {
+        MultiplierSweep::new()
+    }
+
+    #[test]
+    fn fig2_covers_all_modes_and_precisions() {
+        let points = sweep().fig2();
+        assert_eq!(points.len(), 12);
+        // DVAFS frequencies follow Fig. 2a.
+        let dvafs: Vec<f64> = points
+            .iter()
+            .filter(|p| p.mode == ScalingMode::Dvafs)
+            .map(|p| p.frequency_mhz)
+            .collect();
+        assert_eq!(dvafs, vec![500.0, 500.0, 250.0, 125.0]);
+    }
+
+    #[test]
+    fn table1_shape() {
+        let t = sweep().table1();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].bits, 4);
+        assert_eq!(t[0].n, 4);
+        assert!(t[0].k0 > 5.0);
+    }
+
+    #[test]
+    fn fig3b_dvafs_wins_at_low_accuracy() {
+        let points = sweep().fig3b();
+        // The lowest-energy point below 1e-3 relative RMSE must be DVAFS.
+        let coarse: Vec<&RmsePoint> = points.iter().filter(|p| p.rmse > 1e-3).collect();
+        let best = coarse
+            .iter()
+            .min_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite"))
+            .expect("some coarse points exist");
+        assert_eq!(best.design, "DVAFS", "best coarse point: {best:?}");
+    }
+
+    #[test]
+    fn fig3b_truncated_is_competitive_at_high_accuracy() {
+        // Paper: [8] consumes less energy than DVAFS at high accuracy.
+        let points = sweep().fig3b();
+        let dvafs_12b = points
+            .iter()
+            .find(|p| p.design == "DVAFS" && p.rmse < 1e-3)
+            .expect("12-bit DVAFS point");
+        let trunc_fine = points
+            .iter()
+            .filter(|p| p.design == "Trunc [8]" && p.rmse < dvafs_12b.rmse)
+            .map(|p| p.energy)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            trunc_fine < dvafs_12b.energy * 1.5,
+            "trunc {trunc_fine} vs DVAFS {}",
+            dvafs_12b.energy
+        );
+    }
+
+    #[test]
+    fn fig3b_rmse_values_span_paper_axis() {
+        // Fig. 3b's x axis runs from ~1e-6 to ~1e-2.
+        let points = sweep().fig3b();
+        let lo = points.iter().map(|p| p.rmse).filter(|r| *r > 0.0).fold(f64::INFINITY, f64::min);
+        let hi = points.iter().map(|p| p.rmse).fold(0.0, f64::max);
+        assert!(lo < 1e-4, "finest RMSE {lo}");
+        assert!(hi > 1e-3, "coarsest RMSE {hi}");
+    }
+}

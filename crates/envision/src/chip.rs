@@ -1,0 +1,341 @@
+//! The analytical Envision power/performance model.
+
+use crate::workload::LayerRun;
+use dvafs_arith::activity::{extract_dvafs_profile, ActivityProfile};
+use dvafs_arith::subword::SubwordMode;
+use dvafs_tech::technology::Technology;
+use serde::{Deserialize, Serialize};
+
+/// Published chip anchor values used for calibration.
+mod anchor {
+    /// Power at 1×16 b, 200 MHz, dense data (paper: 300 mW).
+    pub const FULL_POWER_MW: f64 = 300.0;
+    /// Share of the MAC array (`as`) in the full-precision power.
+    pub const AS_SHARE: f64 = 0.70;
+    /// Share of control/decode (`nas`).
+    pub const NAS_SHARE: f64 = 0.15;
+    /// Share of on-chip SRAM (`mem`).
+    pub const MEM_SHARE: f64 = 0.15;
+    /// Zero-guarding control overhead (fraction of a MAC's energy spent
+    /// even when the MAC is skipped).
+    pub const GUARD_OVERHEAD: f64 = 0.05;
+    /// Exponent of the data-dependent activity model
+    /// `α(w, a) = (w·a / lane²)^EXP` (fits the gate-level extraction).
+    pub const DATA_ACTIVITY_EXP: f64 = 0.9;
+}
+
+/// The Envision CNN processor model.
+///
+/// # Example
+///
+/// ```
+/// use dvafs_envision::chip::EnvisionChip;
+/// use dvafs_arith::SubwordMode;
+///
+/// let chip = EnvisionChip::new();
+/// // Peak throughput quadruples in the 4x4b mode.
+/// let g16 = chip.peak_gops(SubwordMode::X1, 200.0);
+/// let g4 = chip.peak_gops(SubwordMode::X4, 200.0);
+/// assert!((g16 - 102.4).abs() < 1.0);
+/// assert!((g4 - 409.6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvisionChip {
+    tech: Technology,
+    dvafs_profile: ActivityProfile,
+    mac_units: usize,
+    mac_efficiency: f64,
+    data_mem_kb: usize,
+    prog_mem_kb: usize,
+}
+
+impl EnvisionChip {
+    /// Number of operand pairs used for activity extraction.
+    const PROFILE_SAMPLES: usize = 150;
+    /// Extraction seed.
+    const PROFILE_SEED: u64 = 0xE0715;
+
+    /// Creates the chip model with a freshly extracted activity profile.
+    #[must_use]
+    pub fn new() -> Self {
+        EnvisionChip {
+            tech: Technology::fdsoi28(),
+            dvafs_profile: extract_dvafs_profile(Self::PROFILE_SAMPLES, Self::PROFILE_SEED),
+            mac_units: 256,
+            mac_efficiency: 0.73,
+            data_mem_kb: 132,
+            prog_mem_kb: 16,
+        }
+    }
+
+    /// The 28 nm FDSOI technology model.
+    #[must_use]
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Number of MAC units (256).
+    #[must_use]
+    pub fn mac_units(&self) -> usize {
+        self.mac_units
+    }
+
+    /// Typical MAC-array utilization (73 % in the paper's 5×5 CONV).
+    #[must_use]
+    pub fn mac_efficiency(&self) -> f64 {
+        self.mac_efficiency
+    }
+
+    /// On-chip data memory in kB (132).
+    #[must_use]
+    pub fn data_mem_kb(&self) -> usize {
+        self.data_mem_kb
+    }
+
+    /// On-chip program memory in kB (16).
+    #[must_use]
+    pub fn prog_mem_kb(&self) -> usize {
+        self.prog_mem_kb
+    }
+
+    /// Peak throughput in GOPS (1 MAC = 2 ops) for a mode and clock.
+    #[must_use]
+    pub fn peak_gops(&self, mode: SubwordMode, f_mhz: f64) -> f64 {
+        2.0 * self.mac_units as f64 * mode.lanes() as f64 * f_mhz / 1e3
+    }
+
+    /// Effective throughput in GOPS at the typical MAC efficiency.
+    #[must_use]
+    pub fn effective_gops(&self, mode: SubwordMode, f_mhz: f64) -> f64 {
+        self.peak_gops(mode, f_mhz) * self.mac_efficiency
+    }
+
+    /// Per-cycle MAC-array activity of a mode relative to `1x16b`
+    /// (gate-level extraction; paper k3).
+    #[must_use]
+    pub fn mode_activity(&self, mode: SubwordMode) -> f64 {
+        self.dvafs_profile
+            .at_bits(mode.lane_bits())
+            .map_or(1.0, |e| e.activity_per_cycle)
+    }
+
+    /// Data-dependent activity scaling within a lane: operands narrower
+    /// than the lane width toggle fewer partial products.
+    #[must_use]
+    pub fn data_activity(&self, mode: SubwordMode, weight_bits: u32, input_bits: u32) -> f64 {
+        let lane = f64::from(mode.lane_bits());
+        let frac = (f64::from(weight_bits) * f64::from(input_bits)) / (lane * lane);
+        frac.powf(anchor::DATA_ACTIVITY_EXP).min(1.0)
+    }
+
+    /// MAC-skipping factor from zero guarding: the fraction of MAC energy
+    /// still spent given weight/input sparsity, including the guard logic
+    /// overhead.
+    #[must_use]
+    pub fn guard_factor(&self, weight_sparsity: f64, input_sparsity: f64) -> f64 {
+        ((1.0 - weight_sparsity) * (1.0 - input_sparsity) + anchor::GUARD_OVERHEAD).min(1.0)
+    }
+
+    /// The rail voltage for a clock frequency, from the calibrated delay
+    /// model (200 MHz → ~1.05 V, 100 MHz → ~0.80 V, 50 MHz → ~0.65 V).
+    #[must_use]
+    pub fn voltage_for_frequency(&self, f_mhz: f64) -> f64 {
+        let budget = self.tech.nominal_frequency_mhz() / f_mhz;
+        self.tech.voltage_solver().min_voltage(budget)
+    }
+
+    /// The rail voltage at a *fixed* clock when the active critical path
+    /// shortens in a subword mode (Fig. 8a's voltage scaling).
+    #[must_use]
+    pub fn voltage_for_mode_at_nominal_clock(&self, mode: SubwordMode) -> f64 {
+        let depth = self
+            .dvafs_profile
+            .at_bits(mode.lane_bits())
+            .map_or(1.0, |e| e.depth_ratio);
+        self.tech.voltage_solver().min_voltage(1.0 / depth)
+    }
+
+    /// Average power in milliwatts while executing a layer.
+    ///
+    /// The model: `P = (f/fnom)·(V/Vnom)² · [ Pas·α_mode·α_data·guard
+    /// + Pnas + Pmem·traffic·(1-input_sparsity) ]` with the component split
+    /// calibrated to the 300 mW full-precision anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer fails [`LayerRun::validate`] — call it first
+    /// for untrusted inputs.
+    #[must_use]
+    pub fn power_mw(&self, layer: &LayerRun) -> f64 {
+        layer.validate().expect("layer must be valid");
+        let v = self.voltage_for_frequency(layer.f_mhz);
+        self.power_mw_at(layer, v)
+    }
+
+    /// Component powers `(as, nas, mem)` in mW at the nominal rail and
+    /// clock, before frequency/voltage scaling.
+    #[must_use]
+    pub fn power_components_mw(&self, layer: &LayerRun) -> (f64, f64, f64) {
+        let p_as = anchor::FULL_POWER_MW
+            * anchor::AS_SHARE
+            * self.mode_activity(layer.mode)
+            * self.data_activity(layer.mode, layer.weight_bits, layer.input_bits)
+            * self.guard_factor(layer.weight_sparsity, layer.input_sparsity);
+        let p_nas = anchor::FULL_POWER_MW * anchor::NAS_SHARE;
+        // Packed subwords keep the word width busy; DAS-style narrow data
+        // in 1x16b mode leaves bit lines quiet. Compressed sparse storage
+        // (ref [12]) removes traffic proportional to input sparsity.
+        let traffic = if layer.mode.lanes() > 1 {
+            1.0
+        } else {
+            f64::from(layer.weight_bits.max(layer.input_bits)) / 16.0
+        };
+        let p_mem =
+            anchor::FULL_POWER_MW * anchor::MEM_SHARE * traffic * (1.0 - layer.input_sparsity);
+        (p_as, p_nas, p_mem)
+    }
+
+    /// Like [`power_mw`](Self::power_mw) with one explicit rail voltage for
+    /// the whole chip (the DVAFS regime: everything scales together).
+    #[must_use]
+    pub fn power_mw_at(&self, layer: &LayerRun, v: f64) -> f64 {
+        self.power_mw_rails(layer, v, v)
+    }
+
+    /// Power with split rails: the MAC array at `v_as`, control and memory
+    /// at `v_rest` (the DVAS regime of Fig. 8a scales only `v_as`).
+    #[must_use]
+    pub fn power_mw_rails(&self, layer: &LayerRun, v_as: f64, v_rest: f64) -> f64 {
+        let f_factor = layer.f_mhz / self.tech.nominal_frequency_mhz();
+        let (p_as, p_nas, p_mem) = self.power_components_mw(layer);
+        f_factor
+            * (p_as * self.tech.voltage_energy_factor(v_as)
+                + (p_nas + p_mem) * self.tech.voltage_energy_factor(v_rest))
+    }
+
+    /// Wall-clock time to execute a layer, in seconds.
+    #[must_use]
+    pub fn layer_time_s(&self, layer: &LayerRun) -> f64 {
+        let macs_per_s =
+            self.mac_units as f64 * layer.mode.lanes() as f64 * self.mac_efficiency * layer.f_mhz
+                * 1e6;
+        layer.mmacs_per_frame * 1e6 / macs_per_s
+    }
+
+    /// Energy to execute a layer once, in millijoules.
+    #[must_use]
+    pub fn layer_energy_mj(&self, layer: &LayerRun) -> f64 {
+        self.power_mw(layer) * self.layer_time_s(&layer.clone())
+    }
+
+    /// Efficiency in TOPS/W at the layer's operating point (effective ops
+    /// over average power, as the paper reports).
+    #[must_use]
+    pub fn tops_per_w(&self, layer: &LayerRun) -> f64 {
+        let gops = self.effective_gops(layer.mode, layer.f_mhz);
+        gops / self.power_mw(layer)
+    }
+}
+
+impl Default for EnvisionChip {
+    fn default() -> Self {
+        EnvisionChip::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> EnvisionChip {
+        EnvisionChip::new()
+    }
+
+    #[test]
+    fn peak_throughput_matches_paper() {
+        let c = chip();
+        // Paper: 102 GOPS at 1x16b, 408 GOPS at 4x4b (200 MHz).
+        assert!((c.peak_gops(SubwordMode::X1, 200.0) - 102.4).abs() < 1.0);
+        assert!((c.peak_gops(SubwordMode::X4, 200.0) - 409.6).abs() < 2.0);
+        // 76 GOPS nominal effective throughput.
+        let eff = c.effective_gops(SubwordMode::X1, 200.0);
+        assert!((eff - 76.0).abs() < 3.0, "effective {eff}");
+    }
+
+    #[test]
+    fn full_precision_power_anchor() {
+        let c = chip();
+        let dense = LayerRun::dense(SubwordMode::X1, 200.0, 16, 16, 100.0);
+        let p = c.power_mw(&dense);
+        // Paper: 300 mW at 16 b, 200 MHz.
+        assert!((p - 300.0).abs() < 15.0, "full-precision power {p}");
+    }
+
+    #[test]
+    fn dvafs_4x4_constant_throughput_anchor() {
+        let c = chip();
+        // 4x4b at 50 MHz keeps 76 effective GOPS and draws ~18 mW.
+        let l = LayerRun::dense(SubwordMode::X4, 50.0, 4, 4, 100.0);
+        let p = c.power_mw(&l);
+        assert!(p > 10.0 && p < 26.0, "4x4b @ 50 MHz power {p}");
+        let eff = c.tops_per_w(&l);
+        // Paper: 4.2 TOPS/W (we accept the same factor-of-2 region).
+        assert!(eff > 2.5 && eff < 8.0, "efficiency {eff}");
+        let gops = c.effective_gops(SubwordMode::X4, 50.0);
+        assert!((gops - 76.0).abs() < 3.0, "constant throughput {gops}");
+    }
+
+    #[test]
+    fn voltage_tracks_frequency_like_table3() {
+        let c = chip();
+        let v200 = c.voltage_for_frequency(200.0);
+        let v100 = c.voltage_for_frequency(100.0);
+        let v50 = c.voltage_for_frequency(50.0);
+        assert!((v200 - 1.05).abs() < 0.03, "v200={v200}");
+        assert!((v100 - 0.80).abs() < 0.04, "v100={v100}");
+        assert!((v50 - 0.65).abs() < 0.04, "v50={v50}");
+    }
+
+    #[test]
+    fn sparsity_guarding_reduces_power() {
+        let c = chip();
+        let dense = LayerRun::dense(SubwordMode::X2, 100.0, 8, 8, 100.0);
+        let sparse = dense.clone().with_sparsity(0.5, 0.8).unwrap();
+        assert!(c.power_mw(&sparse) < c.power_mw(&dense) * 0.7);
+    }
+
+    #[test]
+    fn narrow_data_reduces_power_within_a_mode() {
+        let c = chip();
+        let wide = LayerRun::dense(SubwordMode::X1, 200.0, 16, 16, 100.0);
+        let narrow = LayerRun::dense(SubwordMode::X1, 200.0, 8, 9, 100.0);
+        assert!(c.power_mw(&narrow) < c.power_mw(&wide) * 0.8);
+    }
+
+    #[test]
+    fn layer_time_scales_with_work_and_mode() {
+        let c = chip();
+        let a = LayerRun::dense(SubwordMode::X1, 200.0, 16, 16, 100.0);
+        let b = LayerRun::dense(SubwordMode::X1, 200.0, 16, 16, 200.0);
+        assert!((c.layer_time_s(&b) / c.layer_time_s(&a) - 2.0).abs() < 1e-9);
+        // 4 lanes at a quarter clock: same time.
+        let d = LayerRun::dense(SubwordMode::X4, 50.0, 4, 4, 100.0);
+        assert!((c.layer_time_s(&d) / c.layer_time_s(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn guard_factor_bounds() {
+        let c = chip();
+        assert!((c.guard_factor(0.0, 0.0) - 1.0).abs() < 1e-9);
+        let g = c.guard_factor(0.35, 0.87);
+        assert!(g > 0.05 && g < 0.2, "guard {g}");
+    }
+
+    #[test]
+    fn memory_sizes_match_the_chip() {
+        let c = chip();
+        assert_eq!(c.data_mem_kb(), 132);
+        assert_eq!(c.prog_mem_kb(), 16);
+        assert_eq!(c.mac_units(), 256);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the Envision chip model.
+
+use std::fmt;
+
+/// Errors reported by the chip model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvisionError {
+    /// Operand bits exceed the selected subword mode's lane width.
+    BitsExceedLane {
+        /// Requested operand width.
+        bits: u32,
+        /// Lane width of the mode.
+        lane_bits: u32,
+    },
+    /// A frequency outside the chip's operating range was requested.
+    FrequencyOutOfRange {
+        /// Requested frequency in MHz.
+        mhz: f64,
+    },
+    /// A sparsity fraction outside `[0, 1)` was supplied.
+    InvalidSparsity {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for EnvisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvisionError::BitsExceedLane { bits, lane_bits } => {
+                write!(f, "{bits}-bit operands do not fit {lane_bits}-bit lanes")
+            }
+            EnvisionError::FrequencyOutOfRange { mhz } => {
+                write!(f, "frequency {mhz} MHz outside the chip's 10..=200 MHz range")
+            }
+            EnvisionError::InvalidSparsity { value } => {
+                write!(f, "sparsity {value} outside the valid range 0..1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvisionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        assert!(EnvisionError::BitsExceedLane { bits: 9, lane_bits: 8 }
+            .to_string()
+            .contains('9'));
+        assert!(EnvisionError::FrequencyOutOfRange { mhz: 500.0 }
+            .to_string()
+            .contains("500"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EnvisionError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! # dvafs-envision — a model of the Envision DVAFS CNN processor
+//!
+//! Envision (Section V of the DVAFS paper; Moons et al., ISSCC 2017) is a
+//! 28 nm FDSOI C-programmable CNN processor with 256 subword-parallel MAC
+//! units, 132 kB data / 16 kB program memory, operated between
+//! 200 MHz @ ~1 V (`1x16b`) and 50 MHz @ 0.65 V (`4x4b`). This crate models
+//! the measured silicon analytically:
+//!
+//! * per-mode MAC-array activity comes from the gate-level extraction of
+//!   [`dvafs_arith`]; sub-mode operand widths (e.g. 5-bit weights in the
+//!   `2x8b` mode) scale activity further;
+//! * rail voltage follows the calibrated 28 nm delay model of
+//!   [`dvafs_tech`] (100 MHz → 0.80 V, 50 MHz → 0.65 V, as in Table III);
+//! * zero-guarding skips MACs with a zero weight or input operand
+//!   (sparsity columns of Table III), and compressed storage scales memory
+//!   traffic;
+//! * the component split is calibrated to the chip's published anchor
+//!   points: 300 mW at 16 b/200 MHz and ~4.2 TOPS/W at 4×4 b/50 MHz.
+//!
+//! [`measure`] regenerates Fig. 8a/8b and Table III.
+//!
+//! ## Example
+//!
+//! ```
+//! use dvafs_envision::chip::EnvisionChip;
+//! use dvafs_envision::workload::LayerRun;
+//! use dvafs_arith::SubwordMode;
+//!
+//! let chip = EnvisionChip::new();
+//! let layer = LayerRun::dense(SubwordMode::X4, 50.0, 4, 4, 100.0);
+//! let p = chip.power_mw(&layer);
+//! assert!(p > 5.0 && p < 50.0, "4x4b @ 50 MHz draws ~18 mW, got {p}");
+//! ```
+
+pub mod chip;
+pub mod error;
+pub mod measure;
+pub mod workload;
+
+pub use chip::EnvisionChip;
+pub use error::EnvisionError;
+pub use workload::LayerRun;

@@ -1,0 +1,229 @@
+//! Per-layer workload descriptors and the paper's Table III benchmark set.
+
+use crate::error::EnvisionError;
+use dvafs_arith::subword::SubwordMode;
+use serde::{Deserialize, Serialize};
+
+/// One CNN layer as Envision executes it: mode, clock, operand widths,
+/// sparsities and work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRun {
+    /// Layer label (paper notation, e.g. `"VGG2-13"`).
+    pub name: String,
+    /// Subword mode the layer runs in.
+    pub mode: SubwordMode,
+    /// Clock frequency in MHz.
+    pub f_mhz: f64,
+    /// Weight precision in bits (must fit the mode's lanes).
+    pub weight_bits: u32,
+    /// Input feature-map precision in bits.
+    pub input_bits: u32,
+    /// Fraction of zero weights (guard-skippable MACs).
+    pub weight_sparsity: f64,
+    /// Fraction of zero input activations.
+    pub input_sparsity: f64,
+    /// Work per frame in millions of MACs.
+    pub mmacs_per_frame: f64,
+}
+
+impl LayerRun {
+    /// A dense (non-sparse) layer descriptor.
+    #[must_use]
+    pub fn dense(mode: SubwordMode, f_mhz: f64, weight_bits: u32, input_bits: u32, mmacs: f64) -> Self {
+        LayerRun {
+            name: format!("{mode}@{f_mhz}MHz"),
+            mode,
+            f_mhz,
+            weight_bits,
+            input_bits,
+            weight_sparsity: 0.0,
+            input_sparsity: 0.0,
+            mmacs_per_frame: mmacs,
+        }
+    }
+
+    /// Renames the layer.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds sparsity levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvisionError::InvalidSparsity`] for values outside `[0, 1)`.
+    pub fn with_sparsity(mut self, weights: f64, inputs: f64) -> Result<Self, EnvisionError> {
+        for v in [weights, inputs] {
+            if !(0.0..1.0).contains(&v) {
+                return Err(EnvisionError::InvalidSparsity { value: v });
+            }
+        }
+        self.weight_sparsity = weights;
+        self.input_sparsity = inputs;
+        Ok(self)
+    }
+
+    /// Validates mode/precision/frequency consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvisionError::BitsExceedLane`] when an operand exceeds the
+    /// lane width and [`EnvisionError::FrequencyOutOfRange`] outside
+    /// `10..=200` MHz.
+    pub fn validate(&self) -> Result<(), EnvisionError> {
+        let lane = self.mode.lane_bits();
+        for bits in [self.weight_bits, self.input_bits] {
+            if bits > lane || bits == 0 {
+                return Err(EnvisionError::BitsExceedLane {
+                    bits,
+                    lane_bits: lane,
+                });
+            }
+        }
+        if !(10.0..=200.0).contains(&self.f_mhz) {
+            return Err(EnvisionError::FrequencyOutOfRange { mhz: self.f_mhz });
+        }
+        Ok(())
+    }
+}
+
+/// The VGG16 benchmark of Table III: conv1 plus the twelve deeper CONV
+/// layers (aggregated in the paper as `VGG2-13`), all in `2x8b` at
+/// 100 MHz / 0.80 V with per-layer sparsities in the published ranges.
+///
+/// # Panics
+///
+/// Never panics: the built-in parameters are valid.
+#[must_use]
+pub fn vgg16_table3() -> Vec<LayerRun> {
+    let macs = dvafs_nn::models::vgg16_conv_macs();
+    let mut out = Vec::new();
+    // Paper: weights 5b, inputs 4b (layer 1) / 6b (rest); weight sparsity
+    // 5% (layer 1), 25-75% (rest); input sparsity 10% / 30-82%.
+    out.push(
+        LayerRun::dense(SubwordMode::X2, 100.0, 5, 4, macs[0].mmacs())
+            .named("VGG1")
+            .with_sparsity(0.05, 0.10)
+            .expect("valid sparsity"),
+    );
+    for (i, m) in macs.iter().enumerate().skip(1) {
+        // Sparsity grows with depth, spanning the published 25-75 / 30-82
+        // percent ranges.
+        let t = (i - 1) as f64 / 11.0;
+        let wsp = 0.25 + 0.50 * t;
+        let isp = 0.30 + 0.52 * t;
+        out.push(
+            LayerRun::dense(SubwordMode::X2, 100.0, 5, 6, m.mmacs())
+                .named(m.name.clone())
+                .with_sparsity(wsp, isp)
+                .expect("valid sparsity"),
+        );
+    }
+    out
+}
+
+/// The AlexNet benchmark of Table III: five CONV layers with the paper's
+/// per-layer modes, precisions and sparsities.
+#[must_use]
+pub fn alexnet_table3() -> Vec<LayerRun> {
+    let macs = dvafs_nn::models::alexnet_conv_macs();
+    let rows: [(usize, SubwordMode, f64, u32, u32, f64, f64); 5] = [
+        (0, SubwordMode::X2, 100.0, 7, 4, 0.21, 0.29),
+        (1, SubwordMode::X2, 100.0, 7, 7, 0.19, 0.89),
+        (2, SubwordMode::X1, 200.0, 8, 9, 0.11, 0.82),
+        (3, SubwordMode::X1, 200.0, 9, 8, 0.04, 0.72),
+        (4, SubwordMode::X1, 200.0, 9, 8, 0.04, 0.72),
+    ];
+    rows.iter()
+        .map(|&(i, mode, f, wb, ib, wsp, isp)| {
+            LayerRun::dense(mode, f, wb, ib, macs[i].mmacs())
+                .named(macs[i].name.clone())
+                .with_sparsity(wsp, isp)
+                .expect("valid sparsity")
+        })
+        .collect()
+}
+
+/// The LeNet-5 benchmark of Table III: two CONV layers at the paper's
+/// modes, precisions and sparsities.
+#[must_use]
+pub fn lenet5_table3() -> Vec<LayerRun> {
+    let macs = dvafs_nn::models::lenet5_conv_macs();
+    vec![
+        LayerRun::dense(SubwordMode::X4, 50.0, 3, 1, macs[0].mmacs())
+            .named("LeNet1")
+            .with_sparsity(0.35, 0.87)
+            .expect("valid sparsity"),
+        LayerRun::dense(SubwordMode::X2, 100.0, 4, 6, macs[1].mmacs())
+            .named("LeNet2")
+            .with_sparsity(0.26, 0.55)
+            .expect("valid sparsity"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_constructor_and_naming() {
+        let l = LayerRun::dense(SubwordMode::X2, 100.0, 8, 8, 500.0).named("conv1");
+        assert_eq!(l.name, "conv1");
+        assert_eq!(l.weight_sparsity, 0.0);
+        assert!(l.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_oversized_operands() {
+        let l = LayerRun::dense(SubwordMode::X4, 50.0, 5, 4, 1.0);
+        assert!(matches!(
+            l.validate(),
+            Err(EnvisionError::BitsExceedLane { bits: 5, lane_bits: 4 })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_frequency() {
+        let l = LayerRun::dense(SubwordMode::X1, 500.0, 16, 16, 1.0);
+        assert!(matches!(
+            l.validate(),
+            Err(EnvisionError::FrequencyOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sparsity_bounds_enforced() {
+        let l = LayerRun::dense(SubwordMode::X1, 200.0, 16, 16, 1.0);
+        assert!(l.clone().with_sparsity(0.5, 1.0).is_err());
+        assert!(l.with_sparsity(0.5, 0.9).is_ok());
+    }
+
+    #[test]
+    fn table3_workloads_are_valid() {
+        for l in vgg16_table3()
+            .into_iter()
+            .chain(alexnet_table3())
+            .chain(lenet5_table3())
+        {
+            assert!(l.validate().is_ok(), "{} invalid", l.name);
+        }
+    }
+
+    #[test]
+    fn table3_vgg_has_13_rows_with_published_total() {
+        let v = vgg16_table3();
+        assert_eq!(v.len(), 13);
+        let total: f64 = v.iter().map(|l| l.mmacs_per_frame).sum();
+        assert!((total - 15346.0).abs() / 15346.0 < 0.02, "total {total}");
+    }
+
+    #[test]
+    fn table3_lenet_uses_deepest_scaling() {
+        let l = lenet5_table3();
+        assert_eq!(l[0].mode, SubwordMode::X4);
+        assert_eq!(l[0].f_mhz, 50.0);
+        assert_eq!(l[0].input_bits, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the Envision chip model's invariants.
+
+use dvafs_arith::subword::SubwordMode;
+use dvafs_envision::chip::EnvisionChip;
+use dvafs_envision::workload::LayerRun;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn chip() -> &'static EnvisionChip {
+    static CHIP: OnceLock<EnvisionChip> = OnceLock::new();
+    CHIP.get_or_init(EnvisionChip::new)
+}
+
+fn mode_strategy() -> impl Strategy<Value = SubwordMode> {
+    prop_oneof![
+        Just(SubwordMode::X1),
+        Just(SubwordMode::X2),
+        Just(SubwordMode::X4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Power is always positive and bounded by the full-precision anchor
+    /// (nothing can burn more than the dense 16-bit worst case at the same
+    /// operating point's frequency scaling headroom).
+    #[test]
+    fn power_positive_and_bounded(
+        mode in mode_strategy(),
+        f in 10.0f64..=200.0,
+        wsp in 0.0f64..0.95,
+        isp in 0.0f64..0.95,
+    ) {
+        let bits = mode.lane_bits();
+        let layer = LayerRun::dense(mode, f, bits, bits, 100.0)
+            .with_sparsity(wsp, isp)
+            .expect("valid sparsity");
+        let p = chip().power_mw(&layer);
+        prop_assert!(p > 0.0);
+        prop_assert!(p <= 310.0, "power {p} exceeds the chip's envelope");
+    }
+
+    /// More sparsity never increases power.
+    #[test]
+    fn power_monotone_in_sparsity(
+        mode in mode_strategy(),
+        wsp in 0.0f64..0.9,
+        extra in 0.0f64..0.09,
+    ) {
+        let bits = mode.lane_bits();
+        let base = LayerRun::dense(mode, 100.0, bits, bits, 100.0)
+            .with_sparsity(wsp, 0.2).expect("valid");
+        let denser = LayerRun::dense(mode, 100.0, bits, bits, 100.0)
+            .with_sparsity(wsp + extra, 0.2).expect("valid");
+        prop_assert!(chip().power_mw(&denser) <= chip().power_mw(&base) + 1e-9);
+    }
+
+    /// Narrower operands never increase power within a mode.
+    #[test]
+    fn power_monotone_in_operand_width(
+        mode in mode_strategy(),
+        bits in 1u32..=4,
+    ) {
+        let lane = mode.lane_bits();
+        let narrow = bits.min(lane);
+        let wide = lane;
+        let p_narrow =
+            chip().power_mw(&LayerRun::dense(mode, 100.0, narrow, narrow, 100.0));
+        let p_wide = chip().power_mw(&LayerRun::dense(mode, 100.0, wide, wide, 100.0));
+        prop_assert!(p_narrow <= p_wide + 1e-9);
+    }
+
+    /// Layer time is inversely proportional to frequency and lanes.
+    #[test]
+    fn layer_time_scales(f in 25.0f64..=100.0, mmacs in 1.0f64..1000.0) {
+        let c = chip();
+        let l1 = LayerRun::dense(SubwordMode::X1, f, 16, 16, mmacs);
+        let l2 = LayerRun::dense(SubwordMode::X1, 2.0 * f, 16, 16, mmacs);
+        let ratio = c.layer_time_s(&l1) / c.layer_time_s(&l2);
+        prop_assert!((ratio - 2.0).abs() < 1e-9);
+        let l4 = LayerRun::dense(SubwordMode::X4, f, 4, 4, mmacs);
+        let ratio4 = c.layer_time_s(&l1) / c.layer_time_s(&l4);
+        prop_assert!((ratio4 - 4.0).abs() < 1e-9);
+    }
+
+    /// Voltage never rises when the clock drops.
+    #[test]
+    fn voltage_monotone_in_frequency(f in 10.0f64..190.0, df in 1.0f64..10.0) {
+        let c = chip();
+        prop_assert!(c.voltage_for_frequency(f) <= c.voltage_for_frequency(f + df) + 1e-9);
+    }
+}

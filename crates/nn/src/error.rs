@@ -1,0 +1,68 @@
+//! Error type for the CNN substrate.
+
+use std::fmt;
+
+/// Errors reported by network construction and inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// An input tensor did not match the layer's expected shape.
+    ShapeMismatch {
+        /// Expected `(channels, height, width)`.
+        expected: (usize, usize, usize),
+        /// Received shape.
+        actual: (usize, usize, usize),
+    },
+    /// A quantization configuration has the wrong number of entries.
+    ConfigLengthMismatch {
+        /// Number of layers in the network.
+        layers: usize,
+        /// Entries supplied.
+        entries: usize,
+    },
+    /// A bit width was outside `1..=16`.
+    InvalidBits {
+        /// The offending width.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "input shape {actual:?} does not match the layer's expected {expected:?}"
+            ),
+            NnError::ConfigLengthMismatch { layers, entries } => write!(
+                f,
+                "quantization config has {entries} entries for a {layers}-layer network"
+            ),
+            NnError::InvalidBits { bits } => {
+                write!(f, "bit width {bits} outside the supported 1..=16 range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        let e = NnError::ShapeMismatch {
+            expected: (1, 28, 28),
+            actual: (3, 32, 32),
+        };
+        assert!(e.to_string().contains("28"));
+        assert!(NnError::InvalidBits { bits: 0 }.to_string().contains('0'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,519 @@
+//! CNN layers with an integer MAC data path.
+//!
+//! [`Conv2d`] implements equation (4) of the paper; [`Dense`] the
+//! matrix-vector classifier layers; [`Layer::ReLU`] and
+//! [`Layer::MaxPool2d`] the non-linearity and pooling stages of Fig. 5.
+//! Convolution and dense layers execute on quantized integers with 64-bit
+//! accumulation — the arithmetic a DVAFS MAC array performs — and report
+//! the MAC/sparsity statistics that drive the Envision power model.
+
+use crate::error::NnError;
+use crate::quant::QuantizedTensor;
+use crate::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Execution statistics of one layer forward pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Multiply-accumulate operations performed.
+    pub macs: u64,
+    /// MACs whose weight operand quantized to zero (guard-skippable).
+    pub zero_weight_macs: u64,
+    /// MACs whose activation operand quantized to zero (guard-skippable).
+    pub zero_act_macs: u64,
+}
+
+impl LayerStats {
+    /// Weight sparsity observed during the pass.
+    #[must_use]
+    pub fn weight_sparsity(&self) -> f64 {
+        if self.macs == 0 {
+            0.0
+        } else {
+            self.zero_weight_macs as f64 / self.macs as f64
+        }
+    }
+
+    /// Activation (input) sparsity observed during the pass.
+    #[must_use]
+    pub fn input_sparsity(&self) -> f64 {
+        if self.macs == 0 {
+            0.0
+        } else {
+            self.zero_act_macs as f64 / self.macs as f64
+        }
+    }
+}
+
+/// A 2-D convolution layer (`F` filters of `K x K x C`, stride `S`,
+/// symmetric zero padding), equation (4) of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with deterministic He-scaled pseudo-trained
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero.
+    #[must_use]
+    pub fn random(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+            "convolution dimensions must be positive"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let count = out_channels * in_channels * kernel * kernel;
+        // Uniform(-sqrt(3)σ, sqrt(3)σ) has standard deviation σ.
+        let lim = std * 3f32.sqrt();
+        let weights = (0..count).map(|_| rng.gen_range(-lim..lim)).collect();
+        let bias = (0..out_channels).map(|_| rng.gen_range(-0.05..0.05)).collect();
+        Conv2d {
+            weights,
+            bias,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Filter count (`F`).
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel size (`K`).
+    #[must_use]
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Weight tensor as a flat slice (`F*C*K*K`).
+    #[must_use]
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Mutable weights (for pruning).
+    #[must_use]
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    fn weights_tensor(&self) -> Tensor {
+        let mut t = Tensor::zeros(1, 1, self.weights.len());
+        t.as_mut_slice().copy_from_slice(&self.weights);
+        t
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    fn forward(&self, input: &Tensor, wbits: u32, abits: u32) -> Result<(Tensor, LayerStats), NnError> {
+        let (c, h, w) = input.shape();
+        if c != self.in_channels || h + 2 * self.padding < self.kernel || w + 2 * self.padding < self.kernel
+        {
+            return Err(NnError::ShapeMismatch {
+                expected: (self.in_channels, self.kernel, self.kernel),
+                actual: (c, h, w),
+            });
+        }
+        let qa = QuantizedTensor::quantize(input, abits)?;
+        let qw = QuantizedTensor::quantize(&self.weights_tensor(), wbits)?;
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(self.out_channels, oh, ow);
+        let mut stats = LayerStats::default();
+        let k = self.kernel;
+        let pad = self.padding as isize;
+        let scale = qa.scale * qw.scale;
+        for f in 0..self.out_channels {
+            let wbase = f * self.in_channels * k * k;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc: i64 = 0;
+                    for ci in 0..self.in_channels {
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue; // zero padding contributes nothing
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * self.stride + kx) as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let a = qa.data[(ci * h + iy as usize) * w + ix as usize];
+                                let wv = qw.data[wbase + (ci * k + ky) * k + kx];
+                                stats.macs += 1;
+                                if wv == 0 {
+                                    stats.zero_weight_macs += 1;
+                                }
+                                if a == 0 {
+                                    stats.zero_act_macs += 1;
+                                }
+                                acc += i64::from(a) * i64::from(wv);
+                            }
+                        }
+                    }
+                    out.set(f, oy, ox, (acc as f64 * scale + f64::from(self.bias[f])) as f32);
+                }
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// MACs for one forward pass on an input of shape `(c, h, w)` —
+    /// zero-padding taps excluded, matching the executed count.
+    #[must_use]
+    pub fn mac_count(&self, h: usize, w: usize) -> u64 {
+        // Dense interior approximation: F * OH * OW * C * K * K.
+        let (oh, ow) = self.out_hw(h, w);
+        (self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel) as u64
+    }
+}
+
+/// A fully-connected classifier layer (`O[z] = Σ W[z,m] I[m] + B[z]`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer with deterministic He-scaled weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn random(inputs: usize, outputs: usize, seed: u64) -> Self {
+        assert!(inputs > 0 && outputs > 0, "dense dimensions must be positive");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let std = (2.0 / inputs as f32).sqrt();
+        let lim = std * 3f32.sqrt();
+        Dense {
+            weights: (0..inputs * outputs).map(|_| rng.gen_range(-lim..lim)).collect(),
+            bias: (0..outputs).map(|_| rng.gen_range(-0.05..0.05)).collect(),
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Input features consumed (the flattened input length).
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output features produced.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Mutable weights (for pruning).
+    #[must_use]
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Mutable biases (for logit calibration).
+    #[must_use]
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    fn weights_tensor(&self) -> Tensor {
+        let mut t = Tensor::zeros(1, 1, self.weights.len());
+        t.as_mut_slice().copy_from_slice(&self.weights);
+        t
+    }
+
+    fn forward(&self, input: &Tensor, wbits: u32, abits: u32) -> Result<(Tensor, LayerStats), NnError> {
+        if input.len() != self.inputs {
+            return Err(NnError::ShapeMismatch {
+                expected: (1, 1, self.inputs),
+                actual: input.shape(),
+            });
+        }
+        let qa = QuantizedTensor::quantize(input, abits)?;
+        let qw = QuantizedTensor::quantize(&self.weights_tensor(), wbits)?;
+        let scale = qa.scale * qw.scale;
+        let mut out = Tensor::zeros(1, 1, self.outputs);
+        let mut stats = LayerStats::default();
+        for z in 0..self.outputs {
+            let mut acc: i64 = 0;
+            let base = z * self.inputs;
+            for m in 0..self.inputs {
+                let a = qa.data[m];
+                let wv = qw.data[base + m];
+                stats.macs += 1;
+                if wv == 0 {
+                    stats.zero_weight_macs += 1;
+                }
+                if a == 0 {
+                    stats.zero_act_macs += 1;
+                }
+                acc += i64::from(a) * i64::from(wv);
+            }
+            out.set(0, 0, z, (acc as f64 * scale + f64::from(self.bias[z])) as f32);
+        }
+        Ok((out, stats))
+    }
+}
+
+/// One stage of a CNN (Fig. 5): convolution, non-linearity, pooling or
+/// classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Convolutional feature extraction (eq. 4).
+    Conv2d(Conv2d),
+    /// Rectified linear unit `f(u) = max(0, u)`.
+    ReLU,
+    /// Max pooling over `k x k` patches with stride `stride`.
+    MaxPool2d {
+        /// Pool window size.
+        k: usize,
+        /// Pool stride.
+        stride: usize,
+    },
+    /// Fully-connected classifier layer.
+    Dense(Dense),
+}
+
+impl Layer {
+    /// Human-readable layer name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Layer::Conv2d(c) => format!("conv{}x{}x{}", c.kernel, c.kernel, c.out_channels),
+            Layer::ReLU => "relu".to_string(),
+            Layer::MaxPool2d { k, stride } => format!("maxpool{k}s{stride}"),
+            Layer::Dense(d) => format!("fc{}", d.outputs()),
+        }
+    }
+
+    /// Whether the layer has quantizable weights (conv/dense).
+    #[must_use]
+    pub fn is_parameterized(&self) -> bool {
+        matches!(self, Layer::Conv2d(_) | Layer::Dense(_))
+    }
+
+    /// Executes the layer; `wbits`/`abits` only affect parameterized layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the input does not fit and
+    /// [`NnError::InvalidBits`] for bit widths outside `1..=16`.
+    pub fn forward(
+        &self,
+        input: &Tensor,
+        wbits: u32,
+        abits: u32,
+    ) -> Result<(Tensor, LayerStats), NnError> {
+        match self {
+            Layer::Conv2d(c) => c.forward(input, wbits, abits),
+            Layer::Dense(d) => d.forward(input, wbits, abits),
+            Layer::ReLU => {
+                let mut out = input.clone();
+                for v in out.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
+                Ok((out, LayerStats::default()))
+            }
+            Layer::MaxPool2d { k, stride } => {
+                let (c, h, w) = input.shape();
+                if h < *k || w < *k {
+                    return Err(NnError::ShapeMismatch {
+                        expected: (c, *k, *k),
+                        actual: (c, h, w),
+                    });
+                }
+                let oh = (h - k) / stride + 1;
+                let ow = (w - k) / stride + 1;
+                let mut out = Tensor::zeros(c, oh, ow);
+                for ci in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut m = f32::NEG_INFINITY;
+                            for ky in 0..*k {
+                                for kx in 0..*k {
+                                    m = m.max(input.get(ci, oy * stride + ky, ox * stride + kx));
+                                }
+                            }
+                            out.set(ci, oy, ox, m);
+                        }
+                    }
+                }
+                Ok((out, LayerStats::default()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_filter_passes_input_through() {
+        // A 1x1 kernel with weight snapped exactly on the quant grid.
+        let mut conv = Conv2d::random(1, 1, 1, 1, 0, 1);
+        conv.weights_mut()[0] = 1.0;
+        let input = Tensor::from_fn(1, 3, 3, |_, y, x| (y * 3 + x) as f32 / 10.0);
+        let (out, stats) = conv.forward(&input, 16, 16).unwrap();
+        assert_eq!(out.shape(), (1, 3, 3));
+        assert_eq!(stats.macs, 9);
+        // out = in + bias: the offset must be the same everywhere.
+        let bias = out.get(0, 0, 0) - input.get(0, 0, 0);
+        for y in 0..3 {
+            for x in 0..3 {
+                let got = out.get(0, y, x) - input.get(0, y, x);
+                assert!((got - bias).abs() < 0.01, "y={y} x={x}: {got} vs {bias}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_shapes_follow_stride_and_padding() {
+        let conv = Conv2d::random(3, 8, 3, 2, 1, 2);
+        let input = Tensor::random(3, 9, 9, 3);
+        let (out, _) = conv.forward(&input, 8, 8).unwrap();
+        // (9 + 2 - 3)/2 + 1 = 5.
+        assert_eq!(out.shape(), (8, 5, 5));
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channel_count() {
+        let conv = Conv2d::random(3, 4, 3, 1, 0, 4);
+        let input = Tensor::random(2, 8, 8, 5);
+        assert!(matches!(
+            conv.forward(&input, 8, 8),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn conv_mac_count_matches_dense_interior() {
+        let conv = Conv2d::random(2, 4, 3, 1, 0, 6);
+        let input = Tensor::random(2, 6, 6, 7);
+        let (_, stats) = conv.forward(&input, 8, 8).unwrap();
+        // No padding: executed MACs equal the analytic count.
+        assert_eq!(stats.macs, conv.mac_count(6, 6));
+        assert_eq!(stats.macs, 4 * 4 * 4 * 2 * 9);
+    }
+
+    #[test]
+    fn relu_clamps_negative_values() {
+        let mut t = Tensor::zeros(1, 1, 3);
+        t.set(0, 0, 0, -1.0);
+        t.set(0, 0, 1, 2.0);
+        let (out, _) = Layer::ReLU.forward(&t, 16, 16).unwrap();
+        assert_eq!(out.get(0, 0, 0), 0.0);
+        assert_eq!(out.get(0, 0, 1), 2.0);
+    }
+
+    #[test]
+    fn maxpool_takes_patch_maximum() {
+        let t = Tensor::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
+        let (out, _) = Layer::MaxPool2d { k: 2, stride: 2 }.forward(&t, 16, 16).unwrap();
+        assert_eq!(out.shape(), (1, 2, 2));
+        assert_eq!(out.get(0, 0, 0), 5.0);
+        assert_eq!(out.get(0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn overlapping_pool_shape() {
+        // AlexNet-style 3x3 stride-2 pooling.
+        let t = Tensor::random(2, 13, 13, 8);
+        let (out, _) = Layer::MaxPool2d { k: 3, stride: 2 }.forward(&t, 16, 16).unwrap();
+        assert_eq!(out.shape(), (2, 6, 6));
+    }
+
+    #[test]
+    fn dense_computes_matrix_vector_product() {
+        let mut d = Dense::random(2, 1, 9);
+        d.weights_mut().copy_from_slice(&[0.5, -0.25]);
+        let mut input = Tensor::zeros(1, 1, 2);
+        input.set(0, 0, 0, 1.0);
+        input.set(0, 0, 1, 1.0);
+        let (out, stats) = d.forward(&input, 16, 16).unwrap();
+        assert_eq!(stats.macs, 2);
+        let bias = out.get(0, 0, 0) - 0.25;
+        assert!(bias.abs() < 0.06, "residual {bias}");
+    }
+
+    #[test]
+    fn dense_flattens_multi_channel_input() {
+        let d = Dense::random(2 * 3 * 3, 5, 10);
+        let input = Tensor::random(2, 3, 3, 11);
+        let (out, _) = d.forward(&input, 8, 8).unwrap();
+        assert_eq!(out.shape(), (1, 1, 5));
+    }
+
+    #[test]
+    fn coarse_quantization_changes_conv_output() {
+        let conv = Conv2d::random(1, 4, 3, 1, 0, 12);
+        let input = Tensor::random(1, 8, 8, 13);
+        let (fine, _) = conv.forward(&input, 16, 16).unwrap();
+        let (coarse, _) = conv.forward(&input, 2, 2).unwrap();
+        let diff: f32 = fine
+            .as_slice()
+            .iter()
+            .zip(coarse.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.01, "2-bit output should differ from 16-bit");
+    }
+
+    #[test]
+    fn sparsity_stats_flag_zero_operands() {
+        let mut conv = Conv2d::random(1, 1, 3, 1, 0, 14);
+        // Zero out half the kernel.
+        for w in conv.weights_mut().iter_mut().take(4) {
+            *w = 0.0;
+        }
+        let mut input = Tensor::random(1, 5, 5, 15);
+        // Force some zero activations.
+        for v in input.as_mut_slice().iter_mut().take(10) {
+            *v = 0.0;
+        }
+        let (_, stats) = conv.forward(&input, 8, 8).unwrap();
+        assert!(stats.weight_sparsity() > 0.3);
+        assert!(stats.input_sparsity() > 0.1);
+    }
+
+    #[test]
+    fn layer_names() {
+        assert_eq!(Layer::Conv2d(Conv2d::random(1, 6, 5, 1, 2, 0)).name(), "conv5x5x6");
+        assert_eq!(Layer::Dense(Dense::random(10, 4, 0)).name(), "fc4");
+        assert_eq!(Layer::MaxPool2d { k: 2, stride: 2 }.name(), "maxpool2s2");
+    }
+}

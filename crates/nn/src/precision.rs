@@ -1,0 +1,249 @@
+//! Per-layer minimum-precision search (the generator behind Fig. 6).
+//!
+//! Following \[22\], each layer's weights (Fig. 6a) and input feature maps
+//! (Fig. 6b) are quantized independently while the rest of the network
+//! stays at full precision; the minimum bit width that keeps *relative
+//! accuracy* (agreement with the full-precision network) at or above a
+//! target — 99 % in the paper — is that layer's requirement. A DVAFS
+//! processor then runs every layer at its own precision.
+
+use crate::dataset::SyntheticDataset;
+use crate::network::{Network, QuantConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which operand of a layer is being scaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Layer weights (Fig. 6a).
+    Weights,
+    /// Layer input feature maps / activations (Fig. 6b).
+    Activations,
+}
+
+/// Result of the search for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRequirement {
+    /// Index of the layer inside the network.
+    pub layer_index: usize,
+    /// Human-readable layer name.
+    pub layer_name: String,
+    /// Minimum bits meeting the target.
+    pub bits: u32,
+    /// Relative accuracy achieved at that width.
+    pub relative_accuracy: f64,
+}
+
+/// Number of distinct classes a network predicts over a dataset at full
+/// precision — a degeneracy check for pseudo-trained networks.
+///
+/// A collapsed classifier (1–2 distinct classes) makes the relative-accuracy
+/// metric meaningless: any quantization "agrees" with the reference. Such
+/// networks should be passed through [`Network::calibrate_logits`] before a
+/// precision search.
+///
+/// # Panics
+///
+/// Panics if inference fails.
+#[must_use]
+pub fn prediction_diversity(net: &Network, data: &SyntheticDataset) -> usize {
+    let cfg = QuantConfig::uniform(net.layer_count(), 16, 16);
+    let preds = net.predict_all(data, &cfg).expect("inference must succeed");
+    let distinct: std::collections::HashSet<usize> = preds.into_iter().collect();
+    distinct.len()
+}
+
+/// Per-layer minimum-bit search at a relative-accuracy target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionSearch {
+    target: f64,
+    full_bits: u32,
+}
+
+impl PrecisionSearch {
+    /// Creates a search with the paper's 99 % relative-accuracy target.
+    #[must_use]
+    pub fn new() -> Self {
+        PrecisionSearch {
+            target: 0.99,
+            full_bits: 16,
+        }
+    }
+
+    /// Overrides the relative-accuracy target (`0 < target <= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_target(mut self, target: f64) -> Self {
+        assert!(target > 0.0 && target <= 1.0, "target must be in (0, 1]");
+        self.target = target;
+        self
+    }
+
+    /// The relative-accuracy target.
+    #[must_use]
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Finds, for every parameterized layer, the minimum bit width of
+    /// `operand` that keeps relative accuracy at or above the target while
+    /// all other layers stay at full precision.
+    ///
+    /// Accuracy is not perfectly monotone in bits, so the scan walks down
+    /// from full precision and stops at the last width that still meets
+    /// the target.
+    #[must_use]
+    pub fn search(
+        &self,
+        net: &Network,
+        data: &SyntheticDataset,
+        operand: Operand,
+    ) -> Vec<LayerRequirement> {
+        let full = QuantConfig::uniform(net.layer_count(), self.full_bits, self.full_bits);
+        let reference = net
+            .predict_all(data, &full)
+            .expect("full-precision inference must succeed");
+        net.parameterized_layers()
+            .into_iter()
+            .map(|li| {
+                let mut best_bits = self.full_bits;
+                let mut best_acc = 1.0;
+                for bits in (1..self.full_bits).rev() {
+                    let mut cfg = full.clone();
+                    match operand {
+                        Operand::Weights => cfg.set_layer(li, bits, self.full_bits),
+                        Operand::Activations => cfg.set_layer(li, self.full_bits, bits),
+                    }
+                    let acc = net.relative_accuracy_vs(data, &cfg, &reference);
+                    if acc >= self.target {
+                        best_bits = bits;
+                        best_acc = acc;
+                    } else {
+                        break;
+                    }
+                }
+                LayerRequirement {
+                    layer_index: li,
+                    layer_name: net.layers()[li].name(),
+                    bits: best_bits,
+                    relative_accuracy: best_acc,
+                }
+            })
+            .collect()
+    }
+
+    /// Builds a mixed-precision configuration from independent weight and
+    /// activation requirements (other layers' entries stay at full
+    /// precision).
+    #[must_use]
+    pub fn to_config(
+        &self,
+        net: &Network,
+        weights: &[LayerRequirement],
+        activations: &[LayerRequirement],
+    ) -> QuantConfig {
+        let mut cfg = QuantConfig::uniform(net.layer_count(), self.full_bits, self.full_bits);
+        for w in weights {
+            let a = activations
+                .iter()
+                .find(|a| a.layer_index == w.layer_index)
+                .map_or(self.full_bits, |a| a.bits);
+            cfg.set_layer(w.layer_index, w.bits, a);
+        }
+        cfg
+    }
+}
+
+impl Default for PrecisionSearch {
+    fn default() -> Self {
+        PrecisionSearch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Layer};
+
+    fn tiny_net() -> Network {
+        Network::new(
+            "tiny",
+            vec![
+                Layer::Conv2d(Conv2d::random(1, 6, 3, 1, 0, 40)),
+                Layer::ReLU,
+                Layer::MaxPool2d { k: 2, stride: 2 },
+                Layer::Dense(Dense::random(6 * 5 * 5, 8, 41)),
+                Layer::ReLU,
+                Layer::Dense(Dense::random(8, 4, 42)),
+            ],
+        )
+    }
+
+    fn data() -> SyntheticDataset {
+        SyntheticDataset::new(24, 4, 1, 12, 12, 50)
+    }
+
+    #[test]
+    fn search_returns_one_entry_per_parameterized_layer() {
+        let net = tiny_net();
+        let reqs = PrecisionSearch::new().search(&net, &data(), Operand::Weights);
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].layer_index, 0);
+        assert!(reqs.iter().all(|r| (1..=16).contains(&r.bits)));
+    }
+
+    #[test]
+    fn requirements_meet_the_target() {
+        let net = tiny_net();
+        let d = data();
+        let search = PrecisionSearch::new().with_target(0.9);
+        for op in [Operand::Weights, Operand::Activations] {
+            for r in search.search(&net, &d, op) {
+                assert!(
+                    r.relative_accuracy >= 0.9,
+                    "{} at {} bits only reaches {}",
+                    r.layer_name,
+                    r.bits,
+                    r.relative_accuracy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn looser_target_never_needs_more_bits() {
+        let net = tiny_net();
+        let d = data();
+        let strict = PrecisionSearch::new().with_target(0.99).search(&net, &d, Operand::Weights);
+        let loose = PrecisionSearch::new().with_target(0.75).search(&net, &d, Operand::Weights);
+        for (s, l) in strict.iter().zip(loose.iter()) {
+            assert!(l.bits <= s.bits, "{}: loose {} > strict {}", s.layer_name, l.bits, s.bits);
+        }
+    }
+
+    #[test]
+    fn to_config_merges_weight_and_activation_requirements() {
+        let net = tiny_net();
+        let d = data();
+        let search = PrecisionSearch::new().with_target(0.8);
+        let w = search.search(&net, &d, Operand::Weights);
+        let a = search.search(&net, &d, Operand::Activations);
+        let cfg = search.to_config(&net, &w, &a);
+        assert_eq!(cfg.len(), net.layer_count());
+        for r in &w {
+            assert_eq!(cfg.layer(r.layer_index).weights, r.bits);
+        }
+        // The merged config should still score near the target.
+        let full = QuantConfig::uniform(net.layer_count(), 16, 16);
+        let acc = net.relative_accuracy(&d, &cfg, &full);
+        assert!(acc >= 0.5, "merged config collapsed to {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in")]
+    fn invalid_target_rejected() {
+        let _ = PrecisionSearch::new().with_target(0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Symmetric fixed-point quantization of weights and activations.
+//!
+//! The paper runs CNNs at 1–16-bit fixed point (Section IV-B): each tensor
+//! is mapped onto a symmetric integer grid `q ∈ [-(2^(b-1)-1), 2^(b-1)-1]`
+//! with a per-tensor scale, and the MAC data path operates on the grid
+//! indices — exactly what [`QuantizedTensor`] carries.
+
+use crate::error::NnError;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A tensor snapped to a `bits`-wide symmetric integer grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    /// Grid indices (each fits `bits` signed bits).
+    pub data: Vec<i32>,
+    /// Real value per grid step; `value = data * scale`.
+    pub scale: f64,
+    /// Grid width in bits.
+    pub bits: u32,
+    /// Original shape `(channels, height, width)`.
+    pub shape: (usize, usize, usize),
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor to `bits` with a per-tensor symmetric scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidBits`] when `bits` is outside `1..=16`.
+    pub fn quantize(t: &Tensor, bits: u32) -> Result<Self, NnError> {
+        if bits == 0 || bits > 16 {
+            return Err(NnError::InvalidBits { bits });
+        }
+        let qmax = if bits == 1 { 1 } else { (1i32 << (bits - 1)) - 1 };
+        let max_abs = f64::from(t.max_abs());
+        let scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / f64::from(qmax)
+        };
+        let data = t
+            .as_slice()
+            .iter()
+            .map(|&v| {
+                let q = (f64::from(v) / scale).round();
+                q.clamp(f64::from(-qmax), f64::from(qmax)) as i32
+            })
+            .collect();
+        Ok(QuantizedTensor {
+            data,
+            scale,
+            bits,
+            shape: t.shape(),
+        })
+    }
+
+    /// Reconstructs the real-valued tensor on the grid.
+    #[must_use]
+    pub fn dequantize(&self) -> Tensor {
+        let (c, h, w) = self.shape;
+        let mut t = Tensor::zeros(c, h, w);
+        for (dst, &q) in t.as_mut_slice().iter_mut().zip(self.data.iter()) {
+            *dst = (f64::from(q) * self.scale) as f32;
+        }
+        t
+    }
+
+    /// Fraction of zero grid indices (quantization-induced sparsity).
+    #[must_use]
+    pub fn zero_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|q| **q == 0).count() as f64 / self.data.len() as f64
+    }
+
+    /// Worst-case representable magnitude on this grid.
+    #[must_use]
+    pub fn qmax(&self) -> i32 {
+        if self.bits == 1 {
+            1
+        } else {
+            (1i32 << (self.bits - 1)) - 1
+        }
+    }
+}
+
+/// Root-mean-square quantization error of a tensor at a bit width.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidBits`] when `bits` is outside `1..=16`.
+pub fn quantization_rmse(t: &Tensor, bits: u32) -> Result<f64, NnError> {
+    let q = QuantizedTensor::quantize(t, bits)?;
+    let d = q.dequantize();
+    let se: f64 = t
+        .as_slice()
+        .iter()
+        .zip(d.as_slice())
+        .map(|(&a, &b)| {
+            let e = f64::from(a - b);
+            e * e
+        })
+        .sum();
+    Ok((se / t.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_on_grid_values_is_exact() {
+        let mut t = Tensor::zeros(1, 1, 4);
+        t.set(0, 0, 0, 1.0);
+        t.set(0, 0, 1, -1.0);
+        t.set(0, 0, 2, 0.5);
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        let d = q.dequantize();
+        for i in 0..4 {
+            assert!((d.get(0, 0, i) - t.get(0, 0, i)).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn rmse_decreases_with_bits() {
+        let t = Tensor::random(2, 16, 16, 1);
+        let e2 = quantization_rmse(&t, 2).unwrap();
+        let e4 = quantization_rmse(&t, 4).unwrap();
+        let e8 = quantization_rmse(&t, 8).unwrap();
+        assert!(e2 > e4 && e4 > e8, "{e2} {e4} {e8}");
+    }
+
+    #[test]
+    fn one_bit_grid_is_sign_like() {
+        let t = Tensor::random(1, 4, 4, 2);
+        let q = QuantizedTensor::quantize(&t, 1).unwrap();
+        assert!(q.data.iter().all(|&v| (-1..=1).contains(&v)));
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_to_zero() {
+        let t = Tensor::zeros(1, 2, 2);
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        assert!(q.data.iter().all(|&v| v == 0));
+        assert_eq!(q.zero_fraction(), 1.0);
+    }
+
+    #[test]
+    fn values_fit_declared_bits() {
+        let t = Tensor::random(2, 8, 8, 3);
+        for bits in [2u32, 4, 8, 12, 16] {
+            let q = QuantizedTensor::quantize(&t, bits).unwrap();
+            let m = q.qmax();
+            assert!(q.data.iter().all(|&v| v.abs() <= m), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn invalid_bits_rejected() {
+        let t = Tensor::zeros(1, 1, 1);
+        assert!(QuantizedTensor::quantize(&t, 0).is_err());
+        assert!(QuantizedTensor::quantize(&t, 17).is_err());
+    }
+}

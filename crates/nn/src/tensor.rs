@@ -1,0 +1,217 @@
+//! A minimal CHW tensor for CNN inference.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense 3-D tensor in `(channels, height, width)` layout, `f32` values.
+///
+/// Activations and weights are carried as floats but always live on a
+/// fixed-point grid after quantization; the integer MAC path operates on
+/// the grid indices (see [`crate::quant`]).
+///
+/// # Example
+///
+/// ```
+/// use dvafs_nn::Tensor;
+///
+/// let mut t = Tensor::zeros(2, 3, 3);
+/// t.set(1, 2, 2, 5.0);
+/// assert_eq!(t.get(1, 2, 2), 5.0);
+/// assert_eq!(t.len(), 18);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    channels: usize,
+    height: usize,
+    width: usize,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be positive"
+        );
+        Tensor {
+            data: vec![0.0; channels * height * width],
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Creates a tensor from a closure over `(c, y, x)`.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, usize, usize) -> f32>(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: F,
+    ) -> Self {
+        let mut t = Tensor::zeros(channels, height, width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    t.set(c, y, x, f(c, y, x));
+                }
+            }
+        }
+        t
+    }
+
+    /// Creates a tensor with deterministic uniform values in `[-1, 1)`.
+    #[must_use]
+    pub fn random(channels: usize, height: usize, width: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut t = Tensor::zeros(channels, height, width);
+        for v in &mut t.data {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        t
+    }
+
+    /// Shape as `(channels, height, width)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.channels && y < self.height && x < self.width);
+        (c * self.height + y) * self.width + x
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let i = self.index(c, y, x);
+        self.data[i] = v;
+    }
+
+    /// Flat view of the data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Maximum absolute value (0 for an all-zero tensor).
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Fraction of exactly-zero elements.
+    #[must_use]
+    pub fn zero_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|v| **v == 0.0).count() as f64 / self.data.len() as f64
+    }
+
+    /// Index of the largest element in the flattened tensor (argmax), used
+    /// for classification decisions. Ties resolve to the lowest index.
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut t = Tensor::zeros(2, 4, 5);
+        assert_eq!(t.shape(), (2, 4, 5));
+        assert_eq!(t.len(), 40);
+        t.set(1, 3, 4, -2.5);
+        assert_eq!(t.get(1, 3, 4), -2.5);
+        assert_eq!(t.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_fn_indexes_correctly() {
+        let t = Tensor::from_fn(2, 2, 2, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        assert_eq!(t.get(1, 0, 1), 101.0);
+        assert_eq!(t.get(0, 1, 0), 10.0);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Tensor::random(1, 8, 8, 42);
+        let b = Tensor::random(1, 8, 8, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, Tensor::random(1, 8, 8, 43));
+    }
+
+    #[test]
+    fn max_abs_and_zero_fraction() {
+        let mut t = Tensor::zeros(1, 2, 2);
+        t.set(0, 0, 0, -3.0);
+        t.set(0, 1, 1, 2.0);
+        assert_eq!(t.max_abs(), 3.0);
+        assert!((t.zero_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_finds_peak() {
+        let mut t = Tensor::zeros(1, 1, 5);
+        t.set(0, 0, 3, 9.0);
+        assert_eq!(t.argmax(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = Tensor::zeros(0, 1, 1);
+    }
+}

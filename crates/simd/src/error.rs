@@ -1,0 +1,90 @@
+//! Error type for the SIMD processor simulator.
+
+use std::fmt;
+
+/// Errors raised during program construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimdError {
+    /// A register index was outside the architectural file.
+    InvalidRegister {
+        /// Offending index.
+        index: usize,
+        /// File size.
+        count: usize,
+        /// `"scalar"` or `"vector"`.
+        kind: &'static str,
+    },
+    /// A memory access fell outside a bank.
+    MemoryOutOfBounds {
+        /// Bank index.
+        bank: usize,
+        /// Word address within the bank.
+        addr: usize,
+        /// Words per bank.
+        size: usize,
+    },
+    /// A branch or jump target was outside the program.
+    InvalidTarget {
+        /// Offending instruction index.
+        target: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// The program ran past its cycle budget without halting.
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The requested configuration is unsupported.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimdError::InvalidRegister { index, count, kind } => {
+                write!(f, "{kind} register r{index} outside file of {count}")
+            }
+            SimdError::MemoryOutOfBounds { bank, addr, size } => {
+                write!(f, "address {addr} outside bank {bank} of {size} words")
+            }
+            SimdError::InvalidTarget { target, len } => {
+                write!(f, "branch target {target} outside program of {len} instructions")
+            }
+            SimdError::CycleLimitExceeded { limit } => {
+                write!(f, "program exceeded the cycle limit of {limit}")
+            }
+            SimdError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_all_variants() {
+        let errors = vec![
+            SimdError::InvalidRegister { index: 20, count: 16, kind: "scalar" },
+            SimdError::MemoryOutOfBounds { bank: 1, addr: 99, size: 64 },
+            SimdError::InvalidTarget { target: 10, len: 5 },
+            SimdError::CycleLimitExceeded { limit: 1000 },
+            SimdError::InvalidConfig { reason: "bad".to_string() },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimdError>();
+    }
+}

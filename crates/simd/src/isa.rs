@@ -1,0 +1,293 @@
+//! The vector instruction set of the SIMD RISC processor.
+//!
+//! A deliberately small load/store RISC ISA with a vector extension, enough
+//! to express the paper's convolution benchmark and exercise the three
+//! power domains: scalar control flow (nas), vector arithmetic (as) and
+//! banked memory traffic (mem). Instructions encode to 16 bits in the
+//! modeled hardware (as in Envision's program memory); the simulator keeps
+//! them symbolic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scalar register index (16 architectural registers).
+pub type Reg = usize;
+
+/// Vector register index (8 architectural vector registers).
+pub type VReg = usize;
+
+/// Number of scalar registers.
+pub const SCALAR_REGS: usize = 16;
+
+/// Number of vector registers.
+pub const VECTOR_REGS: usize = 8;
+
+/// One instruction of the SIMD processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `rd <- imm`.
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// `rd <- rs1 + rs2`.
+    Add {
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// `rd <- rs1 + imm`.
+    Addi {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Immediate addend.
+        imm: i32,
+    },
+    /// Branch to `target` when `rs1 != rs2`.
+    Bne {
+        /// First compare source.
+        rs1: Reg,
+        /// Second compare source.
+        rs2: Reg,
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Instruction index to jump to.
+        target: usize,
+    },
+    /// Stop execution.
+    Halt,
+    /// No operation (pipeline filler).
+    Nop,
+    /// Scalar load from bank 0: `rd <- sign_extend(mem[0][rs1 + offset])`
+    /// (the scalar unit shares the first memory bank, as small RISC
+    /// vector machines do for coefficients and constants).
+    LoadScalar {
+        /// Destination register.
+        rd: Reg,
+        /// Base-address register.
+        rs1: Reg,
+        /// Word offset.
+        offset: i32,
+    },
+    /// Vector load: every lane loads the packed word at `mem[lane][rs1 + offset]`.
+    VLoad {
+        /// Destination vector register.
+        vd: VReg,
+        /// Scalar register holding the base address.
+        rs1: Reg,
+        /// Word offset.
+        offset: i32,
+    },
+    /// Vector store: every lane stores its packed word to `mem[lane][rs1 + offset]`.
+    VStore {
+        /// Source vector register.
+        vs: VReg,
+        /// Scalar register holding the base address.
+        rs1: Reg,
+        /// Word offset.
+        offset: i32,
+    },
+    /// Broadcast a scalar value into every lane and subword slot.
+    VBroadcast {
+        /// Destination vector register.
+        vd: VReg,
+        /// Scalar source register.
+        rs: Reg,
+    },
+    /// Subword-parallel multiply-accumulate: `vacc += vs1 * vs2` per slot.
+    VMac {
+        /// Accumulator vector register.
+        vacc: VReg,
+        /// First operand.
+        vs1: VReg,
+        /// Second operand.
+        vs2: VReg,
+    },
+    /// Element-wise add: `vd <- vs1 + vs2`.
+    VAdd {
+        /// Destination.
+        vd: VReg,
+        /// First operand.
+        vs1: VReg,
+        /// Second operand.
+        vs2: VReg,
+    },
+    /// Rectified linear unit: `vd <- max(vs, 0)` per slot.
+    VRelu {
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vs: VReg,
+    },
+    /// Clear all slots of a vector register.
+    VClear {
+        /// Destination.
+        vd: VReg,
+    },
+    /// Arithmetic right shift of every slot (post-MAC re-quantization).
+    VShr {
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vs: VReg,
+        /// Shift amount in bits.
+        amount: u32,
+    },
+}
+
+impl Instr {
+    /// Whether this is a vector instruction (executes in the `as` domain).
+    #[must_use]
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            Instr::VLoad { .. }
+                | Instr::VStore { .. }
+                | Instr::VBroadcast { .. }
+                | Instr::VMac { .. }
+                | Instr::VAdd { .. }
+                | Instr::VRelu { .. }
+                | Instr::VClear { .. }
+                | Instr::VShr { .. }
+        )
+    }
+
+    /// Whether this instruction touches data memory.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::VLoad { .. } | Instr::VStore { .. } | Instr::LoadScalar { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Li { rd, imm } => write!(f, "li r{rd}, {imm}"),
+            Instr::Add { rd, rs1, rs2 } => write!(f, "add r{rd}, r{rs1}, r{rs2}"),
+            Instr::Addi { rd, rs1, imm } => write!(f, "addi r{rd}, r{rs1}, {imm}"),
+            Instr::Bne { rs1, rs2, target } => write!(f, "bne r{rs1}, r{rs2}, {target}"),
+            Instr::Jump { target } => write!(f, "j {target}"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::LoadScalar { rd, rs1, offset } => write!(f, "lw r{rd}, {offset}(r{rs1})"),
+            Instr::VLoad { vd, rs1, offset } => write!(f, "vload v{vd}, {offset}(r{rs1})"),
+            Instr::VStore { vs, rs1, offset } => write!(f, "vstore v{vs}, {offset}(r{rs1})"),
+            Instr::VBroadcast { vd, rs } => write!(f, "vbcast v{vd}, r{rs}"),
+            Instr::VMac { vacc, vs1, vs2 } => write!(f, "vmac v{vacc}, v{vs1}, v{vs2}"),
+            Instr::VAdd { vd, vs1, vs2 } => write!(f, "vadd v{vd}, v{vs1}, v{vs2}"),
+            Instr::VRelu { vd, vs } => write!(f, "vrelu v{vd}, v{vs}"),
+            Instr::VClear { vd } => write!(f, "vclear v{vd}"),
+            Instr::VShr { vd, vs, amount } => write!(f, "vshr v{vd}, v{vs}, {amount}"),
+        }
+    }
+}
+
+/// A program: a sequence of instructions executed from index 0.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends an instruction and returns its index.
+    pub fn push(&mut self, instr: Instr) -> usize {
+        self.instrs.push(instr);
+        self.instrs.len() - 1
+    }
+
+    /// The instruction sequence.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Program-memory footprint in bytes at the modeled 16-bit encoding.
+    #[must_use]
+    pub fn code_bytes(&self) -> usize {
+        self.instrs.len() * 2
+    }
+}
+
+impl FromIterator<Instr> for Program {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        Program {
+            instrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Instr> for Program {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        self.instrs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_classification() {
+        assert!(Instr::VMac { vacc: 0, vs1: 1, vs2: 2 }.is_vector());
+        assert!(!Instr::Li { rd: 0, imm: 1 }.is_vector());
+        assert!(Instr::VLoad { vd: 0, rs1: 0, offset: 0 }.is_memory());
+        assert!(!Instr::VMac { vacc: 0, vs1: 1, vs2: 2 }.is_memory());
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        assert_eq!(
+            Instr::VMac { vacc: 0, vs1: 1, vs2: 2 }.to_string(),
+            "vmac v0, v1, v2"
+        );
+        assert_eq!(Instr::Li { rd: 3, imm: -7 }.to_string(), "li r3, -7");
+    }
+
+    #[test]
+    fn program_builder() {
+        let mut p = Program::new();
+        assert!(p.is_empty());
+        let i0 = p.push(Instr::Nop);
+        let i1 = p.push(Instr::Halt);
+        assert_eq!((i0, i1), (0, 1));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.code_bytes(), 4);
+    }
+
+    #[test]
+    fn program_collects_from_iterator() {
+        let p: Program = vec![Instr::Nop, Instr::Halt].into_iter().collect();
+        assert_eq!(p.len(), 2);
+    }
+}

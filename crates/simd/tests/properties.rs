@@ -1,0 +1,90 @@
+//! Property-based tests of the SIMD processor: bit-exactness of the
+//! hardware model against the software reference across the whole
+//! configuration space.
+
+use dvafs_simd::energy::SimdEnergyModel;
+use dvafs_simd::kernels::ConvKernel;
+use dvafs_simd::processor::{ProcConfig, Processor};
+use dvafs_tech::scaling::ScalingMode;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn model() -> &'static SimdEnergyModel {
+    static MODEL: OnceLock<SimdEnergyModel> = OnceLock::new();
+    MODEL.get_or_init(SimdEnergyModel::new)
+}
+
+fn scaling_strategy() -> impl Strategy<Value = ScalingMode> {
+    prop_oneof![
+        Just(ScalingMode::Das),
+        Just(ScalingMode::Dvas),
+        Just(ScalingMode::Dvafs),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cycle-level machine computes exactly the software reference for
+    /// arbitrary kernels, widths, regimes and precisions.
+    #[test]
+    fn kernel_outputs_always_bit_exact(
+        taps in 1usize..12,
+        blocks in 1usize..4,
+        seed in any::<u64>(),
+        scaling in scaling_strategy(),
+        bits in prop_oneof![Just(4u32), Just(8), Just(12), Just(16)],
+        sw in prop_oneof![Just(2usize), Just(4), Just(8)],
+    ) {
+        // outputs must divide sw * lanes for every mode: use sw * 4 * blocks.
+        let outputs = sw * 4 * blocks;
+        let kernel = ConvKernel::random(taps, outputs, seed);
+        let cfg = ProcConfig::new(sw, scaling, bits).expect("valid config");
+        let report = Processor::with_model(cfg, model().clone())
+            .run_kernel(&kernel)
+            .expect("kernel runs");
+        prop_assert!(report.outputs_match(&kernel));
+    }
+
+    /// Energy accounting is always positive and the domain shares sum to
+    /// one for any completed run.
+    #[test]
+    fn energy_is_positive_and_consistent(
+        seed in any::<u64>(),
+        scaling in scaling_strategy(),
+        bits in prop_oneof![Just(4u32), Just(8), Just(16)],
+    ) {
+        let kernel = ConvKernel::random(5, 64, seed);
+        let cfg = ProcConfig::new(8, scaling, bits).expect("valid config");
+        let report = Processor::with_model(cfg, model().clone())
+            .run_kernel(&kernel)
+            .expect("kernel runs");
+        prop_assert!(report.run.energy.total() > 0.0);
+        let shares: f64 = dvafs_tech::domains::PowerDomain::ALL
+            .iter()
+            .map(|&d| report.run.share(d))
+            .sum();
+        prop_assert!((shares - 100.0).abs() < 1e-6);
+        prop_assert!(report.run.avg_power_w > 0.0);
+    }
+
+    /// Constant throughput: runtime is invariant across DVAFS precisions
+    /// for the same kernel (frequency drop exactly compensates the
+    /// instruction-count drop).
+    #[test]
+    fn dvafs_runtime_is_constant_throughput(seed in any::<u64>(), taps in 2usize..10) {
+        let kernel = ConvKernel::random(taps, 128, seed);
+        let runtime = |bits: u32| {
+            let cfg = ProcConfig::new(4, ScalingMode::Dvafs, bits).expect("valid");
+            Processor::with_model(cfg, model().clone())
+                .run_kernel(&kernel)
+                .expect("runs")
+                .run
+                .runtime_s
+        };
+        let t16 = runtime(16);
+        let t4 = runtime(4);
+        // Identical up to the fixed per-block overhead instructions.
+        prop_assert!((t4 / t16 - 1.0).abs() < 0.25, "t4/t16 = {}", t4 / t16);
+    }
+}

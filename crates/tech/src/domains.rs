@@ -1,0 +1,145 @@
+//! Power domains with independent rails.
+//!
+//! A DVAFS-compatible design is split into separate power domains
+//! (Section II-B/III-B): the accuracy-scalable arithmetic (`Vas`), the
+//! non-scalable control and decode logic (`Vnas`) and the memories
+//! (`Vmem`, held at a safe retention voltage in the SIMD processor).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one of the three power domains of a DVAFS system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerDomain {
+    /// Accuracy-scalable arithmetic (multipliers, adders, MAC arrays).
+    AccuracyScalable,
+    /// Non-accuracy-scalable logic (fetch, decode, control, address gen).
+    NonScalable,
+    /// On-chip memories.
+    Memory,
+}
+
+impl PowerDomain {
+    /// All domains in reporting order (`mem`, `nas`, `as` as in Table II).
+    pub const ALL: [PowerDomain; 3] = [
+        PowerDomain::Memory,
+        PowerDomain::NonScalable,
+        PowerDomain::AccuracyScalable,
+    ];
+
+    /// Short label used in the paper's tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerDomain::AccuracyScalable => "as",
+            PowerDomain::NonScalable => "nas",
+            PowerDomain::Memory => "mem",
+        }
+    }
+}
+
+impl fmt::Display for PowerDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The rail voltages of the three domains at one operating point.
+///
+/// # Example
+///
+/// ```
+/// use dvafs_tech::domains::{DomainRails, PowerDomain};
+///
+/// let rails = DomainRails::uniform(1.1);
+/// assert_eq!(rails.voltage(PowerDomain::Memory), 1.1);
+/// let scaled = DomainRails::new(0.7, 0.8, 1.1);
+/// assert!(scaled.voltage(PowerDomain::AccuracyScalable) < 1.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainRails {
+    v_as: f64,
+    v_nas: f64,
+    v_mem: f64,
+}
+
+impl DomainRails {
+    /// Creates rails for the three domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any voltage is not positive.
+    #[must_use]
+    pub fn new(v_as: f64, v_nas: f64, v_mem: f64) -> Self {
+        assert!(
+            v_as > 0.0 && v_nas > 0.0 && v_mem > 0.0,
+            "rail voltages must be positive"
+        );
+        DomainRails { v_as, v_nas, v_mem }
+    }
+
+    /// All three rails at one voltage (the unscaled baseline).
+    #[must_use]
+    pub fn uniform(v: f64) -> Self {
+        DomainRails::new(v, v, v)
+    }
+
+    /// The rail of one domain, in volts.
+    #[must_use]
+    pub fn voltage(&self, domain: PowerDomain) -> f64 {
+        match domain {
+            PowerDomain::AccuracyScalable => self.v_as,
+            PowerDomain::NonScalable => self.v_nas,
+            PowerDomain::Memory => self.v_mem,
+        }
+    }
+
+    /// Dynamic-energy factor of a domain relative to a nominal voltage:
+    /// `(v / vnom)^2`.
+    #[must_use]
+    pub fn energy_factor(&self, domain: PowerDomain, vnom: f64) -> f64 {
+        let r = self.voltage(domain) / vnom;
+        r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(PowerDomain::AccuracyScalable.label(), "as");
+        assert_eq!(PowerDomain::NonScalable.label(), "nas");
+        assert_eq!(PowerDomain::Memory.label(), "mem");
+    }
+
+    #[test]
+    fn uniform_rails() {
+        let r = DomainRails::uniform(0.9);
+        for d in PowerDomain::ALL {
+            assert_eq!(r.voltage(d), 0.9);
+        }
+    }
+
+    #[test]
+    fn energy_factor_quadratic() {
+        let r = DomainRails::new(0.55, 1.1, 1.1);
+        assert!((r.energy_factor(PowerDomain::AccuracyScalable, 1.1) - 0.25).abs() < 1e-12);
+        assert!((r.energy_factor(PowerDomain::Memory, 1.1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_rail() {
+        let _ = DomainRails::new(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn ordering_mem_nas_as() {
+        assert_eq!(
+            PowerDomain::ALL.map(|d| d.label()),
+            ["mem", "nas", "as"]
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-component energy accounting and report rendering.
+//!
+//! Table II of the paper breaks the SIMD processor's power into `mem`,
+//! `nas` and `as` shares; Table III does the same per CNN layer on
+//! Envision. [`EnergyBreakdown`] is the shared accounting structure both
+//! simulators fill in.
+
+use crate::domains::PowerDomain;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Energy attributed to the three power domains, in joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    mem: f64,
+    nas: f64,
+    r#as: f64,
+}
+
+impl EnergyBreakdown {
+    /// An empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyBreakdown::default()
+    }
+
+    /// Adds `joules` to a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or not finite.
+    pub fn add(&mut self, domain: PowerDomain, joules: f64) {
+        assert!(joules.is_finite() && joules >= 0.0, "energy must be non-negative");
+        match domain {
+            PowerDomain::Memory => self.mem += joules,
+            PowerDomain::NonScalable => self.nas += joules,
+            PowerDomain::AccuracyScalable => self.r#as += joules,
+        }
+    }
+
+    /// Energy of one domain in joules.
+    #[must_use]
+    pub fn domain(&self, domain: PowerDomain) -> f64 {
+        match domain {
+            PowerDomain::Memory => self.mem,
+            PowerDomain::NonScalable => self.nas,
+            PowerDomain::AccuracyScalable => self.r#as,
+        }
+    }
+
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.mem + self.nas + self.r#as
+    }
+
+    /// Share of one domain in percent (0 when the total is zero).
+    #[must_use]
+    pub fn percentage(&self, domain: PowerDomain) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            100.0 * self.domain(domain) / t
+        }
+    }
+
+    /// Average power in watts over a runtime in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive.
+    #[must_use]
+    pub fn average_power(&self, seconds: f64) -> f64 {
+        assert!(seconds > 0.0, "runtime must be positive");
+        self.total() / seconds
+    }
+
+    /// Sums two breakdowns.
+    #[must_use]
+    pub fn combined(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            mem: self.mem + other.mem,
+            nas: self.nas + other.nas,
+            r#as: self.r#as + other.r#as,
+        }
+    }
+
+    /// Scales all components (e.g. to extrapolate from a sampled run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> EnergyBreakdown {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        EnergyBreakdown {
+            mem: self.mem * factor,
+            nas: self.nas * factor,
+            r#as: self.r#as * factor,
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mem {:.1}% | nas {:.1}% | as {:.1}% | total {:.3e} J",
+            self.percentage(PowerDomain::Memory),
+            self.percentage(PowerDomain::NonScalable),
+            self.percentage(PowerDomain::AccuracyScalable),
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut b = EnergyBreakdown::new();
+        b.add(PowerDomain::Memory, 1.0);
+        b.add(PowerDomain::NonScalable, 2.0);
+        b.add(PowerDomain::AccuracyScalable, 1.0);
+        assert_eq!(b.total(), 4.0);
+        assert_eq!(b.percentage(PowerDomain::NonScalable), 50.0);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_percentages() {
+        let b = EnergyBreakdown::new();
+        for d in PowerDomain::ALL {
+            assert_eq!(b.percentage(d), 0.0);
+        }
+    }
+
+    #[test]
+    fn average_power() {
+        let mut b = EnergyBreakdown::new();
+        b.add(PowerDomain::Memory, 3.6e-3);
+        assert!((b.average_power(0.1) - 3.6e-2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_and_scaled() {
+        let mut a = EnergyBreakdown::new();
+        a.add(PowerDomain::Memory, 1.0);
+        let mut b = EnergyBreakdown::new();
+        b.add(PowerDomain::AccuracyScalable, 2.0);
+        let c = a.combined(&b).scaled(2.0);
+        assert_eq!(c.domain(PowerDomain::Memory), 2.0);
+        assert_eq!(c.domain(PowerDomain::AccuracyScalable), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_energy() {
+        let mut b = EnergyBreakdown::new();
+        b.add(PowerDomain::Memory, -1.0);
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let mut b = EnergyBreakdown::new();
+        b.add(PowerDomain::Memory, 1.0);
+        b.add(PowerDomain::NonScalable, 1.0);
+        let s = b.to_string();
+        assert!(s.contains("mem 50.0%"));
+    }
+}

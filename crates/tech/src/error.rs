@@ -1,0 +1,68 @@
+//! Error type for the technology models.
+
+use std::fmt;
+
+/// Errors reported by the technology and power models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechError {
+    /// A supply voltage was outside the model's valid range.
+    VoltageOutOfRange {
+        /// The offending voltage in volts.
+        voltage: f64,
+        /// Lowest valid voltage.
+        min: f64,
+        /// Highest valid voltage.
+        max: f64,
+    },
+    /// The timing constraint cannot be met even at the nominal voltage.
+    TimingUnsatisfiable {
+        /// The requested delay budget relative to nominal.
+        slack_ratio: f64,
+    },
+    /// Calibration anchors were empty or inconsistent.
+    InvalidCalibration {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::VoltageOutOfRange { voltage, min, max } => {
+                write!(f, "voltage {voltage} V outside valid range {min}..{max} V")
+            }
+            TechError::TimingUnsatisfiable { slack_ratio } => {
+                write!(f, "timing budget {slack_ratio}x nominal cannot be met at any rail")
+            }
+            TechError::InvalidCalibration { reason } => {
+                write!(f, "invalid delay calibration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        let e = TechError::VoltageOutOfRange {
+            voltage: 0.2,
+            min: 0.6,
+            max: 1.1,
+        };
+        assert!(e.to_string().contains("0.2"));
+        let e = TechError::TimingUnsatisfiable { slack_ratio: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TechError>();
+    }
+}

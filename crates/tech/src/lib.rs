@@ -1,0 +1,47 @@
+//! # dvafs-tech — circuit-level technology and power models
+//!
+//! This crate substitutes the silicon side of the DVAFS paper (Moons et
+//! al., DATE 2017): where the authors synthesize into 40 nm LP and measure
+//! a 28 nm FDSOI chip, we model
+//!
+//! * **gate delay vs. supply voltage** with an alpha-power-law model
+//!   ([`delay`]), calibrated against the voltage/slack anchor points the
+//!   paper publishes;
+//! * **minimum supply search** under a timing constraint ([`voltage`]) —
+//!   the mechanism by which precision-induced slack becomes energy;
+//! * **the dynamic-power equations (1), (2) and (3)** of the paper and the
+//!   k-parameter extraction of Table I ([`power`]);
+//! * **operating-point derivation** at constant computational throughput
+//!   ([`scaling`]) — frequency, rail voltages and slack per mode, the data
+//!   behind Fig. 2;
+//! * **power domains** (`Vas`/`Vnas`/`Vmem`, [`domains`]) and per-component
+//!   energy accounting ([`energy`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use dvafs_tech::technology::Technology;
+//!
+//! let tech = Technology::lp40();
+//! // More timing slack allows a lower rail.
+//! let relaxed = tech.voltage_solver().min_voltage(8.0);
+//! let tight = tech.voltage_solver().min_voltage(1.0);
+//! assert!(relaxed < tight);
+//! ```
+
+pub mod delay;
+pub mod domains;
+pub mod energy;
+pub mod error;
+pub mod power;
+pub mod scaling;
+pub mod technology;
+pub mod voltage;
+
+pub use delay::DelayModel;
+pub use domains::{DomainRails, PowerDomain};
+pub use error::TechError;
+pub use power::{KParams, PowerParams};
+pub use scaling::{OperatingPoint, ScalingMode};
+pub use technology::Technology;
+pub use voltage::VoltageSolver;

@@ -1,0 +1,327 @@
+//! The paper's power equations (1)–(3), k-parameter extraction (Table I)
+//! and the multiplier energy model behind Fig. 3a.
+
+use crate::scaling::{OperatingPoint, ScalingMode};
+use crate::technology::Technology;
+use dvafs_arith::activity::ActivityProfile;
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of a split-domain design for the dynamic-power
+/// equations: switching activity `α`, switched capacitance `C` and clock
+/// `f` for the accuracy-scalable (`as`) and non-scalable (`nas`) parts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Baseline switching activity of the as part (0..1).
+    pub alpha_as: f64,
+    /// Effective switched capacitance of the as part, in farads.
+    pub cap_as: f64,
+    /// Baseline switching activity of the nas part (0..1).
+    pub alpha_nas: f64,
+    /// Effective switched capacitance of the nas part, in farads.
+    pub cap_nas: f64,
+    /// Clock frequency in hertz.
+    pub freq: f64,
+}
+
+impl PowerParams {
+    /// Equation (1): DAS dynamic power. Only the as activity scales
+    /// (divided by `k0`); voltage and frequency stay nominal.
+    #[must_use]
+    pub fn p_das(&self, k0: f64, v: f64) -> f64 {
+        (self.alpha_as / k0) * self.cap_as * self.freq * v * v
+            + self.alpha_nas * self.cap_nas * self.freq * v * v
+    }
+
+    /// Equation (2): DVAS dynamic power. The as part also runs at a scaled
+    /// rail `v_as / k2`; the nas part stays at `v_nas`.
+    #[must_use]
+    pub fn p_dvas(&self, k1: f64, v_as: f64, k2: f64, v_nas: f64) -> f64 {
+        let va = v_as / k2;
+        (self.alpha_as / k1) * self.cap_as * self.freq * va * va
+            + self.alpha_nas * self.cap_nas * self.freq * v_nas * v_nas
+    }
+
+    /// Equation (3): DVAFS dynamic power. Activity scales by `k3`,
+    /// frequency by the subword factor `N`, and **both** rails scale
+    /// (`v_as / k4`, `v_nas / k5`).
+    #[must_use]
+    pub fn p_dvafs(&self, k3: f64, n: usize, v_as: f64, k4: f64, v_nas: f64, k5: f64) -> f64 {
+        let f = self.freq / n as f64;
+        let va = v_as / k4;
+        let vn = v_nas / k5;
+        (self.alpha_as / k3) * self.cap_as * f * va * va
+            + self.alpha_nas * self.cap_nas * f * vn * vn
+    }
+}
+
+/// One row of Table I: the extracted scaling parameters at a precision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KParams {
+    /// Operand precision in bits.
+    pub bits: u32,
+    /// Subword parallelism `N` at this precision.
+    pub n: usize,
+    /// DAS activity reduction factor.
+    pub k0: f64,
+    /// DVAS activity reduction factor (same gating as DAS).
+    pub k1: f64,
+    /// DVAS as-rail reduction factor (`v_as = vnom / k2`).
+    pub k2: f64,
+    /// DVAFS per-cycle activity reduction factor.
+    pub k3: f64,
+    /// DVAFS as-rail reduction factor.
+    pub k4: f64,
+    /// DVAFS nas-rail reduction factor.
+    pub k5: f64,
+}
+
+/// Extracts the Table I parameters from gate-level activity profiles and
+/// the technology's calibrated voltage solver.
+///
+/// # Panics
+///
+/// Panics if a profile lacks one of the sweep precisions (16/12/8/4).
+#[must_use]
+pub fn extract_k_params(
+    tech: &Technology,
+    das_profile: &ActivityProfile,
+    dvafs_profile: &ActivityProfile,
+) -> Vec<KParams> {
+    let vnom = tech.nominal_voltage();
+    [4u32, 8, 12, 16]
+        .iter()
+        .map(|&bits| {
+            let dvas = OperatingPoint::derive(tech, ScalingMode::Dvas, bits, das_profile, dvafs_profile);
+            let dvafs =
+                OperatingPoint::derive(tech, ScalingMode::Dvafs, bits, das_profile, dvafs_profile);
+            let k0 = 1.0 / dvas.activity_per_word;
+            KParams {
+                bits,
+                n: dvafs.lanes,
+                k0,
+                k1: k0,
+                k2: vnom / dvas.v_as,
+                k3: 1.0 / (dvafs.activity_per_word * dvafs.lanes as f64),
+                k4: vnom / dvafs.v_as,
+                k5: vnom / dvafs.v_nas,
+            }
+        })
+        .collect()
+}
+
+/// A sample of the multiplier's energy-accuracy curve (Fig. 3a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergySample {
+    /// Scaling regime.
+    pub mode: ScalingMode,
+    /// Precision in bits.
+    pub bits: u32,
+    /// Energy per word relative to the non-reconfigurable 16-bit baseline.
+    pub relative: f64,
+    /// Energy per word in picojoules (baseline 2.16 pJ in 40 nm LP).
+    pub picojoules: f64,
+}
+
+/// Multiplier-level energy model reproducing Fig. 3a.
+///
+/// The paper reports a non-reconfigurable 16-bit Booth–Wallace baseline of
+/// **2.16 pJ/word** and a **21 % reconfiguration overhead** for the
+/// subword-capable design (2.63 pJ at 16 bits). Energy per word then scales
+/// with extracted activity and the square of the solved rail voltage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiplierEnergyModel {
+    tech: Technology,
+    das_profile: ActivityProfile,
+    dvafs_profile: ActivityProfile,
+    reconfig_overhead: f64,
+    baseline_pj: f64,
+}
+
+impl MultiplierEnergyModel {
+    /// Paper value: energy/word of the non-reconfigurable 16-bit multiplier.
+    pub const BASELINE_PJ: f64 = 2.16;
+    /// Paper value: reconfiguration overhead of the DVAFS-capable design.
+    pub const RECONFIG_OVERHEAD: f64 = 0.21;
+
+    /// Creates the model from extracted activity profiles.
+    #[must_use]
+    pub fn new(
+        tech: Technology,
+        das_profile: ActivityProfile,
+        dvafs_profile: ActivityProfile,
+    ) -> Self {
+        MultiplierEnergyModel {
+            tech,
+            das_profile,
+            dvafs_profile,
+            reconfig_overhead: Self::RECONFIG_OVERHEAD,
+            baseline_pj: Self::BASELINE_PJ,
+        }
+    }
+
+    /// The technology used by this model.
+    #[must_use]
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Energy per word at one operating point.
+    #[must_use]
+    pub fn energy_per_word(&self, mode: ScalingMode, bits: u32) -> EnergySample {
+        let p = OperatingPoint::derive(&self.tech, mode, bits, &self.das_profile, &self.dvafs_profile);
+        let relative = (1.0 + self.reconfig_overhead) * p.energy_per_word_relative(&self.tech);
+        EnergySample {
+            mode,
+            bits,
+            relative,
+            picojoules: relative * self.baseline_pj,
+        }
+    }
+
+    /// The full Fig. 3a sweep: 16/12/8/4 bits in all three regimes.
+    #[must_use]
+    pub fn fig3a_sweep(&self) -> Vec<EnergySample> {
+        let mut out = Vec::new();
+        for mode in ScalingMode::ALL {
+            for bits in [16u32, 12, 8, 4] {
+                out.push(self.energy_per_word(mode, bits));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvafs_arith::activity::{extract_das_profile, extract_dvafs_profile, paper_table1};
+
+    fn model() -> MultiplierEnergyModel {
+        MultiplierEnergyModel::new(
+            Technology::lp40(),
+            extract_das_profile(120, 3),
+            extract_dvafs_profile(120, 3),
+        )
+    }
+
+    #[test]
+    fn eq1_das_power_scales_with_k0() {
+        let pp = PowerParams {
+            alpha_as: 0.2,
+            cap_as: 1e-12,
+            alpha_nas: 0.1,
+            cap_nas: 1e-12,
+            freq: 5e8,
+        };
+        let p1 = pp.p_das(1.0, 1.1);
+        let p2 = pp.p_das(12.5, 1.1);
+        assert!(p2 < p1);
+        // nas part is untouched: p2 can never fall below it.
+        let nas = 0.1 * 1e-12 * 5e8 * 1.1 * 1.1;
+        assert!(p2 > nas);
+    }
+
+    #[test]
+    fn eq2_dvas_beats_das_at_same_k() {
+        let pp = PowerParams {
+            alpha_as: 0.2,
+            cap_as: 1e-12,
+            alpha_nas: 0.1,
+            cap_nas: 1e-12,
+            freq: 5e8,
+        };
+        let das = pp.p_das(3.5, 1.1);
+        let dvas = pp.p_dvas(3.5, 1.1, 1.1, 1.1);
+        assert!(dvas < das);
+    }
+
+    #[test]
+    fn eq3_dvafs_scales_everything() {
+        let pp = PowerParams {
+            alpha_as: 0.2,
+            cap_as: 1e-12,
+            alpha_nas: 0.1,
+            cap_nas: 1e-12,
+            freq: 5e8,
+        };
+        // Paper Table I row at 4 bits.
+        let p = pp.p_dvafs(3.2, 4, 1.1, 1.53, 1.1, 1.375);
+        let full = pp.p_dvafs(1.0, 1, 1.1, 1.0, 1.1, 1.0);
+        // Per cycle the DVAFS point is far below full power...
+        assert!(p < full / 8.0);
+        // ...and per word (x4 words/cycle) even further.
+        assert!(p / full < 0.25 / 4.0 * 4.0);
+    }
+
+    #[test]
+    fn extracted_k_params_match_paper_shape() {
+        let tech = Technology::lp40();
+        let das = extract_das_profile(150, 5);
+        let dvafs = extract_dvafs_profile(150, 5);
+        let ks = extract_k_params(&tech, &das, &dvafs);
+        let paper = paper_table1();
+        for (k, p) in ks.iter().zip(paper.iter()) {
+            assert_eq!(k.bits, p.bits);
+            assert_eq!(k.n, p.n, "bits={}", k.bits);
+            // Within 2x of every paper parameter (same order, same trend).
+            for (ours, theirs, name) in [
+                (k.k0, p.k0, "k0"),
+                (k.k2, p.k2, "k2"),
+                (k.k3, p.k3, "k3"),
+                (k.k4, p.k4, "k4"),
+            ] {
+                let ratio = ours / theirs;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "bits={} {name}: ours={ours:.2} paper={theirs:.2}",
+                    k.bits
+                );
+            }
+        }
+        // k0 monotone decreasing in bits; k4 likewise.
+        assert!(ks[0].k0 > ks[1].k0 && ks[1].k0 > ks[2].k0);
+        assert!(ks[0].k4 >= ks[1].k4 && ks[1].k4 >= ks[2].k4);
+    }
+
+    #[test]
+    fn fig3a_16b_reconfig_overhead() {
+        let m = model();
+        let s = m.energy_per_word(ScalingMode::Dvafs, 16);
+        assert!((s.relative - 1.21).abs() < 1e-9);
+        assert!((s.picojoules - 2.63).abs() < 0.03);
+    }
+
+    #[test]
+    fn fig3a_dvafs_saves_over_95_percent_at_4b() {
+        let m = model();
+        let s = m.energy_per_word(ScalingMode::Dvafs, 4);
+        assert!(s.relative < 0.05, "DVAFS 4x4b relative energy {}", s.relative);
+    }
+
+    #[test]
+    fn fig3a_ordering_holds_at_every_reduced_precision() {
+        let m = model();
+        for bits in [4u32, 8, 12] {
+            let das = m.energy_per_word(ScalingMode::Das, bits).relative;
+            let dvas = m.energy_per_word(ScalingMode::Dvas, bits).relative;
+            let dvafs = m.energy_per_word(ScalingMode::Dvafs, bits).relative;
+            assert!(das >= dvas, "bits={bits}");
+            assert!(dvas >= dvafs, "bits={bits} dvas={dvas} dvafs={dvafs}");
+        }
+    }
+
+    #[test]
+    fn fig3a_sweep_has_12_samples() {
+        assert_eq!(model().fig3a_sweep().len(), 12);
+    }
+
+    #[test]
+    fn multiplier_dynamic_range_approx_20x() {
+        // Paper conclusion: ~20x dynamic power range in the multiplier.
+        let m = model();
+        let hi = m.energy_per_word(ScalingMode::Dvafs, 16).relative;
+        let lo = m.energy_per_word(ScalingMode::Dvafs, 4).relative;
+        let range = hi / lo;
+        assert!(range > 12.0 && range < 60.0, "dynamic range {range}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Operating-point derivation at constant computational throughput.
+//!
+//! The paper's Fig. 2 sweeps the multiplier across 16/12/8/4 bits in three
+//! scaling regimes and reads off, at constant 500 MOPS:
+//!
+//! * **Fig. 2a** — the clock: `f / N` in DVAFS (subwords keep throughput);
+//! * **Fig. 2b** — positive slack at the nominal rail (critical path
+//!   shrinks with precision, period grows with `N`);
+//! * **Fig. 2c** — the supply that re-zeroes that slack;
+//! * **Fig. 2d** — relative switching activity.
+//!
+//! [`OperatingPoint::derive`] reproduces all four quantities from the
+//! gate-level activity profiles and the calibrated delay model.
+
+use crate::technology::Technology;
+use dvafs_arith::activity::ActivityProfile;
+use dvafs_arith::subword::SubwordMode;
+use dvafs_arith::Precision;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three dynamic precision-scaling regimes compared throughout the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ScalingMode {
+    /// Dynamic-Accuracy-Scaling: input gating only (activity drops).
+    Das,
+    /// DAS plus voltage scaling of the accuracy-scalable logic.
+    Dvas,
+    /// Subword-parallel DVAFS: activity, frequency and voltage all scale.
+    Dvafs,
+}
+
+impl ScalingMode {
+    /// All regimes in presentation order.
+    pub const ALL: [ScalingMode; 3] = [ScalingMode::Das, ScalingMode::Dvas, ScalingMode::Dvafs];
+}
+
+impl fmt::Display for ScalingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalingMode::Das => "DAS",
+            ScalingMode::Dvas => "DVAS",
+            ScalingMode::Dvafs => "DVAFS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fully-derived operating point of a precision-scaled data path at
+/// constant computational throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Scaling regime.
+    pub mode: ScalingMode,
+    /// Operand precision per word in bits.
+    pub bits: u32,
+    /// Subword lanes (`> 1` only for DVAFS at 8 or 4 bits).
+    pub lanes: usize,
+    /// Clock frequency in MHz (`f_nom / lanes`).
+    pub frequency_mhz: f64,
+    /// Accuracy-scalable domain rail in volts.
+    pub v_as: f64,
+    /// Non-accuracy-scalable domain rail in volts (only DVAFS lowers it).
+    pub v_nas: f64,
+    /// Positive timing slack at the nominal rail, in nanoseconds (Fig. 2b).
+    pub positive_slack_ns: f64,
+    /// Switching activity per processed word relative to full precision
+    /// (Fig. 2d; per-cycle equals this times `lanes`).
+    pub activity_per_word: f64,
+    /// Active critical-path depth relative to full precision.
+    pub depth_ratio: f64,
+}
+
+impl OperatingPoint {
+    /// Derives the operating point for `mode` at `bits` from gate-level
+    /// activity profiles and a technology's delay model.
+    ///
+    /// `das_profile` must contain the requested precision;
+    /// `dvafs_profile` must contain the subword mode selected for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a profile lacks the requested precision entry.
+    #[must_use]
+    pub fn derive(
+        tech: &Technology,
+        mode: ScalingMode,
+        bits: u32,
+        das_profile: &ActivityProfile,
+        dvafs_profile: &ActivityProfile,
+    ) -> OperatingPoint {
+        let das = das_profile
+            .at_bits(bits)
+            .expect("DAS profile must cover the requested precision");
+        let subword = SubwordMode::for_precision(
+            Precision::new(bits).expect("precision validated by caller"),
+        );
+        // DVAFS falls back to DAS behaviour where no subword mode exists
+        // (12-bit operation stays 1x, as N = 1 in the paper's Table I).
+        let (lanes, activity_per_word, depth_ratio) = match mode {
+            ScalingMode::Das | ScalingMode::Dvas => (1, das.activity_per_cycle, das.depth_ratio),
+            ScalingMode::Dvafs => {
+                if subword.lanes() > 1 {
+                    let e = dvafs_profile
+                        .at_bits(bits)
+                        .expect("DVAFS profile must cover the subword precision");
+                    (e.lanes, e.activity_per_word, e.depth_ratio)
+                } else {
+                    (1, das.activity_per_cycle, das.depth_ratio)
+                }
+            }
+        };
+        let frequency_mhz = tech.nominal_frequency_mhz() / lanes as f64;
+        let period_ns = 1e3 / frequency_mhz;
+        let path_ns = tech.nominal_period_ns() * depth_ratio;
+        let positive_slack_ns = (period_ns - path_ns).max(0.0);
+        let solver = tech.voltage_solver();
+        let vnom = tech.nominal_voltage();
+        let (v_as, v_nas) = match mode {
+            ScalingMode::Das => (vnom, vnom),
+            ScalingMode::Dvas => (solver.min_voltage(1.0 / depth_ratio), vnom),
+            ScalingMode::Dvafs => (
+                solver.min_voltage(lanes as f64 / depth_ratio),
+                solver.min_voltage(lanes as f64),
+            ),
+        };
+        OperatingPoint {
+            mode,
+            bits,
+            lanes,
+            frequency_mhz,
+            v_as,
+            v_nas,
+            positive_slack_ns,
+            activity_per_word,
+            depth_ratio,
+        }
+    }
+
+    /// Derives the full 16/12/8/4-bit sweep for one regime.
+    #[must_use]
+    pub fn sweep(
+        tech: &Technology,
+        mode: ScalingMode,
+        das_profile: &ActivityProfile,
+        dvafs_profile: &ActivityProfile,
+    ) -> Vec<OperatingPoint> {
+        [16u32, 12, 8, 4]
+            .iter()
+            .map(|&b| OperatingPoint::derive(tech, mode, b, das_profile, dvafs_profile))
+            .collect()
+    }
+
+    /// Relative dynamic energy per word of the accuracy-scalable logic at
+    /// this point: `activity_per_word * (v_as / vnom)^2`.
+    #[must_use]
+    pub fn energy_per_word_relative(&self, tech: &Technology) -> f64 {
+        self.activity_per_word * tech.voltage_energy_factor(self.v_as)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvafs_arith::activity::{extract_das_profile, extract_dvafs_profile};
+
+    fn profiles() -> (ActivityProfile, ActivityProfile) {
+        (extract_das_profile(100, 7), extract_dvafs_profile(100, 7))
+    }
+
+    #[test]
+    fn frequency_follows_fig2a() {
+        let tech = Technology::lp40();
+        let (das, dvafs) = profiles();
+        let sweep = OperatingPoint::sweep(&tech, ScalingMode::Dvafs, &das, &dvafs);
+        let freqs: Vec<f64> = sweep.iter().map(|p| p.frequency_mhz).collect();
+        // Fig. 2a: 500, 500, 250, 125 MHz for 16, 12, 8, 4 bits.
+        assert_eq!(freqs, vec![500.0, 500.0, 250.0, 125.0]);
+        // DAS/DVAS keep 500 MHz everywhere.
+        for p in OperatingPoint::sweep(&tech, ScalingMode::Das, &das, &dvafs) {
+            assert_eq!(p.frequency_mhz, 500.0);
+        }
+    }
+
+    #[test]
+    fn slack_follows_fig2b_shape() {
+        let tech = Technology::lp40();
+        let (das, dvafs) = profiles();
+        let das_4 = OperatingPoint::derive(&tech, ScalingMode::Das, 4, &das, &dvafs);
+        let dvafs_4 = OperatingPoint::derive(&tech, ScalingMode::Dvafs, 4, &das, &dvafs);
+        // Paper: ~1 ns DAS slack at 4b, ~7 ns DVAFS slack at 4x4b.
+        assert!(
+            das_4.positive_slack_ns > 0.6 && das_4.positive_slack_ns < 1.5,
+            "DAS 4b slack {}",
+            das_4.positive_slack_ns
+        );
+        assert!(
+            dvafs_4.positive_slack_ns > 6.0 && dvafs_4.positive_slack_ns < 7.9,
+            "DVAFS 4x4b slack {}",
+            dvafs_4.positive_slack_ns
+        );
+        // 16-bit operation has (near-)zero slack by construction.
+        let full = OperatingPoint::derive(&tech, ScalingMode::Dvafs, 16, &das, &dvafs);
+        assert!(full.positive_slack_ns < 1e-9);
+    }
+
+    #[test]
+    fn voltages_follow_fig2c_shape() {
+        let tech = Technology::lp40();
+        let (das, dvafs) = profiles();
+        let dvas_4 = OperatingPoint::derive(&tech, ScalingMode::Dvas, 4, &das, &dvafs);
+        let dvafs_4 = OperatingPoint::derive(&tech, ScalingMode::Dvafs, 4, &das, &dvafs);
+        // Paper: DVAS reaches ~0.9 V, DVAFS ~0.75 V at 4 bits.
+        assert!((dvas_4.v_as - 0.9).abs() < 0.07, "DVAS v_as {}", dvas_4.v_as);
+        assert!((dvafs_4.v_as - 0.75).abs() < 0.07, "DVAFS v_as {}", dvafs_4.v_as);
+        // DAS never scales voltage.
+        let das_4 = OperatingPoint::derive(&tech, ScalingMode::Das, 4, &das, &dvafs);
+        assert_eq!(das_4.v_as, tech.nominal_voltage());
+        // Only DVAFS lowers the nas rail.
+        assert_eq!(dvas_4.v_nas, tech.nominal_voltage());
+        assert!(dvafs_4.v_nas < tech.nominal_voltage());
+    }
+
+    #[test]
+    fn dvafs_beats_dvas_energy_at_low_precision() {
+        let tech = Technology::lp40();
+        let (das, dvafs) = profiles();
+        for bits in [4u32, 8] {
+            let dvas = OperatingPoint::derive(&tech, ScalingMode::Dvas, bits, &das, &dvafs);
+            let dv = OperatingPoint::derive(&tech, ScalingMode::Dvafs, bits, &das, &dvafs);
+            assert!(
+                dv.energy_per_word_relative(&tech) < dvas.energy_per_word_relative(&tech),
+                "bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_ordering_das_dvas_dvafs() {
+        let tech = Technology::lp40();
+        let (das, dvafs) = profiles();
+        let e = |m: ScalingMode| {
+            OperatingPoint::derive(&tech, m, 4, &das, &dvafs).energy_per_word_relative(&tech)
+        };
+        let (e_das, e_dvas, e_dvafs) = (
+            e(ScalingMode::Das),
+            e(ScalingMode::Dvas),
+            e(ScalingMode::Dvafs),
+        );
+        assert!(e_das > e_dvas && e_dvas > e_dvafs, "{e_das} {e_dvas} {e_dvafs}");
+        // Paper: >95% saving vs the 16b baseline at 4x4b.
+        assert!(e_dvafs < 0.08, "DVAFS 4b relative energy {e_dvafs}");
+    }
+
+    #[test]
+    fn twelve_bit_dvafs_degenerates_to_single_lane() {
+        let tech = Technology::lp40();
+        let (das, dvafs) = profiles();
+        let p = OperatingPoint::derive(&tech, ScalingMode::Dvafs, 12, &das, &dvafs);
+        assert_eq!(p.lanes, 1);
+        assert_eq!(p.frequency_mhz, 500.0);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(ScalingMode::Dvafs.to_string(), "DVAFS");
+        assert_eq!(ScalingMode::Das.to_string(), "DAS");
+    }
+}

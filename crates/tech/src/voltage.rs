@@ -1,0 +1,206 @@
+//! Minimum-supply search under a timing budget.
+//!
+//! DVAS and DVAFS convert positive timing slack into energy savings by
+//! lowering the supply until the (shortened or relaxed) critical path just
+//! meets the clock period (paper Fig. 2c). [`VoltageSolver`] performs that
+//! search on a calibrated [`DelayModel`], with rail quantization and a
+//! functional minimum voltage as real power grids have.
+
+use crate::delay::DelayModel;
+use crate::error::TechError;
+use serde::{Deserialize, Serialize};
+
+/// Searches the lowest viable supply voltage for a given delay budget.
+///
+/// # Example
+///
+/// ```
+/// use dvafs_tech::delay::DelayModel;
+/// use dvafs_tech::voltage::VoltageSolver;
+///
+/// let model = DelayModel::calibrate(1.1, &[(0.9, 2.0), (0.75, 8.0)])?;
+/// let solver = VoltageSolver::new(model, 0.6, 0.01);
+/// // With no slack the rail stays nominal.
+/// assert!((solver.min_voltage(1.0) - 1.1).abs() < 1e-9);
+/// // With 2x budget the rail drops to roughly the paper's 0.9 V.
+/// let v = solver.min_voltage(2.0);
+/// assert!(v > 0.8 && v < 1.0, "v = {v}");
+/// # Ok::<(), dvafs_tech::TechError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageSolver {
+    model: DelayModel,
+    vmin: f64,
+    vstep: f64,
+}
+
+impl VoltageSolver {
+    /// Creates a solver bounded below by `vmin` (the lowest functional
+    /// rail) and quantized to `vstep` volts.
+    ///
+    /// `vmin` is clamped to stay safely above the model's fitted threshold
+    /// voltage — no rail can operate at or below `Vth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vmin` is not below the nominal voltage or `vstep` is not
+    /// positive.
+    #[must_use]
+    pub fn new(model: DelayModel, vmin: f64, vstep: f64) -> Self {
+        assert!(
+            vmin < model.nominal_voltage(),
+            "vmin must lie below the nominal voltage"
+        );
+        assert!(vstep > 0.0, "voltage step must be positive");
+        let floor = model.threshold_voltage() + 2.0 * vstep;
+        VoltageSolver {
+            model,
+            vmin: vmin.max(floor),
+            vstep,
+        }
+    }
+
+    /// The underlying delay model.
+    #[must_use]
+    pub fn model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    /// Lowest functional rail in volts.
+    #[must_use]
+    pub fn min_rail(&self) -> f64 {
+        self.vmin
+    }
+
+    /// Finds the lowest quantized supply such that the circuit delay at
+    /// that supply is at most `slack_ratio` times the nominal delay, i.e.
+    /// the critical path still fits a clock period `slack_ratio` times the
+    /// path's nominal length.
+    ///
+    /// A `slack_ratio <= 1` (no usable slack) returns the nominal voltage;
+    /// a huge budget saturates at the functional minimum rail.
+    #[must_use]
+    pub fn min_voltage(&self, slack_ratio: f64) -> f64 {
+        let vnom = self.model.nominal_voltage();
+        if slack_ratio <= 1.0 {
+            return vnom;
+        }
+        // delay_factor is monotone decreasing in v: bisect for
+        // delay_factor(v) = slack_ratio.
+        let fits = |v: f64| {
+            self.model
+                .delay_factor(v)
+                .map(|d| d <= slack_ratio)
+                .unwrap_or(false)
+        };
+        if fits(self.vmin) {
+            return self.quantize_up(self.vmin);
+        }
+        let (mut lo, mut hi) = (self.vmin, vnom);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if fits(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        self.quantize_up(hi)
+    }
+
+    /// Resulting slack utilization: the delay factor actually incurred at
+    /// the chosen rail for a given budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TechError::VoltageOutOfRange`] from the delay model.
+    pub fn delay_at(&self, v: f64) -> Result<f64, TechError> {
+        self.model.delay_factor(v)
+    }
+
+    fn quantize_up(&self, v: f64) -> f64 {
+        let vnom = self.model.nominal_voltage();
+        let steps = ((v - 1e-9) / self.vstep).ceil();
+        (steps * self.vstep).min(vnom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> VoltageSolver {
+        let model = DelayModel::calibrate(1.1, &[(0.9, 2.0), (0.75, 8.0)]).unwrap();
+        VoltageSolver::new(model, 0.6, 0.01)
+    }
+
+    #[test]
+    fn no_slack_keeps_nominal() {
+        let s = solver();
+        assert!((s.min_voltage(1.0) - 1.1).abs() < 1e-9);
+        assert!((s.min_voltage(0.5) - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_monotone_in_slack() {
+        let s = solver();
+        let mut prev = f64::INFINITY;
+        for ratio in [1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 16.0] {
+            let v = s.min_voltage(ratio);
+            assert!(v <= prev + 1e-12, "ratio {ratio} gave {v} > {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn paper_anchor_voltages_recovered() {
+        let s = solver();
+        let v2 = s.min_voltage(2.0);
+        let v8 = s.min_voltage(8.0);
+        // Paper: 0.9 V at 2x, 0.75 V at 8x (DVAS / DVAFS at 4 bit).
+        assert!((v2 - 0.9).abs() < 0.06, "v2={v2}");
+        assert!((v8 - 0.75).abs() < 0.06, "v8={v8}");
+    }
+
+    #[test]
+    fn saturates_at_min_rail() {
+        let s = solver();
+        assert!((s.min_voltage(1e9) - s.min_rail()).abs() < 0.011);
+    }
+
+    #[test]
+    fn quantization_rounds_up() {
+        let model = DelayModel::calibrate(1.1, &[(0.9, 2.0), (0.75, 8.0)]).unwrap();
+        let coarse = VoltageSolver::new(model, 0.6, 0.05);
+        let v = coarse.min_voltage(2.0);
+        assert!((v / 0.05 - (v / 0.05).round()).abs() < 1e-9, "on-grid: {v}");
+        // Rounding up means timing is still met.
+        assert!(coarse.delay_at(v).unwrap() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "vmin must lie")]
+    fn rejects_vmin_above_vnom() {
+        let model = DelayModel::new(1.1, 0.5, 1.5).unwrap();
+        let _ = VoltageSolver::new(model, 1.2, 0.01);
+    }
+
+    #[test]
+    fn vmin_is_clamped_above_threshold() {
+        let model = DelayModel::new(1.1, 0.675, 1.4).unwrap();
+        let s = VoltageSolver::new(model, 0.3, 0.01);
+        assert!(s.min_rail() > 0.675);
+    }
+
+    #[test]
+    fn chosen_voltage_always_meets_timing() {
+        let s = solver();
+        for ratio in [1.1, 1.3, 2.0, 4.0, 7.9] {
+            let v = s.min_voltage(ratio);
+            assert!(
+                s.delay_at(v).unwrap() <= ratio + 1e-9,
+                "ratio {ratio}: v={v} violates budget"
+            );
+        }
+    }
+}

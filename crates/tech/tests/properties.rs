@@ -1,0 +1,99 @@
+//! Property-based tests of the technology models' invariants.
+
+use dvafs_tech::delay::DelayModel;
+use dvafs_tech::domains::{DomainRails, PowerDomain};
+use dvafs_tech::energy::EnergyBreakdown;
+use dvafs_tech::power::PowerParams;
+use dvafs_tech::technology::Technology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Delay is strictly monotone decreasing in supply voltage.
+    #[test]
+    fn delay_monotone_in_voltage(
+        v1 in 0.70f64..1.05,
+        dv in 0.01f64..0.30,
+    ) {
+        let m = DelayModel::calibrate(1.1, &[(0.9, 2.0), (0.75, 8.0)]).expect("calibrates");
+        let v2 = (v1 + dv).min(1.1);
+        let d1 = m.delay_factor(v1).expect("valid");
+        let d2 = m.delay_factor(v2).expect("valid");
+        prop_assert!(d2 <= d1, "d({v2}) = {d2} > d({v1}) = {d1}");
+    }
+
+    /// The voltage solver's choice always meets the timing budget, and
+    /// more slack never raises the rail.
+    #[test]
+    fn solver_meets_timing_and_is_monotone(
+        slack1 in 1.0f64..12.0,
+        extra in 0.0f64..8.0,
+    ) {
+        let t = Technology::lp40();
+        let s = t.voltage_solver();
+        let v1 = s.min_voltage(slack1);
+        let v2 = s.min_voltage(slack1 + extra);
+        prop_assert!(v2 <= v1 + 1e-12);
+        prop_assert!(s.delay_at(v1).expect("valid") <= slack1 + 1e-9);
+    }
+
+    /// Energy factor is quadratic in voltage and 1.0 at nominal.
+    #[test]
+    fn voltage_energy_factor_quadratic(v in 0.5f64..1.1) {
+        let t = Technology::lp40();
+        let f = t.voltage_energy_factor(v);
+        prop_assert!((f - (v / 1.1) * (v / 1.1)).abs() < 1e-12);
+    }
+
+    /// All three power equations are non-negative, and scaling any k
+    /// parameter up never increases power.
+    #[test]
+    fn power_equations_monotone_in_k(
+        k in 1.0f64..16.0,
+        extra in 0.0f64..8.0,
+        v in 0.7f64..1.1,
+    ) {
+        let pp = PowerParams {
+            alpha_as: 0.2,
+            cap_as: 1e-12,
+            alpha_nas: 0.1,
+            cap_nas: 1e-12,
+            freq: 5e8,
+        };
+        prop_assert!(pp.p_das(k, v) >= 0.0);
+        prop_assert!(pp.p_das(k + extra, v) <= pp.p_das(k, v) + 1e-18);
+        prop_assert!(pp.p_dvas(k + extra, v, 1.1, v) <= pp.p_dvas(k, v, 1.1, v) + 1e-18);
+        prop_assert!(
+            pp.p_dvafs(k + extra, 4, v, 1.2, v, 1.1) <= pp.p_dvafs(k, 4, v, 1.2, v, 1.1) + 1e-18
+        );
+    }
+
+    /// Domain percentages always sum to 100 (or 0 for an empty breakdown).
+    #[test]
+    fn breakdown_percentages_sum(
+        mem in 0.0f64..1.0,
+        nas in 0.0f64..1.0,
+        r#as in 0.0f64..1.0,
+    ) {
+        let mut b = EnergyBreakdown::new();
+        b.add(PowerDomain::Memory, mem);
+        b.add(PowerDomain::NonScalable, nas);
+        b.add(PowerDomain::AccuracyScalable, r#as);
+        let total: f64 = PowerDomain::ALL.iter().map(|&d| b.percentage(d)).sum();
+        if b.total() > 0.0 {
+            prop_assert!((total - 100.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(total, 0.0);
+        }
+    }
+
+    /// Rails report exactly what they were built with.
+    #[test]
+    fn rails_roundtrip(v_as in 0.5f64..1.2, v_nas in 0.5f64..1.2, v_mem in 0.5f64..1.2) {
+        let r = DomainRails::new(v_as, v_nas, v_mem);
+        prop_assert_eq!(r.voltage(PowerDomain::AccuracyScalable), v_as);
+        prop_assert_eq!(r.voltage(PowerDomain::NonScalable), v_nas);
+        prop_assert_eq!(r.voltage(PowerDomain::Memory), v_mem);
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's introductory fault-tolerance example (ref [7]): the DCT of
+//! a JPEG encoder still delivers useful quality at 4-bit accuracy
+//! (~2 dB SNR loss), so a DVAFS data path can run it at a fraction of the
+//! energy.
+//!
+//! The demonstration runs the full JPEG round trip — forward DCT on a
+//! precision-scaled fixed-point data path, standard luminance quantization
+//! table, dequantization, float inverse DCT — and compares the
+//! reconstructed image against the full-precision pipeline. JPEG's own
+//! coefficient quantization masks most of the arithmetic noise, which is
+//! exactly why the DCT tolerates such low precision.
+//!
+//! Run with: `cargo run --release --example jpeg_dct`
+
+use dvafs::controller::DvafsController;
+use dvafs::report::{fmt_f, TextTable};
+use dvafs_arith::metrics::snr_db;
+use dvafs_arith::{Precision, Quantizer, RoundingMode};
+
+const N: usize = 16; // image is N x N pixels (four 8x8 blocks)
+
+/// Standard JPEG luminance quantization table (quality ~50).
+const QTABLE: [[f64; 8]; 8] = [
+    [16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0],
+    [12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0],
+    [14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0],
+    [14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0],
+    [18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0],
+    [24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0, 92.0],
+    [49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0],
+    [72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0],
+];
+
+fn cosine(x: usize, u: usize) -> f64 {
+    ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos()
+}
+
+/// Forward 2-D DCT-II of one 8x8 block on a fixed-point data path whose
+/// operands are gated to `bits` MSBs (16 bits = effectively exact).
+fn dct8x8_fixed(block: &[[f64; 8]; 8], bits: u32) -> [[f64; 8]; 8] {
+    let q = Quantizer::new(
+        Precision::new(bits).expect("valid precision"),
+        RoundingMode::RoundNearest,
+    );
+    // Pixels are 0..255 -> Q7 (full 16-bit span); cosines |c|<=1 -> Q14.
+    let pix = |v: f64| i64::from(q.quantize((v * 128.0).round() as i32));
+    let cos_fix = |c: f64| i64::from(q.quantize((c * 16384.0).round() as i32));
+    let mut out = [[0.0; 8]; 8];
+    for (u, orow) in out.iter_mut().enumerate() {
+        for (v, out_uv) in orow.iter_mut().enumerate() {
+            let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+            let mut acc: i64 = 0;
+            for (x, brow) in block.iter().enumerate() {
+                for (y, &p) in brow.iter().enumerate() {
+                    acc += pix(p - 128.0) * cos_fix(cosine(x, u) * cosine(y, v));
+                }
+            }
+            *out_uv = 0.25 * cu * cv * acc as f64 / (128.0 * 16384.0);
+        }
+    }
+    out
+}
+
+/// Float inverse 2-D DCT (the decoder is assumed exact).
+fn idct8x8(coef: &[[f64; 8]; 8]) -> [[f64; 8]; 8] {
+    let mut out = [[0.0; 8]; 8];
+    for (x, orow) in out.iter_mut().enumerate() {
+        for (y, out_xy) in orow.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (u, crow) in coef.iter().enumerate() {
+                for (v, &c) in crow.iter().enumerate() {
+                    let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    let cv = if v == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+                    acc += cu * cv * c * cosine(x, u) * cosine(y, v);
+                }
+            }
+            *out_xy = 0.25 * acc + 128.0;
+        }
+    }
+    out
+}
+
+/// Full JPEG round trip of one block at a DCT precision.
+fn roundtrip(block: &[[f64; 8]; 8], bits: u32) -> [[f64; 8]; 8] {
+    let mut coef = dct8x8_fixed(block, bits);
+    for (u, row) in coef.iter_mut().enumerate() {
+        for (v, c) in row.iter_mut().enumerate() {
+            *c = (*c / QTABLE[u][v]).round() * QTABLE[u][v];
+        }
+    }
+    idct8x8(&coef)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("JPEG DCT at reduced accuracy (paper intro, ref [7])");
+    println!("===================================================\n");
+
+    // A synthetic photographic-looking image: gradients plus texture.
+    let image: Vec<Vec<f64>> = (0..N)
+        .map(|x| {
+            (0..N)
+                .map(|y| {
+                    let v = 128.0
+                        + 60.0 * (x as f64 / N as f64 - 0.5)
+                        + 40.0 * ((x as f64 * 0.8).sin() * (y as f64 * 0.6).cos())
+                        + 20.0 * (y as f64 / N as f64);
+                    v.clamp(0.0, 255.0)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Encode/decode every 8x8 block at each precision; SNR vs the source.
+    let controller = DvafsController::new();
+    let mut t = TextTable::new(vec![
+        "DCT precision", "image SNR [dB]", "SNR loss [dB]", "DVAFS E/word [rel]",
+    ]);
+    let original: Vec<f64> = image.iter().flatten().copied().collect();
+    let mut snr_full = 0.0;
+    for bits in [16u32, 12, 8, 6, 4] {
+        let mut recon = vec![vec![0.0f64; N]; N];
+        for bx in 0..N / 8 {
+            for by in 0..N / 8 {
+                let mut block = [[0.0; 8]; 8];
+                for x in 0..8 {
+                    for y in 0..8 {
+                        block[x][y] = image[bx * 8 + x][by * 8 + y];
+                    }
+                }
+                let out = roundtrip(&block, bits);
+                for x in 0..8 {
+                    for y in 0..8 {
+                        recon[bx * 8 + x][by * 8 + y] = out[x][y];
+                    }
+                }
+            }
+        }
+        let flat: Vec<f64> = recon.iter().flatten().copied().collect();
+        let snr = snr_db(&original, &flat);
+        if bits == 16 {
+            snr_full = snr;
+        }
+        let plan = controller.plan(Precision::new(bits)?)?;
+        t.row(vec![
+            format!("{bits}b"),
+            fmt_f(snr, 1),
+            fmt_f(snr_full - snr, 1),
+            fmt_f(plan.relative_energy_per_word, 3),
+        ]);
+    }
+    println!("{t}");
+    println!("paper claim (ref [7]): the DCT of a JPEG encoder can run at 4-bit accuracy");
+    println!("with only ~2 dB SNR loss — JPEG's own coefficient quantization masks the");
+    println!("arithmetic noise — while the DVAFS data path spends >20x less energy/word.");
+    Ok(())
+}

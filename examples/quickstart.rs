@@ -1,0 +1,66 @@
+//! Quickstart: the DVAFS controller and the subword-parallel multiplier.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dvafs::controller::DvafsController;
+use dvafs::report::{fmt_f, TextTable};
+use dvafs_arith::multiplier::DvafsMultiplier;
+use dvafs_arith::{Precision, SubwordMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("DVAFS quickstart");
+    println!("================\n");
+
+    // 1. The functional side: one 16-bit multiplier, three operating modes.
+    let m = DvafsMultiplier::new();
+    println!("1x16b:  -1234 * 567          = {}", m.mul_full(-1234, 567));
+    let p2 = m.mul_subwords(&[100, -100], &[25, 25], SubwordMode::X2);
+    println!("2x8b :  [100, -100] * [25, 25]  = {p2:?} (two products per cycle)");
+    let p4 = m.mul_subwords(&[1, -2, 3, -4], &[5, 6, -7, 7], SubwordMode::X4);
+    println!("4x4b :  four packed products    = {p4:?}\n");
+
+    // 2. The policy side: what does each precision requirement cost?
+    let controller = DvafsController::new();
+    let mut t = TextTable::new(vec![
+        "precision", "mode", "f [MHz]", "Vas [V]", "Vnas [V]", "E/word [rel]",
+    ]);
+    for bits in [16u32, 12, 8, 4] {
+        let plan = controller.plan(Precision::new(bits)?)?;
+        t.row(vec![
+            format!("{bits}b"),
+            plan.mode.to_string(),
+            fmt_f(plan.frequency_mhz, 0),
+            fmt_f(plan.v_as, 2),
+            fmt_f(plan.v_nas, 2),
+            fmt_f(plan.relative_energy_per_word, 4),
+        ]);
+    }
+    println!("{t}");
+
+    // 3. A mixed-precision schedule: a small CNN whose layers need
+    //    different precisions (the Fig. 6 situation).
+    let tasks = vec![
+        (Precision::new(4)?, 120_000u64), // early conv layer, very tolerant
+        (Precision::new(6)?, 240_000),    // mid conv layer
+        (Precision::new(9)?, 150_000),    // late conv layer, needs 1x16b
+    ];
+    let (plans, avg) = controller.schedule(&tasks)?;
+    println!("mixed-precision schedule:");
+    for ((p, words), plan) in tasks.iter().zip(plans.iter()) {
+        println!(
+            "  {:>4} x {:>7} words -> {} @ {:>3.0} MHz, {:.2} V  (E/word {:.3})",
+            p.to_string(),
+            words,
+            plan.mode,
+            plan.frequency_mhz,
+            plan.v_as,
+            plan.relative_energy_per_word
+        );
+    }
+    println!(
+        "average energy/word vs all-16b: {:.3} ({:.1}% saved)",
+        avg,
+        (1.0 - avg) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Workspace-root convenience crate for the DVAFS reproduction.
+//!
+//! This crate only re-exports the member crates so that the `examples/` and
+//! `tests/` directories at the repository root can reach every subsystem
+//! through one dependency. The real public API lives in [`dvafs`] and the
+//! substrate crates.
+
+pub use dvafs;
+pub use dvafs_arith;
+pub use dvafs_envision;
+pub use dvafs_nn;
+pub use dvafs_simd;
+pub use dvafs_tech;

@@ -1,0 +1,120 @@
+//! Integration tests asserting the paper's headline *shapes* end to end:
+//! who wins, by roughly what factor, and where the crossovers fall.
+
+use dvafs::controller::DvafsController;
+use dvafs::sweep::MultiplierSweep;
+use dvafs_arith::Precision;
+use dvafs_envision::chip::EnvisionChip;
+use dvafs_envision::measure::{table3, Fig8Sweep};
+use dvafs_tech::scaling::ScalingMode;
+
+#[test]
+fn multiplier_energy_ordering_and_dynamic_range() {
+    // Fig. 3a: DAS >= DVAS >= DVAFS at every reduced precision, ~20x range.
+    let sweep = MultiplierSweep::new();
+    let samples = sweep.fig3a();
+    let get = |m: ScalingMode, b: u32| {
+        samples
+            .iter()
+            .find(|s| s.mode == m && s.bits == b)
+            .expect("sample exists")
+            .relative
+    };
+    for bits in [4u32, 8, 12] {
+        assert!(get(ScalingMode::Das, bits) >= get(ScalingMode::Dvas, bits));
+        assert!(get(ScalingMode::Dvas, bits) >= get(ScalingMode::Dvafs, bits));
+    }
+    let range = get(ScalingMode::Dvafs, 16) / get(ScalingMode::Dvafs, 4);
+    assert!(range > 10.0, "multiplier dynamic range {range} (paper ~20x)");
+    // >95% saving at 4x4b.
+    assert!(get(ScalingMode::Dvafs, 4) < 0.05);
+}
+
+#[test]
+fn fig2_paper_anchor_points() {
+    let sweep = MultiplierSweep::new();
+    let points = sweep.fig2();
+    let dvafs4 = points
+        .iter()
+        .find(|p| p.mode == ScalingMode::Dvafs && p.bits == 4)
+        .expect("point exists");
+    // 125 MHz, ~7 ns slack, ~0.75 V — the paper's most-quoted numbers.
+    assert_eq!(dvafs4.frequency_mhz, 125.0);
+    assert!((dvafs4.positive_slack_ns - 7.0).abs() < 1.0);
+    assert!((dvafs4.v_as - 0.75).abs() < 0.07);
+    let dvas4 = points
+        .iter()
+        .find(|p| p.mode == ScalingMode::Dvas && p.bits == 4)
+        .expect("point exists");
+    assert!((dvas4.v_as - 0.90).abs() < 0.07);
+}
+
+#[test]
+fn controller_tracks_the_multiplier_model() {
+    // The controller's relative energies must reproduce the DVAFS curve.
+    let controller = DvafsController::new();
+    let sweep = MultiplierSweep::new();
+    for bits in [4u32, 8, 16] {
+        let plan = controller
+            .plan(Precision::new(bits).expect("valid"))
+            .expect("plan succeeds");
+        let fig = sweep
+            .fig3a()
+            .into_iter()
+            .find(|s| s.mode == ScalingMode::Dvafs && s.bits == bits)
+            .expect("sample exists");
+        // fig3a includes the 21% reconfiguration overhead.
+        let ratio = fig.relative / (plan.relative_energy_per_word * 1.21);
+        assert!((ratio - 1.0).abs() < 0.05, "bits={bits} ratio={ratio}");
+    }
+}
+
+#[test]
+fn envision_constant_throughput_beats_constant_frequency() {
+    // Fig. 8: at 4x4b, constant-throughput DVAFS (50 MHz) must beat the
+    // constant-frequency point (200 MHz).
+    let sweep = Fig8Sweep::new(EnvisionChip::new());
+    let const_f = sweep.at_constant_frequency(ScalingMode::Dvafs, 4);
+    let const_t = sweep.at_constant_throughput(ScalingMode::Dvafs, 4);
+    assert!(const_t.energy_rel < const_f.energy_rel);
+    assert!(const_t.power_mw < const_f.power_mw);
+}
+
+#[test]
+fn envision_efficiency_spans_paper_range() {
+    // Paper: 0.3 TOPS/W (16b) up to ~4.2 TOPS/W dense (and >10 sparse).
+    let chip = EnvisionChip::new();
+    let full = dvafs_envision::workload::LayerRun::dense(
+        dvafs_arith::SubwordMode::X1,
+        200.0,
+        16,
+        16,
+        100.0,
+    );
+    let quad = dvafs_envision::workload::LayerRun::dense(
+        dvafs_arith::SubwordMode::X4,
+        50.0,
+        4,
+        4,
+        100.0,
+    );
+    let e_full = chip.tops_per_w(&full);
+    let e_quad = chip.tops_per_w(&quad);
+    assert!(e_full > 0.15 && e_full < 0.6, "16b efficiency {e_full}");
+    assert!(e_quad > 2.5 && e_quad < 8.0, "4x4b efficiency {e_quad}");
+    // Sparse LeNet-style layer exceeds the dense efficiency several-fold.
+    let sparse = quad.clone().with_sparsity(0.35, 0.87).expect("valid");
+    assert!(chip.tops_per_w(&sparse) > 2.0 * e_quad);
+}
+
+#[test]
+fn table3_network_ordering() {
+    // LeNet (deep scaling) must beat AlexNet/VGG16 (shallower scaling) in
+    // efficiency, and frame rates must be ordered VGG < AlexNet < LeNet.
+    let chip = EnvisionChip::new();
+    let t = table3(&chip);
+    let find = |n: &str| t.iter().find(|s| s.name == n).expect("network exists");
+    let (vgg, alex, lenet) = (find("VGG16"), find("AlexNet"), find("LeNet-5"));
+    assert!(vgg.fps < alex.fps && alex.fps < lenet.fps);
+    assert!(lenet.avg_tops_per_w > alex.avg_tops_per_w);
+}
