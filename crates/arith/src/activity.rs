@@ -200,10 +200,42 @@ pub fn extract_dvafs_profile(samples: usize, seed: u64) -> ActivityProfile {
 #[must_use]
 pub fn paper_table1() -> Vec<PaperTable1Row> {
     vec![
-        PaperTable1Row { bits: 4, k0: 12.5, k1: 12.5, k2: 1.2, k3: 3.2, k4: 1.53, n: 4 },
-        PaperTable1Row { bits: 8, k0: 3.5, k1: 3.5, k2: 1.1, k3: 1.82, k4: 1.27, n: 2 },
-        PaperTable1Row { bits: 12, k0: 1.4, k1: 1.4, k2: 1.02, k3: 1.45, k4: 1.02, n: 1 },
-        PaperTable1Row { bits: 16, k0: 1.0, k1: 1.0, k2: 1.0, k3: 1.0, k4: 1.0, n: 1 },
+        PaperTable1Row {
+            bits: 4,
+            k0: 12.5,
+            k1: 12.5,
+            k2: 1.2,
+            k3: 3.2,
+            k4: 1.53,
+            n: 4,
+        },
+        PaperTable1Row {
+            bits: 8,
+            k0: 3.5,
+            k1: 3.5,
+            k2: 1.1,
+            k3: 1.82,
+            k4: 1.27,
+            n: 2,
+        },
+        PaperTable1Row {
+            bits: 12,
+            k0: 1.4,
+            k1: 1.4,
+            k2: 1.02,
+            k3: 1.45,
+            k4: 1.02,
+            n: 1,
+        },
+        PaperTable1Row {
+            bits: 16,
+            k0: 1.0,
+            k1: 1.0,
+            k2: 1.0,
+            k3: 1.0,
+            k4: 1.0,
+            n: 1,
+        },
     ]
 }
 
@@ -282,7 +314,10 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert!(t[0].k0 > t[1].k0);
         assert!(t[0].k3 < t[0].k0, "subword reuse keeps cells busy");
-        assert!(t[0].k4 > t[1].k4, "more voltage headroom at lower precision");
+        assert!(
+            t[0].k4 > t[1].k4,
+            "more voltage headroom at lower precision"
+        );
     }
 
     #[test]

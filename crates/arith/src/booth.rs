@@ -160,7 +160,15 @@ mod tests {
 
     #[test]
     fn digits_reconstruct_16b_boundaries() {
-        for y in [i32::from(i16::MIN), -1, 0, 1, i32::from(i16::MAX), 0x5555, -0x5556] {
+        for y in [
+            i32::from(i16::MIN),
+            -1,
+            0,
+            1,
+            i32::from(i16::MAX),
+            0x5555,
+            -0x5556,
+        ] {
             assert_eq!(digits_value(&booth_digits(y, 16)), i64::from(y), "y={y}");
         }
     }

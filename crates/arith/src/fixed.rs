@@ -272,11 +272,13 @@ impl Fixed {
     /// Fixed-point multiply: the product keeps `self.frac_bits` fractional
     /// bits (the partner's fractional bits are shifted out of the wide
     /// product, as a MAC unit's post-shift would).
+    // Not `std::ops::Mul`: the result's Q format follows self, not rhs, so
+    // the operation is deliberately asymmetric.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn mul(self, rhs: Fixed) -> Fixed {
         let wide = i64::from(self.raw) * i64::from(rhs.raw);
-        let raw = (wide >> rhs.frac_bits)
-            .clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i32;
+        let raw = (wide >> rhs.frac_bits).clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i32;
         Fixed {
             raw,
             frac_bits: self.frac_bits,
@@ -288,6 +290,9 @@ impl Fixed {
     /// # Panics
     ///
     /// Panics if the two operands have different `frac_bits`.
+    // Not `std::ops::Add`: saturates and panics on Q-format mismatch, which
+    // the operator's anyone-can-call ergonomics would hide.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, rhs: Fixed) -> Fixed {
         assert_eq!(

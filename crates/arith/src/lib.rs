@@ -34,6 +34,8 @@
 //! assert_eq!(p, vec![5, 12, 21, 32]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod activity;
 pub mod adder;
 pub mod booth;

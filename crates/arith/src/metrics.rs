@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn snr_decreases_with_noise() {
-        let reference: Vec<f64> = (0..64).map(|i| f64::from(i)).collect();
+        let reference: Vec<f64> = (0..64).map(f64::from).collect();
         let slightly: Vec<f64> = reference.iter().map(|x| x + 0.1).collect();
         let very: Vec<f64> = reference.iter().map(|x| x + 5.0).collect();
         assert!(snr_db(&reference, &slightly) > snr_db(&reference, &very));

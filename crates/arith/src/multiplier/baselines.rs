@@ -148,7 +148,10 @@ impl KyawMultiplier {
     /// Panics if `split` is not in `0..=15`.
     #[must_use]
     pub fn new(split: u32) -> Self {
-        assert!(split < BASELINE_BITS, "split must leave an accurate MSB part");
+        assert!(
+            split < BASELINE_BITS,
+            "split must leave an accurate MSB part"
+        );
         KyawMultiplier { split }
     }
 
@@ -248,7 +251,10 @@ impl LiuMultiplier {
     /// Panics if `recovery > 16`.
     #[must_use]
     pub fn new(recovery: u32) -> Self {
-        assert!(recovery <= BASELINE_BITS, "at most one recovery word per row");
+        assert!(
+            recovery <= BASELINE_BITS,
+            "at most one recovery word per row"
+        );
         LiuMultiplier {
             recovery,
             voltage_scaled: false,
@@ -491,7 +497,8 @@ mod tests {
             if !has_33 {
                 // Necessary but not sufficient (cross digits matter); only
                 // assert when digits are small enough to be safe.
-                let all_small = (0..8).all(|d| ((a >> (2 * d)) & 3) < 3 || ((b >> (2 * d)) & 3) < 3);
+                let all_small =
+                    (0..8).all(|d| ((a >> (2 * d)) & 3) < 3 || ((b >> (2 * d)) & 3) < 3);
                 if all_small {
                     assert_eq!(m.mul(a, b), u64::from(a) * u64::from(b));
                 }

@@ -126,7 +126,7 @@ mod tests {
         let data: Vec<(i32, i32)> = (0..500)
             .map(|_| (rng.gen_range(-32768..=32767), rng.gen_range(-32768..=32767)))
             .collect();
-        let mut rmse = |bits: u32| -> f64 {
+        let rmse = |bits: u32| -> f64 {
             let mut m = DasMultiplier::new(RoundingMode::Truncate);
             m.set_precision(Precision::new(bits).unwrap());
             let se: f64 = data

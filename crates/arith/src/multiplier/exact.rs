@@ -78,7 +78,11 @@ pub fn build_booth_wallace(n: usize) -> Netlist {
     // Fold the accumulated sign-extension constant in as constant-1 bits
     // (constants never toggle).
     let one = nl.one();
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let c = sign_const & mask;
     for col in 0..width {
         if (c >> col) & 1 == 1 {
@@ -267,10 +271,16 @@ impl ExactMultiplier {
     pub fn mul_via_netlist(&self, x: i64, y: i64) -> i64 {
         let nl = self.build_netlist();
         let mut sim = Simulator::new(nl);
-        let mask = if self.n == 64 { u64::MAX } else { (1u64 << self.n) - 1 };
+        let mask = if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        };
         let mut inputs = to_bits((x as u64) & mask, self.n);
         inputs.extend(to_bits((y as u64) & mask, self.n));
-        let out = sim.eval(&inputs).expect("input width matches by construction");
+        let out = sim
+            .eval(&inputs)
+            .expect("input width matches by construction");
         let raw = from_bits(&out);
         if self.signed {
             let w = 2 * self.n;

@@ -18,8 +18,7 @@ pub mod dvafs;
 pub mod exact;
 
 pub use baselines::{
-    ApproximateMultiplier, KulkarniMultiplier, KyawMultiplier, LiuMultiplier,
-    TruncatedMultiplier,
+    ApproximateMultiplier, KulkarniMultiplier, KyawMultiplier, LiuMultiplier, TruncatedMultiplier,
 };
 pub use das::DasMultiplier;
 pub use dvafs::DvafsMultiplier;

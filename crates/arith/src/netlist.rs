@@ -665,7 +665,7 @@ mod tests {
         nl.mark_output(acc);
         let mut sim = Simulator::new(nl);
         for _ in 0..10 {
-            sim.eval(&vec![false; 8]).unwrap();
+            sim.eval(&[false; 8]).unwrap();
         }
         assert_eq!(sim.stats().toggles, 0);
     }
@@ -713,7 +713,10 @@ mod tests {
         let mut sim = Simulator::new(nl);
         assert!(matches!(
             sim.eval(&[true, false]),
-            Err(ArithError::InputLengthMismatch { expected: 1, actual: 2 })
+            Err(ArithError::InputLengthMismatch {
+                expected: 1,
+                actual: 2
+            })
         ));
     }
 

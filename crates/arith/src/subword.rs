@@ -23,9 +23,12 @@ use std::fmt;
 /// assert_eq!(mode.lane_bits(), 4);
 /// assert_eq!(mode.words_per_cycle(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum SubwordMode {
     /// One 16-bit word per cycle (full precision).
+    #[default]
     X1,
     /// Two packed 8-bit words per cycle.
     X2,
@@ -87,12 +90,6 @@ impl SubwordMode {
             5..=8 => SubwordMode::X2,
             _ => SubwordMode::X1,
         }
-    }
-}
-
-impl Default for SubwordMode {
-    fn default() -> Self {
-        SubwordMode::X1
     }
 }
 
@@ -217,7 +214,10 @@ mod tests {
     fn pack_rejects_wrong_lane_count() {
         assert!(matches!(
             pack_lanes(&[1, 2], SubwordMode::X4),
-            Err(ArithError::LaneCountMismatch { expected: 4, actual: 2 })
+            Err(ArithError::LaneCountMismatch {
+                expected: 4,
+                actual: 2
+            })
         ));
     }
 

@@ -2,7 +2,9 @@
 
 use dvafs_arith::booth::{booth_digits, digits_value};
 use dvafs_arith::fixed::{Precision, Quantizer, RoundingMode};
-use dvafs_arith::multiplier::baselines::{column_cells, ApproximateMultiplier, TruncatedMultiplier};
+use dvafs_arith::multiplier::baselines::{
+    column_cells, ApproximateMultiplier, TruncatedMultiplier,
+};
 use dvafs_arith::multiplier::{DasMultiplier, DvafsMultiplier, KulkarniMultiplier};
 use dvafs_arith::netlist::Simulator;
 use dvafs_arith::subword::{pack_lanes, unpack_lanes, SubwordMode};

@@ -10,7 +10,9 @@
 //!    coarse power grid gives back.
 
 use dvafs::report::{fmt_f, TextTable};
-use dvafs_arith::multiplier::dvafs::{build_subword_multiplier, build_subword_multiplier_unisolated};
+use dvafs_arith::multiplier::dvafs::{
+    build_subword_multiplier, build_subword_multiplier_unisolated,
+};
 use dvafs_arith::multiplier::exact::{build_booth_wallace, build_booth_wallace_naive};
 use dvafs_arith::multiplier::DvafsMultiplier;
 use dvafs_arith::netlist::{to_bits, Netlist, Simulator};
@@ -43,7 +45,10 @@ fn drive_booth(netlist: &Netlist, bits: u32, pairs: &[(u16, u16)]) -> f64 {
 }
 
 fn main() {
-    dvafs_bench::banner("Ablations", "design choices behind the extracted parameters");
+    dvafs_bench::banner(
+        "Ablations",
+        "design choices behind the extracted parameters",
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(dvafs_bench::EXPERIMENT_SEED);
     let pairs: Vec<(u16, u16)> = (0..150).map(|_| (rng.gen(), rng.gen())).collect();
 

@@ -5,7 +5,10 @@ use dvafs::report::{fmt_e, fmt_f, TextTable};
 use dvafs::sweep::MultiplierSweep;
 
 fn main() {
-    dvafs_bench::banner("Fig. 3b", "energy vs RMSE: DVAFS against [3], [4], [5], [8]");
+    dvafs_bench::banner(
+        "Fig. 3b",
+        "energy vs RMSE: DVAFS against [3], [4], [5], [8]",
+    );
     let sweep = MultiplierSweep::new();
     let mut points = sweep.fig3b();
     points.sort_by(|a, b| {

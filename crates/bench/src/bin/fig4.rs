@@ -8,7 +8,10 @@ use dvafs_simd::processor::{ProcConfig, Processor};
 use dvafs_tech::scaling::ScalingMode;
 
 fn main() {
-    dvafs_bench::banner("Fig. 4", "SIMD processor energy/word vs precision @ constant T");
+    dvafs_bench::banner(
+        "Fig. 4",
+        "SIMD processor energy/word vs precision @ constant T",
+    );
     let model = SimdEnergyModel::new();
     let kernel = ConvKernel::random(25, 2048, dvafs_bench::EXPERIMENT_SEED);
 

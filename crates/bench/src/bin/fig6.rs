@@ -16,6 +16,17 @@ fn main() {
     dvafs_bench::banner("Fig. 6", "per-layer bits @ 99% relative accuracy");
     let search = PrecisionSearch::new();
 
+    // `--fast` shrinks datasets and the AlexNet stand-in so CI smoke tests
+    // exercise the full search path in seconds; paper-scale numbers need the
+    // default configuration.
+    let fast = std::env::args().any(|a| a == "--fast");
+    if fast {
+        println!("(--fast: reduced dataset/model sizes, figures not paper-scale)\n");
+    }
+    let alex_input = 67; // minimum resolution the AlexNet pool cascade supports
+    let (lenet_samples, alex_scale, alex_samples) =
+        if fast { (12, 0.125, 6) } else { (48, 0.25, 24) };
+
     // A pseudo-trained classifier whose predictions collapsed to one or
     // two classes makes the relative-accuracy metric vacuous; center its
     // logits first (see Network::calibrate_logits).
@@ -27,14 +38,19 @@ fn main() {
 
     // LeNet-5 on the digit-like 28x28 set.
     let mut lenet = models::lenet5(dvafs_bench::EXPERIMENT_SEED);
-    let digits = SyntheticDataset::digits(48, dvafs_bench::EXPERIMENT_SEED + 1);
+    let digits = SyntheticDataset::digits(lenet_samples, dvafs_bench::EXPERIMENT_SEED + 1);
     ensure_diverse(&mut lenet, &digits);
     let lw = search.search(&lenet, &digits, Operand::Weights);
     let la = search.search(&lenet, &digits, Operand::Activations);
 
     // AlexNet at reduced resolution/width (substitution; see DESIGN.md).
-    let mut alexnet = models::alexnet(67, 0.25, dvafs_bench::EXPERIMENT_SEED + 2);
-    let images = SyntheticDataset::image_like(24, 67, 10, dvafs_bench::EXPERIMENT_SEED + 3);
+    let mut alexnet = models::alexnet(alex_input, alex_scale, dvafs_bench::EXPERIMENT_SEED + 2);
+    let images = SyntheticDataset::image_like(
+        alex_samples,
+        alex_input,
+        10,
+        dvafs_bench::EXPERIMENT_SEED + 3,
+    );
     ensure_diverse(&mut alexnet, &images);
     let aw = search.search(&alexnet, &images, Operand::Weights);
     let aa = search.search(&alexnet, &images, Operand::Activations);

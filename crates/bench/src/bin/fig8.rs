@@ -15,7 +15,14 @@ fn main() {
         ("Fig. 8b  constant T = 76 GOPS", sweep.fig8b()),
     ] {
         println!("{label}");
-        let mut t = TextTable::new(vec!["mode", "bits", "f [MHz]", "V [V]", "P [mW]", "E/op [rel]"]);
+        let mut t = TextTable::new(vec![
+            "mode",
+            "bits",
+            "f [MHz]",
+            "V [V]",
+            "P [mW]",
+            "E/op [rel]",
+        ]);
         for s in &samples {
             t.row(vec![
                 s.mode.to_string(),

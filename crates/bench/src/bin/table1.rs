@@ -12,12 +12,19 @@ fn main() {
     let paper = paper_table1();
 
     let mut t = TextTable::new(vec![
-        "parameter", "4b", "8b", "12b", "16b", "", "paper 4b", "paper 8b", "paper 12b",
+        "parameter",
+        "4b",
+        "8b",
+        "12b",
+        "16b",
+        "",
+        "paper 4b",
+        "paper 8b",
+        "paper 12b",
         "paper 16b",
     ]);
-    let col = |f: &dyn Fn(usize) -> f64| -> Vec<String> {
-        (0..4).map(|i| fmt_f(f(i), 2)).collect()
-    };
+    let col =
+        |f: &dyn Fn(usize) -> f64| -> Vec<String> { (0..4).map(|i| fmt_f(f(i), 2)).collect() };
     // `ours` is ordered 4, 8, 12, 16; paper_table1 likewise.
     let rows: Vec<(&str, Vec<String>, Vec<String>)> = vec![
         ("k0", col(&|i| ours[i].k0), col(&|i| paper[i].k0)),
@@ -25,7 +32,11 @@ fn main() {
         ("k2", col(&|i| ours[i].k2), col(&|i| paper[i].k2)),
         ("k3", col(&|i| ours[i].k3), col(&|i| paper[i].k3)),
         ("k4", col(&|i| ours[i].k4), col(&|i| paper[i].k4)),
-        ("k5", col(&|i| ours[i].k5), (0..4).map(|_| "-".to_string()).collect()),
+        (
+            "k5",
+            col(&|i| ours[i].k5),
+            (0..4).map(|_| "-".to_string()).collect(),
+        ),
         (
             "N",
             (0..4).map(|i| ours[i].n.to_string()).collect(),

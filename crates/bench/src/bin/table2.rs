@@ -14,7 +14,8 @@ fn main() {
     let kernel = ConvKernel::random(25, 2048, dvafs_bench::EXPERIMENT_SEED);
 
     // Paper rows for direct comparison: (sw, label, Vnas, Vas, mem, nas, as, P).
-    let paper: [(usize, &str, f64, f64, u32, u32, u32, u32); 10] = [
+    type PaperRow = (usize, &'static str, f64, f64, u32, u32, u32, u32);
+    let paper: [PaperRow; 10] = [
         (8, "1x16b", 1.1, 1.1, 31, 46, 23, 36),
         (8, "1x8b", 1.1, 1.0, 24, 64, 12, 24),
         (8, "1x4b", 1.1, 0.9, 17, 77, 6, 20),
@@ -35,7 +36,16 @@ fn main() {
     ];
 
     let mut t = TextTable::new(vec![
-        "SW", "mode", "Vnas", "Vas", "mem%", "nas%", "as%", "P[mW]", "", "paper P[mW]",
+        "SW",
+        "mode",
+        "Vnas",
+        "Vas",
+        "mem%",
+        "nas%",
+        "as%",
+        "P[mW]",
+        "",
+        "paper P[mW]",
         "paper mem/nas/as",
     ]);
     for sw in [8usize, 64] {

@@ -6,7 +6,10 @@ use dvafs_envision::chip::EnvisionChip;
 use dvafs_envision::measure::table3;
 
 fn main() {
-    dvafs_bench::banner("Table III", "per-layer power on Envision (sparsity + DVAFS)");
+    dvafs_bench::banner(
+        "Table III",
+        "per-layer power on Envision (sparsity + DVAFS)",
+    );
     let chip = EnvisionChip::new();
     let summaries = table3(&chip);
 

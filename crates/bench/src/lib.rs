@@ -17,6 +17,8 @@
 //!
 //! Criterion micro-benchmarks of the simulators live in `benches/`.
 
+#![warn(missing_docs)]
+
 /// Shared seed for every experiment binary (full determinism).
 pub const EXPERIMENT_SEED: u64 = 0xDA7E2017;
 

@@ -138,7 +138,11 @@ impl DvafsController {
             words += n;
             plans.push(plan);
         }
-        let avg = if words == 0 { 0.0 } else { energy / words as f64 };
+        let avg = if words == 0 {
+            0.0
+        } else {
+            energy / words as f64
+        };
         Ok((plans, avg))
     }
 }

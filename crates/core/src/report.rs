@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_e(0.000123), "1.23e-4");
     }
 

@@ -242,7 +242,11 @@ mod tests {
     fn fig3b_rmse_values_span_paper_axis() {
         // Fig. 3b's x axis runs from ~1e-6 to ~1e-2.
         let points = sweep().fig3b();
-        let lo = points.iter().map(|p| p.rmse).filter(|r| *r > 0.0).fold(f64::INFINITY, f64::min);
+        let lo = points
+            .iter()
+            .map(|p| p.rmse)
+            .filter(|r| *r > 0.0)
+            .fold(f64::INFINITY, f64::min);
         let hi = points.iter().map(|p| p.rmse).fold(0.0, f64::max);
         assert!(lo < 1e-4, "finest RMSE {lo}");
         assert!(hi > 1e-3, "coarsest RMSE {hi}");

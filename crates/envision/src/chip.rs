@@ -157,8 +157,8 @@ impl EnvisionChip {
 
     /// Average power in milliwatts while executing a layer.
     ///
-    /// The model: `P = (f/fnom)·(V/Vnom)² · [ Pas·α_mode·α_data·guard
-    /// + Pnas + Pmem·traffic·(1-input_sparsity) ]` with the component split
+    /// The model: `P = (f/fnom)·(V/Vnom)² · [ Pas·α_mode·α_data·guard +
+    /// Pnas + Pmem·traffic·(1-input_sparsity) ]` with the component split
     /// calibrated to the 300 mW full-precision anchor.
     ///
     /// # Panics
@@ -216,9 +216,11 @@ impl EnvisionChip {
     /// Wall-clock time to execute a layer, in seconds.
     #[must_use]
     pub fn layer_time_s(&self, layer: &LayerRun) -> f64 {
-        let macs_per_s =
-            self.mac_units as f64 * layer.mode.lanes() as f64 * self.mac_efficiency * layer.f_mhz
-                * 1e6;
+        let macs_per_s = self.mac_units as f64
+            * layer.mode.lanes() as f64
+            * self.mac_efficiency
+            * layer.f_mhz
+            * 1e6;
         layer.mmacs_per_frame * 1e6 / macs_per_s
     }
 

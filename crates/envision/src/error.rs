@@ -31,7 +31,10 @@ impl fmt::Display for EnvisionError {
                 write!(f, "{bits}-bit operands do not fit {lane_bits}-bit lanes")
             }
             EnvisionError::FrequencyOutOfRange { mhz } => {
-                write!(f, "frequency {mhz} MHz outside the chip's 10..=200 MHz range")
+                write!(
+                    f,
+                    "frequency {mhz} MHz outside the chip's 10..=200 MHz range"
+                )
             }
             EnvisionError::InvalidSparsity { value } => {
                 write!(f, "sparsity {value} outside the valid range 0..1")
@@ -48,9 +51,12 @@ mod tests {
 
     #[test]
     fn messages_render() {
-        assert!(EnvisionError::BitsExceedLane { bits: 9, lane_bits: 8 }
-            .to_string()
-            .contains('9'));
+        assert!(EnvisionError::BitsExceedLane {
+            bits: 9,
+            lane_bits: 8
+        }
+        .to_string()
+        .contains('9'));
         assert!(EnvisionError::FrequencyOutOfRange { mhz: 500.0 }
             .to_string()
             .contains("500"));

@@ -32,6 +32,8 @@
 //! assert!(p > 5.0 && p < 50.0, "4x4b @ 50 MHz draws ~18 mW, got {p}");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod chip;
 pub mod error;
 pub mod measure;

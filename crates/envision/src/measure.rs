@@ -39,7 +39,7 @@ impl Fig8Sweep {
     pub fn new(chip: EnvisionChip) -> Self {
         Fig8Sweep {
             chip,
-            das_profile: extract_das_profile(150, 0xF16_8),
+            das_profile: extract_das_profile(150, 0xF168),
         }
     }
 
@@ -50,7 +50,9 @@ impl Fig8Sweep {
     }
 
     fn das_depth(&self, bits: u32) -> f64 {
-        self.das_profile.at_bits(bits).map_or(1.0, |e| e.depth_ratio)
+        self.das_profile
+            .at_bits(bits)
+            .map_or(1.0, |e| e.depth_ratio)
     }
 
     fn layer(mode: SubwordMode, f_mhz: f64, bits: u32) -> LayerRun {
@@ -265,7 +267,11 @@ mod tests {
         // Paper: 300 mW -> 18 mW at 4x4b / 50 MHz constant throughput.
         let p = s.at_constant_throughput(ScalingMode::Dvafs, 4);
         assert_eq!(p.f_mhz, 50.0);
-        assert!(p.power_mw > 10.0 && p.power_mw < 26.0, "power {}", p.power_mw);
+        assert!(
+            p.power_mw > 10.0 && p.power_mw < 26.0,
+            "power {}",
+            p.power_mw
+        );
         // Improvement over DAS at constant throughput: paper 6.9x.
         let das = s.at_constant_throughput(ScalingMode::Das, 4);
         let gain = das.energy_rel / p.energy_rel;
@@ -295,8 +301,16 @@ mod tests {
         let lenet = &t[2];
         // Paper totals: VGG 26 mW / 2 TOPS/W, AlexNet 44 mW / 1.8 TOPS/W,
         // LeNet 25 mW / 3 TOPS/W. Allow the model a factor ~2 window.
-        assert!(vgg.avg_power_mw > 13.0 && vgg.avg_power_mw < 60.0, "VGG {}", vgg.avg_power_mw);
-        assert!(alex.avg_power_mw > 22.0 && alex.avg_power_mw < 100.0, "Alex {}", alex.avg_power_mw);
+        assert!(
+            vgg.avg_power_mw > 13.0 && vgg.avg_power_mw < 60.0,
+            "VGG {}",
+            vgg.avg_power_mw
+        );
+        assert!(
+            alex.avg_power_mw > 22.0 && alex.avg_power_mw < 100.0,
+            "Alex {}",
+            alex.avg_power_mw
+        );
         assert!(
             lenet.avg_power_mw > 5.0 && lenet.avg_power_mw < 50.0,
             "LeNet {}",
@@ -334,6 +348,9 @@ mod tests {
             .flat_map(|n| n.rows.iter())
             .map(|r| r.tops_per_w)
             .fold(0.0, f64::max);
-        assert!((lenet1.tops_per_w - all_max).abs() < 1e-9, "LeNet1 must top the table");
+        assert!(
+            (lenet1.tops_per_w - all_max).abs() < 1e-9,
+            "LeNet1 must top the table"
+        );
     }
 }

@@ -29,7 +29,13 @@ pub struct LayerRun {
 impl LayerRun {
     /// A dense (non-sparse) layer descriptor.
     #[must_use]
-    pub fn dense(mode: SubwordMode, f_mhz: f64, weight_bits: u32, input_bits: u32, mmacs: f64) -> Self {
+    pub fn dense(
+        mode: SubwordMode,
+        f_mhz: f64,
+        weight_bits: u32,
+        input_bits: u32,
+        mmacs: f64,
+    ) -> Self {
         LayerRun {
             name: format!("{mode}@{f_mhz}MHz"),
             mode,
@@ -180,7 +186,10 @@ mod tests {
         let l = LayerRun::dense(SubwordMode::X4, 50.0, 5, 4, 1.0);
         assert!(matches!(
             l.validate(),
-            Err(EnvisionError::BitsExceedLane { bits: 5, lane_bits: 4 })
+            Err(EnvisionError::BitsExceedLane {
+                bits: 5,
+                lane_bits: 4
+            })
         ));
     }
 

@@ -48,7 +48,10 @@ impl SyntheticDataset {
         width: usize,
         seed: u64,
     ) -> Self {
-        assert!(samples > 0 && classes > 0, "dataset dimensions must be positive");
+        assert!(
+            samples > 0 && classes > 0,
+            "dataset dimensions must be positive"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut images = Vec::with_capacity(samples);
         let mut labels = Vec::with_capacity(samples);
@@ -153,7 +156,10 @@ mod tests {
             .zip(d.images()[1].as_slice())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 1.0, "classes should be visually distinct, diff={diff}");
+        assert!(
+            diff > 1.0,
+            "classes should be visually distinct, diff={diff}"
+        );
     }
 
     #[test]

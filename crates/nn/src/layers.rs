@@ -86,7 +86,9 @@ impl Conv2d {
         // Uniform(-sqrt(3)σ, sqrt(3)σ) has standard deviation σ.
         let lim = std * 3f32.sqrt();
         let weights = (0..count).map(|_| rng.gen_range(-lim..lim)).collect();
-        let bias = (0..out_channels).map(|_| rng.gen_range(-0.05..0.05)).collect();
+        let bias = (0..out_channels)
+            .map(|_| rng.gen_range(-0.05..0.05))
+            .collect();
         Conv2d {
             weights,
             bias,
@@ -134,9 +136,16 @@ impl Conv2d {
         (oh, ow)
     }
 
-    fn forward(&self, input: &Tensor, wbits: u32, abits: u32) -> Result<(Tensor, LayerStats), NnError> {
+    fn forward(
+        &self,
+        input: &Tensor,
+        wbits: u32,
+        abits: u32,
+    ) -> Result<(Tensor, LayerStats), NnError> {
         let (c, h, w) = input.shape();
-        if c != self.in_channels || h + 2 * self.padding < self.kernel || w + 2 * self.padding < self.kernel
+        if c != self.in_channels
+            || h + 2 * self.padding < self.kernel
+            || w + 2 * self.padding < self.kernel
         {
             return Err(NnError::ShapeMismatch {
                 expected: (self.in_channels, self.kernel, self.kernel),
@@ -180,7 +189,12 @@ impl Conv2d {
                             }
                         }
                     }
-                    out.set(f, oy, ox, (acc as f64 * scale + f64::from(self.bias[f])) as f32);
+                    out.set(
+                        f,
+                        oy,
+                        ox,
+                        (acc as f64 * scale + f64::from(self.bias[f])) as f32,
+                    );
                 }
             }
         }
@@ -214,12 +228,17 @@ impl Dense {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn random(inputs: usize, outputs: usize, seed: u64) -> Self {
-        assert!(inputs > 0 && outputs > 0, "dense dimensions must be positive");
+        assert!(
+            inputs > 0 && outputs > 0,
+            "dense dimensions must be positive"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let std = (2.0 / inputs as f32).sqrt();
         let lim = std * 3f32.sqrt();
         Dense {
-            weights: (0..inputs * outputs).map(|_| rng.gen_range(-lim..lim)).collect(),
+            weights: (0..inputs * outputs)
+                .map(|_| rng.gen_range(-lim..lim))
+                .collect(),
             bias: (0..outputs).map(|_| rng.gen_range(-0.05..0.05)).collect(),
             inputs,
             outputs,
@@ -256,7 +275,12 @@ impl Dense {
         t
     }
 
-    fn forward(&self, input: &Tensor, wbits: u32, abits: u32) -> Result<(Tensor, LayerStats), NnError> {
+    fn forward(
+        &self,
+        input: &Tensor,
+        wbits: u32,
+        abits: u32,
+    ) -> Result<(Tensor, LayerStats), NnError> {
         if input.len() != self.inputs {
             return Err(NnError::ShapeMismatch {
                 expected: (1, 1, self.inputs),
@@ -283,7 +307,12 @@ impl Dense {
                 }
                 acc += i64::from(a) * i64::from(wv);
             }
-            out.set(0, 0, z, (acc as f64 * scale + f64::from(self.bias[z])) as f32);
+            out.set(
+                0,
+                0,
+                z,
+                (acc as f64 * scale + f64::from(self.bias[z])) as f32,
+            );
         }
         Ok((out, stats))
     }
@@ -443,7 +472,9 @@ mod tests {
     #[test]
     fn maxpool_takes_patch_maximum() {
         let t = Tensor::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f32);
-        let (out, _) = Layer::MaxPool2d { k: 2, stride: 2 }.forward(&t, 16, 16).unwrap();
+        let (out, _) = Layer::MaxPool2d { k: 2, stride: 2 }
+            .forward(&t, 16, 16)
+            .unwrap();
         assert_eq!(out.shape(), (1, 2, 2));
         assert_eq!(out.get(0, 0, 0), 5.0);
         assert_eq!(out.get(0, 1, 1), 15.0);
@@ -453,7 +484,9 @@ mod tests {
     fn overlapping_pool_shape() {
         // AlexNet-style 3x3 stride-2 pooling.
         let t = Tensor::random(2, 13, 13, 8);
-        let (out, _) = Layer::MaxPool2d { k: 3, stride: 2 }.forward(&t, 16, 16).unwrap();
+        let (out, _) = Layer::MaxPool2d { k: 3, stride: 2 }
+            .forward(&t, 16, 16)
+            .unwrap();
         assert_eq!(out.shape(), (2, 6, 6));
     }
 
@@ -512,7 +545,10 @@ mod tests {
 
     #[test]
     fn layer_names() {
-        assert_eq!(Layer::Conv2d(Conv2d::random(1, 6, 5, 1, 2, 0)).name(), "conv5x5x6");
+        assert_eq!(
+            Layer::Conv2d(Conv2d::random(1, 6, 5, 1, 2, 0)).name(),
+            "conv5x5x6"
+        );
         assert_eq!(Layer::Dense(Dense::random(10, 4, 0)).name(), "fc4");
         assert_eq!(Layer::MaxPool2d { k: 2, stride: 2 }.name(), "maxpool2s2");
     }

@@ -35,6 +35,8 @@
 //! assert!((0.0..=1.0).contains(&agreement));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dataset;
 pub mod error;
 pub mod layers;

@@ -54,10 +54,13 @@ pub fn lenet5(seed: u64) -> Network {
 ///
 /// # Panics
 ///
-/// Panics if the input is too small for the layer cascade (`input >= 35`).
+/// Panics if the input is too small for the layer cascade (`input >= 67`,
+/// below which the final max-pool output vanishes).
 #[must_use]
 pub fn alexnet(input: usize, scale: f64, seed: u64) -> Network {
-    assert!(input >= 35, "AlexNet needs at least 35x35 inputs");
+    // Below 67x67 the final 3x3/2 max-pool output vanishes (p5 = 0) and the
+    // classifier head would get zero inputs.
+    assert!(input >= 67, "AlexNet needs at least 67x67 inputs");
     let c1 = scaled(96, scale);
     let c2 = scaled(256, scale);
     let c3 = scaled(384, scale);
@@ -107,7 +110,10 @@ pub fn alexnet(input: usize, scale: f64, seed: u64) -> Network {
 /// Panics if the input is not divisible by 32 (five pooling stages).
 #[must_use]
 pub fn vgg16(input: usize, scale: f64, seed: u64) -> Network {
-    assert!(input >= 32 && input % 32 == 0, "VGG16 input must be a multiple of 32");
+    assert!(
+        input >= 32 && input % 32 == 0,
+        "VGG16 input must be a multiple of 32"
+    );
     let blocks: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
     let mut layers = Vec::new();
     let mut in_c = 3usize;
@@ -125,7 +131,11 @@ pub fn vgg16(input: usize, scale: f64, seed: u64) -> Network {
     let final_hw = input / 32;
     let flat = in_c * final_hw * final_hw;
     let f1 = scaled(512, scale);
-    layers.push(Layer::Dense(Dense::random(flat, f1, seed_i.wrapping_add(1))));
+    layers.push(Layer::Dense(Dense::random(
+        flat,
+        f1,
+        seed_i.wrapping_add(1),
+    )));
     layers.push(Layer::ReLU);
     layers.push(Layer::Dense(Dense::random(f1, f1, seed_i.wrapping_add(2))));
     layers.push(Layer::ReLU);
@@ -161,11 +171,26 @@ impl LayerMacs {
 #[must_use]
 pub fn alexnet_conv_macs() -> Vec<LayerMacs> {
     vec![
-        LayerMacs { name: "AlexNet1".into(), macs: conv_macs(3, 96, 11, 55, 55) },
-        LayerMacs { name: "AlexNet2".into(), macs: conv_macs(48, 256, 5, 27, 27) },
-        LayerMacs { name: "AlexNet3".into(), macs: conv_macs(256, 384, 3, 13, 13) },
-        LayerMacs { name: "AlexNet4".into(), macs: conv_macs(192, 384, 3, 13, 13) },
-        LayerMacs { name: "AlexNet5".into(), macs: conv_macs(192, 256, 3, 13, 13) },
+        LayerMacs {
+            name: "AlexNet1".into(),
+            macs: conv_macs(3, 96, 11, 55, 55),
+        },
+        LayerMacs {
+            name: "AlexNet2".into(),
+            macs: conv_macs(48, 256, 5, 27, 27),
+        },
+        LayerMacs {
+            name: "AlexNet3".into(),
+            macs: conv_macs(256, 384, 3, 13, 13),
+        },
+        LayerMacs {
+            name: "AlexNet4".into(),
+            macs: conv_macs(192, 384, 3, 13, 13),
+        },
+        LayerMacs {
+            name: "AlexNet5".into(),
+            macs: conv_macs(192, 256, 3, 13, 13),
+        },
     ]
 }
 
@@ -200,8 +225,14 @@ pub fn vgg16_conv_macs() -> Vec<LayerMacs> {
 #[must_use]
 pub fn lenet5_conv_macs() -> Vec<LayerMacs> {
     vec![
-        LayerMacs { name: "LeNet1".into(), macs: conv_macs(1, 6, 5, 28, 28) },
-        LayerMacs { name: "LeNet2".into(), macs: conv_macs(6, 16, 5, 10, 10) },
+        LayerMacs {
+            name: "LeNet1".into(),
+            macs: conv_macs(1, 6, 5, 28, 28),
+        },
+        LayerMacs {
+            name: "LeNet2".into(),
+            macs: conv_macs(6, 16, 5, 10, 10),
+        },
     ]
 }
 

@@ -81,7 +81,10 @@ impl QuantConfig {
     ///
     /// Panics when `i` is out of range.
     pub fn set_layer(&mut self, i: usize, weights: u32, activations: u32) {
-        self.entries[i] = LayerPrecision { weights, activations };
+        self.entries[i] = LayerPrecision {
+            weights,
+            activations,
+        };
     }
 
     /// The largest precision any layer requests (what the data path must
@@ -332,7 +335,10 @@ mod tests {
         let input = Tensor::random(1, 8, 8, 1);
         assert!(matches!(
             net.forward(&input, &cfg),
-            Err(NnError::ConfigLengthMismatch { layers: 4, entries: 2 })
+            Err(NnError::ConfigLengthMismatch {
+                layers: 4,
+                entries: 2
+            })
         ));
     }
 
@@ -357,7 +363,10 @@ mod tests {
         let full = QuantConfig::uniform(net.layer_count(), 16, 16);
         let brutal = QuantConfig::uniform(net.layer_count(), 1, 1);
         let acc = net.relative_accuracy(&data, &brutal, &full);
-        assert!(acc < 1.0, "1-bit quantization should break agreement, acc={acc}");
+        assert!(
+            acc < 1.0,
+            "1-bit quantization should break agreement, acc={acc}"
+        );
     }
 
     #[test]

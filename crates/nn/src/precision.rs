@@ -216,10 +216,20 @@ mod tests {
     fn looser_target_never_needs_more_bits() {
         let net = tiny_net();
         let d = data();
-        let strict = PrecisionSearch::new().with_target(0.99).search(&net, &d, Operand::Weights);
-        let loose = PrecisionSearch::new().with_target(0.75).search(&net, &d, Operand::Weights);
+        let strict = PrecisionSearch::new()
+            .with_target(0.99)
+            .search(&net, &d, Operand::Weights);
+        let loose = PrecisionSearch::new()
+            .with_target(0.75)
+            .search(&net, &d, Operand::Weights);
         for (s, l) in strict.iter().zip(loose.iter()) {
-            assert!(l.bits <= s.bits, "{}: loose {} > strict {}", s.layer_name, l.bits, s.bits);
+            assert!(
+                l.bits <= s.bits,
+                "{}: loose {} > strict {}",
+                s.layer_name,
+                l.bits,
+                s.bits
+            );
         }
     }
 

@@ -32,7 +32,11 @@ impl QuantizedTensor {
         if bits == 0 || bits > 16 {
             return Err(NnError::InvalidBits { bits });
         }
-        let qmax = if bits == 1 { 1 } else { (1i32 << (bits - 1)) - 1 };
+        let qmax = if bits == 1 {
+            1
+        } else {
+            (1i32 << (bits - 1)) - 1
+        };
         let max_abs = f64::from(t.max_abs());
         let scale = if max_abs == 0.0 {
             1.0

@@ -36,7 +36,10 @@ pub struct SparsityReport {
 ///
 /// Panics if `target` is outside `[0, 1)`.
 pub fn prune_to_sparsity(net: &mut Network, target: f64) {
-    assert!((0.0..1.0).contains(&target), "sparsity target must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&target),
+        "sparsity target must be in [0, 1)"
+    );
     for layer in net.layers_mut() {
         let weights: &mut [f32] = match layer {
             Layer::Conv2d(c) => c.weights_mut(),
@@ -87,8 +90,16 @@ pub fn measure_sparsity(
         .map(|(&li, &(macs, zw, za))| SparsityReport {
             layer_index: li,
             layer_name: net.layers()[li].name(),
-            weight_sparsity: if macs > 0 { zw as f64 / macs as f64 } else { 0.0 },
-            input_sparsity: if macs > 0 { za as f64 / macs as f64 } else { 0.0 },
+            weight_sparsity: if macs > 0 {
+                zw as f64 / macs as f64
+            } else {
+                0.0
+            },
+            input_sparsity: if macs > 0 {
+                za as f64 / macs as f64
+            } else {
+                0.0
+            },
             macs_per_input: macs / data.len() as u64,
         })
         .collect()

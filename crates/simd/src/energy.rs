@@ -286,7 +286,8 @@ mod tests {
         // Reused cells keep toggling: k3 < k0.
         let m = model();
         assert!(
-            m.mac_activity_factor(ScalingMode::Dvafs, 4) > m.mac_activity_factor(ScalingMode::Das, 4)
+            m.mac_activity_factor(ScalingMode::Dvafs, 4)
+                > m.mac_activity_factor(ScalingMode::Das, 4)
         );
     }
 
@@ -319,7 +320,14 @@ mod tests {
             mem_reads: 800,
             mem_writes: 100,
         };
-        let nominal = m.breakdown(&counts, 8, DomainRails::uniform(1.1), 1.1, ScalingMode::Das, 16);
+        let nominal = m.breakdown(
+            &counts,
+            8,
+            DomainRails::uniform(1.1),
+            1.1,
+            ScalingMode::Das,
+            16,
+        );
         let scaled = m.breakdown(
             &counts,
             8,

@@ -52,7 +52,10 @@ impl fmt::Display for SimdError {
                 write!(f, "address {addr} outside bank {bank} of {size} words")
             }
             SimdError::InvalidTarget { target, len } => {
-                write!(f, "branch target {target} outside program of {len} instructions")
+                write!(
+                    f,
+                    "branch target {target} outside program of {len} instructions"
+                )
             }
             SimdError::CycleLimitExceeded { limit } => {
                 write!(f, "program exceeded the cycle limit of {limit}")
@@ -71,11 +74,21 @@ mod tests {
     #[test]
     fn display_renders_all_variants() {
         let errors = vec![
-            SimdError::InvalidRegister { index: 20, count: 16, kind: "scalar" },
-            SimdError::MemoryOutOfBounds { bank: 1, addr: 99, size: 64 },
+            SimdError::InvalidRegister {
+                index: 20,
+                count: 16,
+                kind: "scalar",
+            },
+            SimdError::MemoryOutOfBounds {
+                bank: 1,
+                addr: 99,
+                size: 64,
+            },
             SimdError::InvalidTarget { target: 10, len: 5 },
             SimdError::CycleLimitExceeded { limit: 1000 },
-            SimdError::InvalidConfig { reason: "bad".to_string() },
+            SimdError::InvalidConfig {
+                reason: "bad".to_string(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

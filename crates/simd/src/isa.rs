@@ -259,16 +259,36 @@ mod tests {
 
     #[test]
     fn vector_classification() {
-        assert!(Instr::VMac { vacc: 0, vs1: 1, vs2: 2 }.is_vector());
+        assert!(Instr::VMac {
+            vacc: 0,
+            vs1: 1,
+            vs2: 2
+        }
+        .is_vector());
         assert!(!Instr::Li { rd: 0, imm: 1 }.is_vector());
-        assert!(Instr::VLoad { vd: 0, rs1: 0, offset: 0 }.is_memory());
-        assert!(!Instr::VMac { vacc: 0, vs1: 1, vs2: 2 }.is_memory());
+        assert!(Instr::VLoad {
+            vd: 0,
+            rs1: 0,
+            offset: 0
+        }
+        .is_memory());
+        assert!(!Instr::VMac {
+            vacc: 0,
+            vs1: 1,
+            vs2: 2
+        }
+        .is_memory());
     }
 
     #[test]
     fn display_is_assembly_like() {
         assert_eq!(
-            Instr::VMac { vacc: 0, vs1: 1, vs2: 2 }.to_string(),
+            Instr::VMac {
+                vacc: 0,
+                vs1: 1,
+                vs2: 2
+            }
+            .to_string(),
             "vmac v0, v1, v2"
         );
         assert_eq!(Instr::Li { rd: 3, imm: -7 }.to_string(), "li r3, -7");

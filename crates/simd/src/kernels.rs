@@ -43,7 +43,10 @@ impl ConvKernel {
     /// Panics if `taps` or `outputs` is zero.
     #[must_use]
     pub fn random(taps: usize, outputs: usize, seed: u64) -> Self {
-        assert!(taps > 0 && outputs > 0, "kernel dimensions must be positive");
+        assert!(
+            taps > 0 && outputs > 0,
+            "kernel dimensions must be positive"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         ConvKernel {
             taps,
@@ -280,26 +283,86 @@ pub fn compile_with_style(
             // Register map: r1 input addr, r3 weight addr, r4 block count,
             // r5 out addr, r6 blocks, r7 tap count, r8 taps, r9 weight.
             program.push(Instr::Li { rd: 4, imm: 0 });
-            program.push(Instr::Li { rd: 6, imm: blocks as i32 });
+            program.push(Instr::Li {
+                rd: 6,
+                imm: blocks as i32,
+            });
             program.push(Instr::Li { rd: 1, imm: 0 });
-            program.push(Instr::Li { rd: 5, imm: out_base as i32 });
+            program.push(Instr::Li {
+                rd: 5,
+                imm: out_base as i32,
+            });
             let outer = program.push(Instr::VClear { vd: 0 });
-            program.push(Instr::Li { rd: 3, imm: weight_base as i32 });
+            program.push(Instr::Li {
+                rd: 3,
+                imm: weight_base as i32,
+            });
             program.push(Instr::Li { rd: 7, imm: 0 });
-            program.push(Instr::Li { rd: 8, imm: taps as i32 });
-            let inner = program.push(Instr::LoadScalar { rd: 9, rs1: 3, offset: 0 });
+            program.push(Instr::Li {
+                rd: 8,
+                imm: taps as i32,
+            });
+            let inner = program.push(Instr::LoadScalar {
+                rd: 9,
+                rs1: 3,
+                offset: 0,
+            });
             program.push(Instr::VBroadcast { vd: 2, rs: 9 });
-            program.push(Instr::VLoad { vd: 1, rs1: 1, offset: 0 });
-            program.push(Instr::VMac { vacc: 0, vs1: 1, vs2: 2 });
-            program.push(Instr::Addi { rd: 3, rs1: 3, imm: 1 });
-            program.push(Instr::Addi { rd: 1, rs1: 1, imm: 1 });
-            program.push(Instr::Addi { rd: 7, rs1: 7, imm: 1 });
-            program.push(Instr::Bne { rs1: 7, rs2: 8, target: inner });
-            program.push(Instr::VShr { vd: 0, vs: 0, amount: shift });
-            program.push(Instr::VStore { vs: 0, rs1: 5, offset: 0 });
-            program.push(Instr::Addi { rd: 5, rs1: 5, imm: 1 });
-            program.push(Instr::Addi { rd: 4, rs1: 4, imm: 1 });
-            program.push(Instr::Bne { rs1: 4, rs2: 6, target: outer });
+            program.push(Instr::VLoad {
+                vd: 1,
+                rs1: 1,
+                offset: 0,
+            });
+            program.push(Instr::VMac {
+                vacc: 0,
+                vs1: 1,
+                vs2: 2,
+            });
+            program.push(Instr::Addi {
+                rd: 3,
+                rs1: 3,
+                imm: 1,
+            });
+            program.push(Instr::Addi {
+                rd: 1,
+                rs1: 1,
+                imm: 1,
+            });
+            program.push(Instr::Addi {
+                rd: 7,
+                rs1: 7,
+                imm: 1,
+            });
+            program.push(Instr::Bne {
+                rs1: 7,
+                rs2: 8,
+                target: inner,
+            });
+            program.push(Instr::VShr {
+                vd: 0,
+                vs: 0,
+                amount: shift,
+            });
+            program.push(Instr::VStore {
+                vs: 0,
+                rs1: 5,
+                offset: 0,
+            });
+            program.push(Instr::Addi {
+                rd: 5,
+                rs1: 5,
+                imm: 1,
+            });
+            program.push(Instr::Addi {
+                rd: 4,
+                rs1: 4,
+                imm: 1,
+            });
+            program.push(Instr::Bne {
+                rs1: 4,
+                rs2: 6,
+                target: outer,
+            });
             program.push(Instr::Halt);
         }
     }

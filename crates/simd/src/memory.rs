@@ -39,7 +39,10 @@ impl BankedMemory {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(banks: usize, words_per_bank: usize) -> Self {
-        assert!(banks > 0 && words_per_bank > 0, "memory dimensions must be positive");
+        assert!(
+            banks > 0 && words_per_bank > 0,
+            "memory dimensions must be positive"
+        );
         BankedMemory {
             banks: vec![vec![0; words_per_bank]; banks],
             words_per_bank,
@@ -73,15 +76,13 @@ impl BankedMemory {
     /// Returns [`SimdError::MemoryOutOfBounds`] for an invalid bank or
     /// address.
     pub fn read(&mut self, bank: usize, addr: usize) -> Result<u16, SimdError> {
-        let v = *self
-            .banks
-            .get(bank)
-            .and_then(|b| b.get(addr))
-            .ok_or(SimdError::MemoryOutOfBounds {
+        let v = *self.banks.get(bank).and_then(|b| b.get(addr)).ok_or(
+            SimdError::MemoryOutOfBounds {
                 bank,
                 addr,
                 size: self.words_per_bank,
-            })?;
+            },
+        )?;
         self.reads += 1;
         Ok(v)
     }

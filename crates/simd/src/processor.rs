@@ -238,7 +238,15 @@ impl Processor {
     /// Propagates ISA-level faults ([`SimdError::InvalidRegister`],
     /// [`SimdError::MemoryOutOfBounds`], [`SimdError::InvalidTarget`]) and
     /// [`SimdError::CycleLimitExceeded`].
-    pub fn run(&self, program: &Program, memory: &mut BankedMemory) -> Result<RunReport, SimdError> {
+    // Lane loops index several vector registers with the same lane/subword
+    // pair (including aliasing reads and writes of one register file), which
+    // iterator chains cannot express without split_at_mut contortions.
+    #[allow(clippy::needless_range_loop)]
+    pub fn run(
+        &self,
+        program: &Program,
+        memory: &mut BankedMemory,
+    ) -> Result<RunReport, SimdError> {
         let sw = self.config.sw;
         let n = self.config.mode.lanes();
         let mut scalar = [0i32; SCALAR_REGS];
@@ -539,8 +547,16 @@ mod tests {
         p.push(Instr::Li { rd: 1, imm: 0 }); // acc
         p.push(Instr::Li { rd: 2, imm: 5 }); // limit
         p.push(Instr::Li { rd: 3, imm: 0 }); // i
-        let loop_top = p.push(Instr::Addi { rd: 3, rs1: 3, imm: 1 });
-        p.push(Instr::Add { rd: 1, rs1: 1, rs2: 3 });
+        let loop_top = p.push(Instr::Addi {
+            rd: 3,
+            rs1: 3,
+            imm: 1,
+        });
+        p.push(Instr::Add {
+            rd: 1,
+            rs1: 1,
+            rs2: 3,
+        });
         p.push(Instr::Bne {
             rs1: 3,
             rs2: 2,
@@ -686,7 +702,9 @@ mod tests {
             let unrolled = proc
                 .run_kernel_styled(&kernel, KernelStyle::Unrolled)
                 .unwrap();
-            let looped = proc.run_kernel_styled(&kernel, KernelStyle::Looped).unwrap();
+            let looped = proc
+                .run_kernel_styled(&kernel, KernelStyle::Looped)
+                .unwrap();
             assert_eq!(unrolled.outputs, looped.outputs, "{scaling:?} {bits}b");
             assert!(looped.outputs_match(&kernel));
             // Loops trade cycles for code size.
@@ -710,9 +728,17 @@ mod tests {
     #[test]
     fn load_scalar_reads_bank_zero_sign_extended() {
         let mut p = Program::new();
-        p.push(Instr::LoadScalar { rd: 1, rs1: 0, offset: 2 });
+        p.push(Instr::LoadScalar {
+            rd: 1,
+            rs1: 0,
+            offset: 2,
+        });
         p.push(Instr::VBroadcast { vd: 0, rs: 1 });
-        p.push(Instr::VStore { vs: 0, rs1: 0, offset: 0 });
+        p.push(Instr::VStore {
+            vs: 0,
+            rs1: 0,
+            offset: 0,
+        });
         p.push(Instr::Halt);
         let proc = Processor::with_model(
             ProcConfig::new(2, ScalingMode::Das, 16).unwrap(),

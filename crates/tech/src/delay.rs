@@ -114,7 +114,10 @@ impl DelayModel {
                 });
             }
         }
-        let v_lo = anchors.iter().map(|&(v, _)| v).fold(f64::INFINITY, f64::min);
+        let v_lo = anchors
+            .iter()
+            .map(|&(v, _)| v)
+            .fold(f64::INFINITY, f64::min);
         let mut best: Option<(f64, DelayModel)> = None;
         // vth must stay below the lowest anchor voltage.
         let mut vth = 0.05;
@@ -138,9 +141,10 @@ impl DelayModel {
             }
             vth += 0.005;
         }
-        best.map(|(_, m)| m).ok_or_else(|| TechError::InvalidCalibration {
-            reason: "no feasible (vth, alpha) found for the anchors".to_string(),
-        })
+        best.map(|(_, m)| m)
+            .ok_or_else(|| TechError::InvalidCalibration {
+                reason: "no feasible (vth, alpha) found for the anchors".to_string(),
+            })
     }
 }
 

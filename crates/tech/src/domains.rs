@@ -137,9 +137,6 @@ mod tests {
 
     #[test]
     fn ordering_mem_nas_as() {
-        assert_eq!(
-            PowerDomain::ALL.map(|d| d.label()),
-            ["mem", "nas", "as"]
-        );
+        assert_eq!(PowerDomain::ALL.map(|d| d.label()), ["mem", "nas", "as"]);
     }
 }

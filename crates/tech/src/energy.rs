@@ -30,7 +30,10 @@ impl EnergyBreakdown {
     ///
     /// Panics if `joules` is negative or not finite.
     pub fn add(&mut self, domain: PowerDomain, joules: f64) {
-        assert!(joules.is_finite() && joules >= 0.0, "energy must be non-negative");
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "energy must be non-negative"
+        );
         match domain {
             PowerDomain::Memory => self.mem += joules,
             PowerDomain::NonScalable => self.nas += joules,

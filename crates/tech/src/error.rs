@@ -33,7 +33,10 @@ impl fmt::Display for TechError {
                 write!(f, "voltage {voltage} V outside valid range {min}..{max} V")
             }
             TechError::TimingUnsatisfiable { slack_ratio } => {
-                write!(f, "timing budget {slack_ratio}x nominal cannot be met at any rail")
+                write!(
+                    f,
+                    "timing budget {slack_ratio}x nominal cannot be met at any rail"
+                )
             }
             TechError::InvalidCalibration { reason } => {
                 write!(f, "invalid delay calibration: {reason}")

@@ -29,6 +29,8 @@
 //! assert!(relaxed < tight);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod delay;
 pub mod domains;
 pub mod energy;

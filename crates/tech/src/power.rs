@@ -91,7 +91,8 @@ pub fn extract_k_params(
     [4u32, 8, 12, 16]
         .iter()
         .map(|&bits| {
-            let dvas = OperatingPoint::derive(tech, ScalingMode::Dvas, bits, das_profile, dvafs_profile);
+            let dvas =
+                OperatingPoint::derive(tech, ScalingMode::Dvas, bits, das_profile, dvafs_profile);
             let dvafs =
                 OperatingPoint::derive(tech, ScalingMode::Dvafs, bits, das_profile, dvafs_profile);
             let k0 = 1.0 / dvas.activity_per_word;
@@ -168,7 +169,13 @@ impl MultiplierEnergyModel {
     /// Energy per word at one operating point.
     #[must_use]
     pub fn energy_per_word(&self, mode: ScalingMode, bits: u32) -> EnergySample {
-        let p = OperatingPoint::derive(&self.tech, mode, bits, &self.das_profile, &self.dvafs_profile);
+        let p = OperatingPoint::derive(
+            &self.tech,
+            mode,
+            bits,
+            &self.das_profile,
+            &self.dvafs_profile,
+        );
         let relative = (1.0 + self.reconfig_overhead) * p.energy_per_word_relative(&self.tech);
         EnergySample {
             mode,
@@ -295,7 +302,11 @@ mod tests {
     fn fig3a_dvafs_saves_over_95_percent_at_4b() {
         let m = model();
         let s = m.energy_per_word(ScalingMode::Dvafs, 4);
-        assert!(s.relative < 0.05, "DVAFS 4x4b relative energy {}", s.relative);
+        assert!(
+            s.relative < 0.05,
+            "DVAFS 4x4b relative energy {}",
+            s.relative
+        );
     }
 
     #[test]

@@ -212,8 +212,16 @@ mod tests {
         let dvas_4 = OperatingPoint::derive(&tech, ScalingMode::Dvas, 4, &das, &dvafs);
         let dvafs_4 = OperatingPoint::derive(&tech, ScalingMode::Dvafs, 4, &das, &dvafs);
         // Paper: DVAS reaches ~0.9 V, DVAFS ~0.75 V at 4 bits.
-        assert!((dvas_4.v_as - 0.9).abs() < 0.07, "DVAS v_as {}", dvas_4.v_as);
-        assert!((dvafs_4.v_as - 0.75).abs() < 0.07, "DVAFS v_as {}", dvafs_4.v_as);
+        assert!(
+            (dvas_4.v_as - 0.9).abs() < 0.07,
+            "DVAS v_as {}",
+            dvas_4.v_as
+        );
+        assert!(
+            (dvafs_4.v_as - 0.75).abs() < 0.07,
+            "DVAFS v_as {}",
+            dvafs_4.v_as
+        );
         // DAS never scales voltage.
         let das_4 = OperatingPoint::derive(&tech, ScalingMode::Das, 4, &das, &dvafs);
         assert_eq!(das_4.v_as, tech.nominal_voltage());
@@ -248,7 +256,10 @@ mod tests {
             e(ScalingMode::Dvas),
             e(ScalingMode::Dvafs),
         );
-        assert!(e_das > e_dvas && e_dvas > e_dvafs, "{e_das} {e_dvas} {e_dvafs}");
+        assert!(
+            e_das > e_dvas && e_dvas > e_dvafs,
+            "{e_das} {e_dvas} {e_dvafs}"
+        );
         // Paper: >95% saving vs the 16b baseline at 4x4b.
         assert!(e_dvafs < 0.08, "DVAFS 4b relative energy {e_dvafs}");
     }

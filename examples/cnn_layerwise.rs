@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sanity: the tuned configuration still agrees with full precision.
     let full_cfg = QuantConfig::uniform(net.layer_count(), 16, 16);
     let agreement = net.relative_accuracy(&data, &cfg, &full_cfg);
-    println!("relative accuracy of the tuned network: {:.1}%", agreement * 100.0);
+    println!(
+        "relative accuracy of the tuned network: {:.1}%",
+        agreement * 100.0
+    );
     println!(
         "energy per input: {:.4} mJ tuned vs {:.4} mJ all-16b ({:.1}x saved)",
         tuned_energy_mj,

@@ -114,7 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Encode/decode every 8x8 block at each precision; SNR vs the source.
     let controller = DvafsController::new();
     let mut t = TextTable::new(vec![
-        "DCT precision", "image SNR [dB]", "SNR loss [dB]", "DVAFS E/word [rel]",
+        "DCT precision",
+        "image SNR [dB]",
+        "SNR loss [dB]",
+        "DVAFS E/word [rel]",
     ]);
     let original: Vec<f64> = image.iter().flatten().copied().collect();
     let mut snr_full = 0.0;

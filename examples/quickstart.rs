@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. The policy side: what does each precision requirement cost?
     let controller = DvafsController::new();
     let mut t = TextTable::new(vec![
-        "precision", "mode", "f [MHz]", "Vas [V]", "Vnas [V]", "E/word [rel]",
+        "precision",
+        "mode",
+        "f [MHz]",
+        "Vas [V]",
+        "Vnas [V]",
+        "E/word [rel]",
     ]);
     for bits in [16u32, 12, 8, 4] {
         let plan = controller.plan(Precision::new(bits)?)?;

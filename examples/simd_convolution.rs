@@ -28,8 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut t = TextTable::new(vec![
-        "regime", "bits", "mode", "f[MHz]", "Vas", "Vnas", "cycles", "mem%", "nas%", "as%",
-        "P[mW]", "E/word[pJ]",
+        "regime",
+        "bits",
+        "mode",
+        "f[MHz]",
+        "Vas",
+        "Vnas",
+        "cycles",
+        "mem%",
+        "nas%",
+        "as%",
+        "P[mW]",
+        "E/word[pJ]",
     ]);
     let mut baseline = None;
     for scaling in ScalingMode::ALL {
@@ -37,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let cfg = ProcConfig::new(8, scaling, bits)?;
             let proc = Processor::with_model(cfg, model.clone());
             let r = proc.run_kernel(&kernel)?;
-            assert!(r.outputs_match(&kernel), "hardware outputs must be bit-exact");
+            assert!(
+                r.outputs_match(&kernel),
+                "hardware outputs must be bit-exact"
+            );
             let epw_pj = r.energy_per_word() * 1e12;
             let base = *baseline.get_or_insert(epw_pj);
             t.row(vec![

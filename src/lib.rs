@@ -5,6 +5,8 @@
 //! through one dependency. The real public API lives in [`dvafs`] and the
 //! substrate crates.
 
+#![warn(missing_docs)]
+
 pub use dvafs;
 pub use dvafs_arith;
 pub use dvafs_envision;

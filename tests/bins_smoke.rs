@@ -1,0 +1,93 @@
+//! Smoke tests: every paper-reproduction binary in `crates/bench` must build
+//! and exit 0, so the figure/table entry points cannot silently rot.
+//!
+//! Each binary is invoked through `cargo run --release`: the gate-level
+//! simulators are orders of magnitude slower unoptimized, and the tier-1
+//! pipeline (`cargo build --release && cargo test -q`) leaves a warm release
+//! cache. Output is captured and only shown on failure.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Every `[[bin]]` target of `dvafs-bench`, one per paper artefact.
+const FIGURE_BINARIES: &[&str] = &[
+    "fig2",
+    "fig3a",
+    "fig3b",
+    "fig4",
+    "fig6",
+    "fig8",
+    "table1",
+    "table2",
+    "table3",
+    "ablations",
+];
+
+fn run_bench_binary(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let output = Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "--release",
+            "-p",
+            "dvafs-bench",
+            "--bin",
+            name,
+        ])
+        // Binaries with an expensive default configuration honour --fast
+        // (currently fig6); the rest ignore argv.
+        .arg("--")
+        .arg("--fast")
+        .current_dir(workspace_root)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo run --bin {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "binary {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "binary {name} exited 0 but printed nothing"
+    );
+}
+
+macro_rules! smoke {
+    ($($name:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() {
+            run_bench_binary(stringify!($name));
+        }
+    )*};
+}
+
+smoke!(fig2, fig3a, fig3b, fig4, fig6, fig8, table1, table2, table3, ablations);
+
+#[test]
+fn smoke_list_matches_bench_bin_dir() {
+    // Guard the guard: if a new binary is added under crates/bench/src/bin,
+    // it must be added to FIGURE_BINARIES above (and the smoke! list).
+    let bin_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/bench/src/bin");
+    let mut on_disk: Vec<String> = std::fs::read_dir(bin_dir)
+        .expect("crates/bench/src/bin exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .map(|p| {
+            p.file_stem()
+                .expect("file has a stem")
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = FIGURE_BINARIES.iter().map(ToString::to_string).collect();
+    listed.sort();
+    assert_eq!(
+        listed, on_disk,
+        "smoke-test list out of sync with crates/bench/src/bin"
+    );
+}

@@ -25,7 +25,10 @@ fn multiplier_energy_ordering_and_dynamic_range() {
         assert!(get(ScalingMode::Dvas, bits) >= get(ScalingMode::Dvafs, bits));
     }
     let range = get(ScalingMode::Dvafs, 16) / get(ScalingMode::Dvafs, 4);
-    assert!(range > 10.0, "multiplier dynamic range {range} (paper ~20x)");
+    assert!(
+        range > 10.0,
+        "multiplier dynamic range {range} (paper ~20x)"
+    );
     // >95% saving at 4x4b.
     assert!(get(ScalingMode::Dvafs, 4) < 0.05);
 }
@@ -91,13 +94,8 @@ fn envision_efficiency_spans_paper_range() {
         16,
         100.0,
     );
-    let quad = dvafs_envision::workload::LayerRun::dense(
-        dvafs_arith::SubwordMode::X4,
-        50.0,
-        4,
-        4,
-        100.0,
-    );
+    let quad =
+        dvafs_envision::workload::LayerRun::dense(dvafs_arith::SubwordMode::X4, 50.0, 4, 4, 100.0);
     let e_full = chip.tops_per_w(&full);
     let e_quad = chip.tops_per_w(&quad);
     assert!(e_full > 0.15 && e_full < 0.6, "16b efficiency {e_full}");

@@ -1,0 +1,155 @@
+//! Offline stub of `criterion`.
+//!
+//! The build environment has no registry access, so this vendors the subset
+//! of the criterion API used by `crates/bench/benches/`: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId` and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark runs a short warm-up plus a fixed measurement loop and
+//! prints mean wall-clock time per iteration. There is no statistical
+//! analysis, outlier rejection, or HTML report — swap `vendor/criterion` for
+//! crates.io `criterion = "0.5"` in `[workspace.dependencies]` for real
+//! measurements.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (after a 3-iteration warm-up).
+const MEASURE_ITERS: u32 = 30;
+
+/// Identifier for one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into one id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..3 {
+            std::hint::black_box(body());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std::hint::black_box(body());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / f64::from(MEASURE_ITERS);
+    }
+}
+
+fn report(id: &str, bencher: &Bencher) {
+    println!("bench {id:<48} {:>12.0} ns/iter", bencher.nanos_per_iter);
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(id, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Finishes the group (a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into one runner, like `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups, like `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_time() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

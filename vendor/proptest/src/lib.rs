@@ -1,0 +1,385 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no registry access, so this vendors the subset
+//! of the proptest API used by the workspace's property tests:
+//!
+//! - the [`proptest!`] macro with `#![proptest_config(...)]`
+//! - [`strategy::Strategy`] with `Value`, implemented for numeric ranges,
+//!   [`strategy::Just`], [`prop_oneof!`] unions and [`arbitrary::any`]
+//! - [`array::uniform4`]
+//! - [`prop_assert!`] / [`prop_assert_eq!`]
+//!
+//! Semantics versus the real crate: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test name), and there is **no shrinking** —
+//! a failure reports the raw case. That trades minimal counterexamples for
+//! zero dependencies; swap `vendor/proptest` for crates.io `proptest = "1.4"`
+//! in `[workspace.dependencies]` when the registry is reachable.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-case plumbing used by the expansion of [`crate::proptest!`].
+
+    use std::collections::hash_map::DefaultHasher;
+    use std::fmt;
+    use std::hash::{Hash, Hasher};
+
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+
+    /// Builds the deterministic RNG for one property test.
+    pub fn rng_for_test(test_name: &str) -> TestRng {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        // Fixed namespace constant so the stream is stable across runs.
+        0xDA7E_2017_5EEDu64.hash(&mut h);
+        TestRng::seed_from_u64(h.finish())
+    }
+
+    /// A failed property case (no shrinking in the stub).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and basic combinators.
+
+    use super::test_runner::TestRng;
+    use rand::{Rng, SampleRange, SampleUniform};
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// just draws a value from the test RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases this strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased [`Strategy`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+
+    impl<T> Strategy for core::ops::Range<T>
+    where
+        T: SampleUniform + Copy,
+        core::ops::Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for core::ops::RangeInclusive<T>
+    where
+        T: SampleUniform + Copy,
+        core::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitives.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::{Rng, StandardSample};
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: StandardSample> Arbitrary for T {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: core::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (uniform over the whole domain).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; 4]`, all cells drawn from one strategy.
+    pub struct Uniform4<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform4<S> {
+        type Value = [S::Value; 4];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            [
+                self.0.sample(rng),
+                self.0.sample(rng),
+                self.0.sample(rng),
+                self.0.sample(rng),
+            ]
+        }
+    }
+
+    /// Four independent draws from `strategy`, as an array.
+    pub fn uniform4<S: Strategy>(strategy: S) -> Uniform4<S> {
+        Uniform4(strategy)
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::array::uniform4`, ...).
+        pub use crate::array;
+    }
+}
+
+/// Runs each contained `#[test]` function over many sampled cases.
+///
+/// Supports the subset of the real macro's grammar used in this workspace:
+/// an optional leading `#![proptest_config(...)]`, then test functions whose
+/// arguments are `ident in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch {$cfg} $($rest)*);
+    };
+    (@munch {$cfg:expr} $(
+        $(#[$meta:meta])*
+        fn $name:ident($($bind:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $bind =
+                            $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    let outcome = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch {$crate::ProptestConfig::default()} $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {:?} != {:?}: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn coin() -> impl Strategy<Value = u8> {
+        prop_oneof![Just(0u8), Just(1u8)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -8i32..=7, y in 0usize..4, f in 0.5f64..1.2) {
+            prop_assert!((-8..=7).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((0.5..1.2).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_arrays(c in coin(), arr in prop::array::uniform4(-8i32..=7)) {
+            prop_assert!(c <= 1);
+            for v in arr {
+                prop_assert!((-8..=7).contains(&v));
+            }
+        }
+
+        #[test]
+        fn any_works(b in any::<bool>(), w in any::<u16>()) {
+            prop_assert!(u16::from(b) <= 1);
+            prop_assert_eq!(w.wrapping_sub(w), 0);
+        }
+    }
+}

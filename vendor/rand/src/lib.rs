@@ -1,0 +1,256 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! The build environment has no registry access, so this vendors the subset
+//! of the `rand` API the workspace actually calls:
+//!
+//! - [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`]
+//! - [`Rng::gen`] for the primitive types
+//! - [`Rng::gen_range`] over `Range` / `RangeInclusive` of ints and floats
+//!
+//! The generator is SplitMix64 — statistically solid for simulation inputs
+//! and fully deterministic per seed, which is all the experiment harness
+//! needs. Note the stream differs from the real `StdRng` (ChaCha12), so
+//! seeded expectations would shift if the real crate is swapped back in;
+//! no test in this workspace asserts exact drawn values.
+
+#![warn(missing_docs)]
+
+/// The core of every generator: a source of `u64` words.
+pub trait RngCore {
+    /// Returns the next word in the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// Mirrors `rand::SeedableRng`; only the `seed_from_u64` entry point is used.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::gen`] (the stub's stand-in for the `Standard`
+/// distribution).
+pub trait StandardSample: Sized {
+    /// Draws one uniformly distributed value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types usable as the output of [`Rng::gen_range`].
+///
+/// Mirrors `rand::distributions::uniform::SampleUniform`; the single blanket
+/// [`SampleRange`] impl below is what lets type inference flow from an
+/// untyped range literal to the surrounding expression, exactly like the
+/// real crate.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for ::core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for ::core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let unit = <$t as StandardSample>::standard_sample(rng);
+                let v = lo + unit * (hi - lo);
+                // FP rounding in the lerp can land exactly on `hi`; keep the
+                // half-open contract by folding that draw back to `lo`.
+                if !inclusive && v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Mirrors `rand::Rng`: convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one value of an inferred primitive type.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        Ra: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as StandardSample>::standard_sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators (only `StdRng` in the stub).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-32768..=32767);
+            assert!((-32768..=32767).contains(&v));
+            let f = rng.gen_range(-0.05f64..0.05);
+            assert!((-0.05..0.05).contains(&f));
+            let u = rng.gen_range(0usize..4);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn float_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+}

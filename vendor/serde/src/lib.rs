@@ -1,0 +1,21 @@
+//! Offline stub of `serde`.
+//!
+//! Mirrors the subset of the real API this workspace touches: the
+//! `Serialize` / `Deserialize` trait names and the derive macros (re-exported
+//! from the stub [`serde_derive`]). The derives expand to nothing, so no type
+//! actually implements the traits — which is fine, because the workspace only
+//! annotates types for future serialization and never requires the bounds.
+//!
+//! Swap for the real crates.io `serde` (same `[workspace.dependencies]`
+//! entry, `version = "1.0"`, `features = ["derive"]`) once network access or
+//! a vendored registry is available.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}
