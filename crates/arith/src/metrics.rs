@@ -37,6 +37,97 @@ pub fn operand_stream(samples: usize, seed: u64) -> Vec<(u16, u16)> {
     (0..samples).map(|_| (rng.gen(), rng.gen())).collect()
 }
 
+/// Number of operand pairs per Monte-Carlo chunk of a chunked stream.
+///
+/// The chunk layout is a property of the *experiment*, not of the machine
+/// running it: it never depends on thread count, so any partitioning of the
+/// chunks across workers reproduces the same samples.
+pub const OPERAND_CHUNK: usize = 256;
+
+/// The seed of chunk `chunk_index` of a stream rooted at `root_seed`.
+///
+/// A SplitMix64-style finalizer decorrelates neighbouring chunk seeds, so
+/// `root_seed` and `root_seed + 1` do not share sample prefixes.
+#[must_use]
+pub fn chunk_seed(root_seed: u64, chunk_index: usize) -> u64 {
+    let mut z =
+        root_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chunk_index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Number of [`OPERAND_CHUNK`]-sized chunks covering `samples` pairs.
+#[must_use]
+pub fn chunk_count(samples: usize) -> usize {
+    samples.div_ceil(OPERAND_CHUNK)
+}
+
+/// One chunk of a chunked operand stream: `len` pairs drawn from
+/// [`chunk_seed`]`(root_seed, chunk_index)`.
+#[must_use]
+pub fn operand_chunk(root_seed: u64, chunk_index: usize, len: usize) -> Vec<(u16, u16)> {
+    operand_stream(len, chunk_seed(root_seed, chunk_index))
+}
+
+/// A `samples`-pair stream as independently seeded chunks.
+///
+/// Each chunk is self-contained — chunk `i` depends only on `(root_seed,
+/// i)` — so chunks can be generated and consumed in parallel while the
+/// concatenated stream stays bit-identical to a serial walk.
+#[must_use]
+pub fn operand_stream_chunked(samples: usize, root_seed: u64) -> Vec<Vec<(u16, u16)>> {
+    (0..chunk_count(samples))
+        .map(|c| {
+            let len = OPERAND_CHUNK.min(samples - c * OPERAND_CHUNK);
+            operand_chunk(root_seed, c, len)
+        })
+        .collect()
+}
+
+/// Sum of squared product errors of an approximate multiplier over a chunk
+/// — the mergeable partial behind a chunked RMSE.
+#[must_use]
+pub fn sum_squared_error<M: ApproximateMultiplier + ?Sized>(m: &M, pairs: &[(u16, u16)]) -> f64 {
+    pairs
+        .iter()
+        .map(|&(a, b)| {
+            let exact = u64::from(a) * u64::from(b);
+            let e = m.mul(a, b) as f64 - exact as f64;
+            e * e
+        })
+        .sum()
+}
+
+/// Sum of squared errors of a `bits`-MSB truncated multiplication over a
+/// chunk (the DVAFS precision-to-RMSE mapping, chunked).
+#[must_use]
+pub fn precision_sum_squared_error(bits: u32, pairs: &[(u16, u16)]) -> f64 {
+    let drop = 16 - bits;
+    pairs
+        .iter()
+        .map(|&(a, b)| {
+            let exact = u64::from(a) * u64::from(b);
+            let aq = u64::from(a >> drop << drop);
+            let bq = u64::from(b >> drop << drop);
+            let e = (aq * bq) as f64 - exact as f64;
+            e * e
+        })
+        .sum()
+}
+
+/// Folds per-chunk squared-error partials into a full-scale-relative RMSE.
+///
+/// The fold is sequential in slice order; callers keep partials in chunk
+/// order so the result is independent of how chunks were computed.
+#[must_use]
+pub fn relative_rmse_from_partials(partials: &[f64], samples: usize) -> f64 {
+    if samples == 0 {
+        return 0.0;
+    }
+    (partials.iter().sum::<f64>() / samples as f64).sqrt() / FULL_SCALE
+}
+
 /// Absolute product RMSE of an approximate multiplier over a stream.
 #[must_use]
 pub fn product_rmse<M: ApproximateMultiplier + ?Sized>(m: &M, pairs: &[(u16, u16)]) -> f64 {
@@ -145,6 +236,55 @@ mod tests {
         // 8-bit truncation errors sit around 1e-3..1e-2 relative; the paper
         // plots DVAFS between 1e-6 and 1e-2 for 16..4 bits.
         assert!(e8 > 1e-4 && e8 < 1e-1, "e8={e8}");
+    }
+
+    #[test]
+    fn chunked_stream_layout_is_stable() {
+        let chunks = operand_stream_chunked(1000, 42);
+        assert_eq!(chunks.len(), chunk_count(1000));
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].len(), OPERAND_CHUNK);
+        assert_eq!(chunks[3].len(), 1000 - 3 * OPERAND_CHUNK);
+        // Chunk i is a pure function of (root, i): regenerating one chunk
+        // in isolation reproduces the in-stream chunk.
+        assert_eq!(chunks[2], operand_chunk(42, 2, OPERAND_CHUNK));
+        // Nearby roots do not share chunks.
+        assert_ne!(chunks[0], operand_stream_chunked(1000, 43)[0]);
+    }
+
+    #[test]
+    fn chunk_seeds_are_decorrelated() {
+        let seeds: std::collections::HashSet<u64> = (0..64).map(|c| chunk_seed(7, c)).collect();
+        assert_eq!(seeds.len(), 64);
+        assert_ne!(chunk_seed(7, 0), chunk_seed(8, 0));
+    }
+
+    #[test]
+    fn partial_sums_reproduce_whole_stream_rmse() {
+        let m = TruncatedMultiplier::new(8);
+        let chunks = operand_stream_chunked(600, 9);
+        let partials: Vec<f64> = chunks.iter().map(|c| sum_squared_error(&m, c)).collect();
+        let merged = relative_rmse_from_partials(&partials, 600);
+        let flat: Vec<(u16, u16)> = chunks.iter().flatten().copied().collect();
+        let whole = relative_rmse(&m, &flat);
+        // Same samples, same math up to summation association.
+        assert!((merged - whole).abs() < whole * 1e-12 + 1e-18);
+        assert_eq!(relative_rmse_from_partials(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn precision_partials_match_precision_rmse() {
+        let chunks = operand_stream_chunked(512, 3);
+        let flat: Vec<(u16, u16)> = chunks.iter().flatten().copied().collect();
+        for bits in [4u32, 8, 12, 16] {
+            let partials: Vec<f64> = chunks
+                .iter()
+                .map(|c| precision_sum_squared_error(bits, c))
+                .collect();
+            let merged = relative_rmse_from_partials(&partials, 512);
+            let whole = precision_relative_rmse(bits, &flat);
+            assert!((merged - whole).abs() < whole * 1e-12 + 1e-18, "{bits}b");
+        }
     }
 
     #[test]

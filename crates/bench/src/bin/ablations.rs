@@ -49,6 +49,8 @@ fn main() {
         "Ablations",
         "design choices behind the extracted parameters",
     );
+    let args = dvafs_bench::BenchArgs::parse();
+    let exec = args.executor();
     let mut rng = rand::rngs::StdRng::seed_from_u64(dvafs_bench::EXPERIMENT_SEED);
     let pairs: Vec<(u16, u16)> = (0..150).map(|_| (rng.gen(), rng.gen())).collect();
 
@@ -56,18 +58,25 @@ fn main() {
     println!("1. Operand isolation (subword multiplier, per-cycle activity vs 1x16b)");
     let isolated = build_subword_multiplier();
     let unisolated = build_subword_multiplier_unisolated();
-    let mut t = TextTable::new(vec!["mode", "isolated", "unisolated", "paper k3 target"]);
-    let base_iso = drive_subword(&isolated, SubwordMode::X1, &pairs);
-    let base_un = drive_subword(&unisolated, SubwordMode::X1, &pairs);
-    for (mode, paper) in [
+    let modes = [
         (SubwordMode::X1, 1.0),
         (SubwordMode::X2, 1.0 / 1.82),
         (SubwordMode::X4, 1.0 / 3.2),
-    ] {
+    ];
+    // Each toggle simulation is independent: drive both designs at every
+    // mode in parallel, design-major so row m reads [m] and [3 + m].
+    let sub_grid: Vec<(&Netlist, SubwordMode)> = [&isolated, &unisolated]
+        .into_iter()
+        .flat_map(|n| modes.iter().map(move |&(m, _)| (n, m)))
+        .collect();
+    let toggles = exec.par_map_indexed(&sub_grid, |_, &(n, m)| drive_subword(n, m, &pairs));
+    let (base_iso, base_un) = (toggles[0], toggles[3]);
+    let mut t = TextTable::new(vec!["mode", "isolated", "unisolated", "paper k3 target"]);
+    for (m, (mode, paper)) in modes.into_iter().enumerate() {
         t.row(vec![
             mode.to_string(),
-            fmt_f(drive_subword(&isolated, mode, &pairs) / base_iso, 3),
-            fmt_f(drive_subword(&unisolated, mode, &pairs) / base_un, 3),
+            fmt_f(toggles[m] / base_iso, 3),
+            fmt_f(toggles[3 + m] / base_un, 3),
             fmt_f(paper, 3),
         ]);
     }
@@ -77,15 +86,20 @@ fn main() {
     println!("2. Sign-extension scheme (Booth-Wallace, DAS activity vs 16b)");
     let optimized = build_booth_wallace(16);
     let naive = build_booth_wallace_naive(16);
+    let booth_grid: Vec<(&Netlist, u32)> = [&optimized, &naive]
+        .into_iter()
+        .flat_map(|n| [16u32, 12, 8, 4].into_iter().map(move |b| (n, b)))
+        .collect();
+    let booth = exec.par_map_indexed(&booth_grid, |_, &(n, b)| drive_booth(n, b, &pairs));
     // Both columns normalized to the OPTIMIZED design's 16-bit activity so
     // the absolute switched-capacitance cost of naive replication shows.
+    let b_opt = booth[0];
     let mut t = TextTable::new(vec!["precision", "optimized", "naive replication"]);
-    let b_opt = drive_booth(&optimized, 16, &pairs);
-    for bits in [16u32, 12, 8, 4] {
+    for (i, bits) in [16u32, 12, 8, 4].into_iter().enumerate() {
         t.row(vec![
             format!("{bits}b"),
-            fmt_f(drive_booth(&optimized, bits, &pairs) / b_opt, 3),
-            fmt_f(drive_booth(&naive, bits, &pairs) / b_opt, 3),
+            fmt_f(booth[i] / b_opt, 3),
+            fmt_f(booth[4 + i] / b_opt, 3),
         ]);
     }
     println!("{t}");

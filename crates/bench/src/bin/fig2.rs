@@ -8,7 +8,8 @@ use dvafs_tech::scaling::ScalingMode;
 
 fn main() {
     dvafs_bench::banner("Fig. 2", "f, slack, V and activity vs precision @ 500 MOPS");
-    let sweep = MultiplierSweep::new();
+    let args = dvafs_bench::BenchArgs::parse();
+    let sweep = MultiplierSweep::new().with_executor(args.executor());
     let points = sweep.fig2();
 
     for (label, metric) in [

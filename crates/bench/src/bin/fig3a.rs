@@ -8,7 +8,8 @@ use dvafs_tech::scaling::ScalingMode;
 
 fn main() {
     dvafs_bench::banner("Fig. 3a", "multiplier energy/word vs precision");
-    let sweep = MultiplierSweep::new();
+    let args = dvafs_bench::BenchArgs::parse();
+    let sweep = MultiplierSweep::new().with_executor(args.executor());
     let samples = sweep.fig3a();
 
     let mut t = TextTable::new(vec!["mode", "bits", "E/word [rel]", "E/word [pJ]"]);

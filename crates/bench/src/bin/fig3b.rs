@@ -9,7 +9,8 @@ fn main() {
         "Fig. 3b",
         "energy vs RMSE: DVAFS against [3], [4], [5], [8]",
     );
-    let sweep = MultiplierSweep::new();
+    let args = dvafs_bench::BenchArgs::parse();
+    let sweep = MultiplierSweep::new().with_executor(args.executor());
     let mut points = sweep.fig3b();
     points.sort_by(|a, b| {
         a.design

@@ -12,30 +12,42 @@ fn main() {
         "Fig. 4",
         "SIMD processor energy/word vs precision @ constant T",
     );
+    let args = dvafs_bench::BenchArgs::parse();
+    let exec = args.executor();
     let model = SimdEnergyModel::new();
     let kernel = ConvKernel::random(25, 2048, dvafs_bench::EXPERIMENT_SEED);
 
+    // The full evaluation grid, row-major as the table prints it. Each
+    // cell simulates the whole kernel, so cells run in parallel and merge
+    // in grid order (the 1x16b DAS cell — cell 0 of each SW block by
+    // `precision_grid`'s contract — doubles as the SW's baseline).
+    let grid: Vec<(usize, ScalingMode, u32)> = [8usize, 64]
+        .into_iter()
+        .flat_map(|sw| {
+            ScalingMode::precision_grid()
+                .into_iter()
+                .map(move |(mode, b)| (sw, mode, b))
+        })
+        .collect();
+    let energies = exec.par_map_indexed(&grid, |_, &(sw, mode, bits)| {
+        let cfg = ProcConfig::new(sw, mode, bits).expect("valid config");
+        let r = Processor::with_model(cfg, model.clone())
+            .run_kernel(&kernel)
+            .expect("kernel runs");
+        assert!(r.outputs_match(&kernel), "outputs must stay bit-exact");
+        r.energy_per_word()
+    });
+
     let mut t = TextTable::new(vec!["SW", "mode", "16b", "12b", "8b", "4b"]);
-    for sw in [8usize, 64] {
-        // Baseline: the same-width processor at 1x16b.
-        let base = Processor::with_model(
-            ProcConfig::new(sw, ScalingMode::Das, 16).expect("valid config"),
-            model.clone(),
-        )
-        .run_kernel(&kernel)
-        .expect("kernel runs")
-        .energy_per_word();
-        for mode in ScalingMode::ALL {
-            let series: Vec<String> = [16u32, 12, 8, 4]
+    let cells_per_sw = ScalingMode::ALL.len() * ScalingMode::PRECISIONS.len();
+    for (s, sw) in [8usize, 64].into_iter().enumerate() {
+        // Baseline: the same-width processor at 1x16b (DAS is grid row 0).
+        let base = energies[s * cells_per_sw];
+        for (m, mode) in ScalingMode::ALL.into_iter().enumerate() {
+            let row = s * cells_per_sw + m * 4;
+            let series: Vec<String> = energies[row..row + 4]
                 .iter()
-                .map(|&bits| {
-                    let cfg = ProcConfig::new(sw, mode, bits).expect("valid config");
-                    let r = Processor::with_model(cfg, model.clone())
-                        .run_kernel(&kernel)
-                        .expect("kernel runs");
-                    assert!(r.outputs_match(&kernel), "outputs must stay bit-exact");
-                    fmt_f(r.energy_per_word() / base, 3)
-                })
+                .map(|&e| fmt_f(e / base, 3))
                 .collect();
             let mut cells = vec![sw.to_string(), mode.to_string()];
             cells.extend(series);

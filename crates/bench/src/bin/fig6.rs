@@ -14,12 +14,14 @@ use dvafs_nn::precision::{Operand, PrecisionSearch};
 
 fn main() {
     dvafs_bench::banner("Fig. 6", "per-layer bits @ 99% relative accuracy");
+    let args = dvafs_bench::BenchArgs::parse();
+    let exec = args.executor();
     let search = PrecisionSearch::new();
 
     // `--fast` shrinks datasets and the AlexNet stand-in so CI smoke tests
     // exercise the full search path in seconds; paper-scale numbers need the
     // default configuration.
-    let fast = std::env::args().any(|a| a == "--fast");
+    let fast = args.fast;
     if fast {
         println!("(--fast: reduced dataset/model sizes, figures not paper-scale)\n");
     }
@@ -40,8 +42,8 @@ fn main() {
     let mut lenet = models::lenet5(dvafs_bench::EXPERIMENT_SEED);
     let digits = SyntheticDataset::digits(lenet_samples, dvafs_bench::EXPERIMENT_SEED + 1);
     ensure_diverse(&mut lenet, &digits);
-    let lw = search.search(&lenet, &digits, Operand::Weights);
-    let la = search.search(&lenet, &digits, Operand::Activations);
+    let lw = search.search_with(&lenet, &digits, Operand::Weights, &exec);
+    let la = search.search_with(&lenet, &digits, Operand::Activations, &exec);
 
     // AlexNet at reduced resolution/width (substitution; see DESIGN.md).
     let mut alexnet = models::alexnet(alex_input, alex_scale, dvafs_bench::EXPERIMENT_SEED + 2);
@@ -52,8 +54,8 @@ fn main() {
         dvafs_bench::EXPERIMENT_SEED + 3,
     );
     ensure_diverse(&mut alexnet, &images);
-    let aw = search.search(&alexnet, &images, Operand::Weights);
-    let aa = search.search(&alexnet, &images, Operand::Activations);
+    let aw = search.search_with(&alexnet, &images, Operand::Weights, &exec);
+    let aa = search.search_with(&alexnet, &images, Operand::Activations, &exec);
 
     for (title, w, a) in [
         ("LeNet-5 (paper: 1-6 bits)", (&lw, &la)),

@@ -8,7 +8,8 @@ use dvafs_tech::scaling::ScalingMode;
 
 fn main() {
     dvafs_bench::banner("Fig. 8", "Envision energy/op at constant f and constant T");
-    let sweep = Fig8Sweep::new(EnvisionChip::new());
+    let args = dvafs_bench::BenchArgs::parse();
+    let sweep = Fig8Sweep::new(EnvisionChip::new()).with_executor(args.executor());
 
     for (label, samples) in [
         ("Fig. 8a  constant f = 200 MHz", sweep.fig8a()),

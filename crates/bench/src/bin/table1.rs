@@ -7,7 +7,8 @@ use dvafs_arith::activity::paper_table1;
 
 fn main() {
     dvafs_bench::banner("Table I", "D(V)A(F)S parameters of the multiplier");
-    let sweep = MultiplierSweep::new();
+    let args = dvafs_bench::BenchArgs::parse();
+    let sweep = MultiplierSweep::new().with_executor(args.executor());
     let ours = sweep.table1();
     let paper = paper_table1();
 

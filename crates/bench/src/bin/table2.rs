@@ -10,6 +10,8 @@ use dvafs_tech::scaling::ScalingMode;
 
 fn main() {
     dvafs_bench::banner("Table II", "SIMD power split (V, mem/nas/as %, P)");
+    let args = dvafs_bench::BenchArgs::parse();
+    let exec = args.executor();
     let model = SimdEnergyModel::new();
     let kernel = ConvKernel::random(25, 2048, dvafs_bench::EXPERIMENT_SEED);
 
@@ -48,29 +50,37 @@ fn main() {
         "paper P[mW]",
         "paper mem/nas/as",
     ]);
-    for sw in [8usize, 64] {
-        for &(label, scaling, bits) in &configs {
-            let cfg = ProcConfig::new(sw, scaling, bits).expect("valid config");
-            let proc = Processor::with_model(cfg, model.clone());
-            let r = proc.run_kernel(&kernel).expect("kernel runs");
-            let pr = paper
-                .iter()
-                .find(|p| p.0 == sw && p.1 == label)
-                .expect("paper row exists");
-            t.row(vec![
-                sw.to_string(),
-                label.to_string(),
-                fmt_f(r.run.rails.voltage(PowerDomain::NonScalable), 2),
-                fmt_f(r.run.rails.voltage(PowerDomain::AccuracyScalable), 2),
-                fmt_f(r.run.share(PowerDomain::Memory), 0),
-                fmt_f(r.run.share(PowerDomain::NonScalable), 0),
-                fmt_f(r.run.share(PowerDomain::AccuracyScalable), 0),
-                fmt_f(r.run.avg_power_w * 1e3, 1),
-                String::new(),
-                pr.7.to_string(),
-                format!("{}/{}/{}", pr.4, pr.5, pr.6),
-            ]);
-        }
+    // Each row simulates the whole kernel: run the row grid in parallel
+    // and merge in table order.
+    let grid: Vec<(usize, &str, ScalingMode, u32)> = [8usize, 64]
+        .into_iter()
+        .flat_map(|sw| configs.iter().map(move |&(l, s, b)| (sw, l, s, b)))
+        .collect();
+    let reports = exec.par_map_indexed(&grid, |_, &(sw, _, scaling, bits)| {
+        let cfg = ProcConfig::new(sw, scaling, bits).expect("valid config");
+        Processor::with_model(cfg, model.clone())
+            .run_kernel(&kernel)
+            .expect("kernel runs")
+    });
+
+    for (&(sw, label, _, _), r) in grid.iter().zip(&reports) {
+        let pr = paper
+            .iter()
+            .find(|p| p.0 == sw && p.1 == label)
+            .expect("paper row exists");
+        t.row(vec![
+            sw.to_string(),
+            label.to_string(),
+            fmt_f(r.run.rails.voltage(PowerDomain::NonScalable), 2),
+            fmt_f(r.run.rails.voltage(PowerDomain::AccuracyScalable), 2),
+            fmt_f(r.run.share(PowerDomain::Memory), 0),
+            fmt_f(r.run.share(PowerDomain::NonScalable), 0),
+            fmt_f(r.run.share(PowerDomain::AccuracyScalable), 0),
+            fmt_f(r.run.avg_power_w * 1e3, 1),
+            String::new(),
+            pr.7.to_string(),
+            format!("{}/{}/{}", pr.4, pr.5, pr.6),
+        ]);
     }
     println!("{t}");
     println!("(rows 1x8b/1x4b are DVAS operating points; 2x8b/4x4b are DVAFS; memory rail");

@@ -3,15 +3,16 @@
 
 use dvafs::report::{fmt_f, TextTable};
 use dvafs_envision::chip::EnvisionChip;
-use dvafs_envision::measure::table3;
+use dvafs_envision::measure::table3_with;
 
 fn main() {
     dvafs_bench::banner(
         "Table III",
         "per-layer power on Envision (sparsity + DVAFS)",
     );
+    let args = dvafs_bench::BenchArgs::parse();
     let chip = EnvisionChip::new();
-    let summaries = table3(&chip);
+    let summaries = table3_with(&chip, &args.executor());
 
     // Paper totals for comparison: (name, P mW, TOPS/W, fps).
     let paper_totals = [

@@ -14,10 +14,20 @@
 //! | `fig8` | Fig. 8a/8b (Envision energy/word) | `--bin fig8` |
 //! | `table3` | Table III (per-layer power on Envision) | `--bin table3` |
 //! | `ablations` | design-choice ablation studies | `--bin ablations` |
+//! | `bench_sweep` | `BENCH_sweep.json` (serial vs parallel wall time) | `--bin bench_sweep` |
+//!
+//! Every binary accepts `--threads N` (default: `DVAFS_THREADS` or the
+//! host's available parallelism) and produces **bit-identical stdout for
+//! any thread count** — `tests/bins_smoke.rs` runs each one at `--threads
+//! 1` and `--threads 4` and diffs the output. Expensive binaries also
+//! accept `--fast` for CI-sized runs.
 //!
 //! Criterion micro-benchmarks of the simulators live in `benches/`.
 
 #![warn(missing_docs)]
+
+use dvafs::executor::Executor;
+use std::time::Instant;
 
 /// Shared seed for every experiment binary (full determinism).
 pub const EXPERIMENT_SEED: u64 = 0xDA7E2017;
@@ -28,10 +38,152 @@ pub fn banner(id: &str, title: &str) {
     println!();
 }
 
+/// Command-line configuration shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Worker count for sweep execution (`--threads N`; defaults to
+    /// `DVAFS_THREADS` or the host parallelism).
+    pub threads: usize,
+    /// Reduced problem sizes for CI smoke runs (`--fast`).
+    pub fast: bool,
+    /// Output path override for artefact-writing binaries (`--out PATH`).
+    pub out: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`. Unknown flags are ignored so smoke tests
+    /// can pass a superset of flags to every binary, but a present
+    /// `--threads` with a missing or unparseable value is a hard error —
+    /// silently falling back to the default would record benchmarks at a
+    /// thread count the user never asked for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--threads` is given without a valid positive integer.
+    #[must_use]
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let value_of = |flag: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        let threads = if args.iter().any(|a| a == "--threads") {
+            value_of("--threads")
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| {
+                    panic!("--threads requires a positive integer value (e.g. --threads 4)")
+                })
+        } else {
+            Executor::from_env().threads()
+        };
+        BenchArgs {
+            threads,
+            fast: args.iter().any(|a| a == "--fast"),
+            out: value_of("--out"),
+        }
+    }
+
+    /// The executor configured by these arguments.
+    #[must_use]
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.threads)
+    }
+}
+
+/// One timed figure workload of the `bench_sweep` emitter.
+#[derive(Debug, Clone)]
+pub struct SweepTiming {
+    /// Figure/table identifier (e.g. `"fig3b"`).
+    pub figure: String,
+    /// Serial (1-thread) wall time in milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall time in milliseconds at `threads` workers.
+    pub parallel_ms: f64,
+}
+
+impl SweepTiming {
+    /// Serial-over-parallel speedup (> 1 means parallel won).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times one closure in milliseconds, discarding its result.
+pub fn time_ms<R>(f: impl FnOnce() -> R) -> f64 {
+    let start = Instant::now();
+    let _ = f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Renders the `BENCH_sweep.json` document: per-figure serial vs parallel
+/// wall time, the measured thread count, and the host parallelism, so the
+/// workspace's performance trajectory is recorded per commit by CI.
+#[must_use]
+pub fn bench_sweep_json(timings: &[SweepTiming], threads: usize, fast: bool) -> String {
+    let rows: Vec<String> = timings
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"figure\":\"{}\",\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\
+                 \"speedup\":{:.3}}}",
+                t.figure,
+                t.serial_ms,
+                t.parallel_ms,
+                t.speedup()
+            )
+        })
+        .collect();
+    format!
+        (
+        "{{\n  \"threads\": {},\n  \"host_parallelism\": {},\n  \"fast\": {},\n  \"figures\": [\n{}\n  ]\n}}\n",
+        threads,
+        Executor::host_parallelism(),
+        fast,
+        rows.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn seed_is_fixed() {
         assert_eq!(super::EXPERIMENT_SEED, 0xDA7E2017);
+    }
+
+    #[test]
+    fn sweep_timing_speedup() {
+        let t = SweepTiming {
+            figure: "fig3b".into(),
+            serial_ms: 100.0,
+            parallel_ms: 25.0,
+        };
+        assert!((t.speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_sweep_json_shape() {
+        let doc = bench_sweep_json(
+            &[SweepTiming {
+                figure: "fig2".into(),
+                serial_ms: 1.0,
+                parallel_ms: 0.5,
+            }],
+            4,
+            true,
+        );
+        assert!(doc.contains("\"threads\": 4"));
+        assert!(doc.contains("\"figure\":\"fig2\""));
+        assert!(doc.contains("\"speedup\":2.000"));
+        assert!(doc.ends_with("}\n"));
     }
 }

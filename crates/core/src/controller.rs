@@ -11,6 +11,7 @@
 
 use dvafs_arith::activity::{extract_das_profile, extract_dvafs_profile, ActivityProfile};
 use dvafs_arith::{ArithError, Precision, SubwordMode};
+use dvafs_executor::Executor;
 use dvafs_tech::scaling::{OperatingPoint, ScalingMode};
 use dvafs_tech::technology::Technology;
 use serde::{Deserialize, Serialize};
@@ -51,6 +52,7 @@ pub struct DvafsController {
     tech: Technology,
     das_profile: ActivityProfile,
     dvafs_profile: ActivityProfile,
+    exec: Executor,
 }
 
 impl DvafsController {
@@ -73,7 +75,16 @@ impl DvafsController {
             tech,
             das_profile: extract_das_profile(Self::SAMPLES, Self::SEED),
             dvafs_profile: extract_dvafs_profile(Self::SAMPLES, Self::SEED),
+            exec: Executor::from_env(),
         }
+    }
+
+    /// Plans task sequences on an explicit executor (thread count). Plans
+    /// and energy totals do not depend on the choice.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The technology the controller plans for.
@@ -122,6 +133,10 @@ impl DvafsController {
     /// total relative energy (words weighted), normalized so running every
     /// word at full precision costs `1.0` per word.
     ///
+    /// Per-task plans are derived in parallel on the controller's executor;
+    /// the energy reduction folds the plans in task order, so totals are
+    /// bit-identical to a serial schedule.
+    ///
     /// # Errors
     ///
     /// Propagates planning errors (none for valid precisions).
@@ -129,14 +144,14 @@ impl DvafsController {
         &self,
         tasks: &[(Precision, u64)],
     ) -> Result<(Vec<OperatingPlan>, f64), ArithError> {
-        let mut plans = Vec::with_capacity(tasks.len());
+        let plans = self
+            .exec
+            .try_par_map_indexed(tasks, |_, &(p, _)| self.plan(p))?;
         let mut energy = 0.0f64;
         let mut words = 0u64;
-        for &(p, n) in tasks {
-            let plan = self.plan(p)?;
+        for (plan, &(_, n)) in plans.iter().zip(tasks) {
             energy += plan.relative_energy_per_word * n as f64;
             words += n;
-            plans.push(plan);
         }
         let avg = if words == 0 {
             0.0
@@ -217,6 +232,19 @@ mod tests {
         assert_eq!(plans.len(), 1);
         assert!(only4 < mixed && mixed < only16);
         assert!((mixed - (only4 + only16) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_schedule_is_bit_identical_to_serial() {
+        let tasks: Vec<(Precision, u64)> = (1..=16)
+            .map(|b| (Precision::new(b).unwrap(), u64::from(b) * 100))
+            .collect();
+        let serial = controller().with_executor(Executor::serial());
+        let parallel = controller().with_executor(Executor::new(4));
+        let (sp, se) = serial.schedule(&tasks).unwrap();
+        let (pp, pe) = parallel.schedule(&tasks).unwrap();
+        assert_eq!(sp, pp);
+        assert_eq!(se.to_bits(), pe.to_bits());
     }
 
     #[test]

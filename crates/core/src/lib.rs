@@ -16,7 +16,11 @@
 //!   task sequences (e.g. CNN layers);
 //! * [`sweep`] — regenerates the paper's multiplier-level evaluation data
 //!   (Fig. 2, Fig. 3a, Fig. 3b);
-//! * [`report`] — plain-text table rendering for the experiment binaries.
+//! * [`executor`] — the deterministic parallel sweep executor (re-exported
+//!   [`dvafs_executor`]): every sweep above runs serial or parallel with
+//!   bit-identical results;
+//! * [`report`] — plain-text table and JSON rendering for the experiment
+//!   binaries and the golden snapshot tests.
 //!
 //! Substrates, re-exported here: [`dvafs_arith`] (gate-level
 //! precision-scalable arithmetic), [`dvafs_tech`] (delay/voltage/power
@@ -45,17 +49,25 @@ pub mod controller;
 pub mod report;
 pub mod sweep;
 
+/// Deterministic parallel sweep execution (the [`dvafs_executor`] crate,
+/// re-exported so `dvafs::executor::Executor` is the canonical path).
+pub mod executor {
+    pub use dvafs_executor::{Executor, THREADS_ENV};
+}
+
 pub use controller::{DvafsController, OperatingPlan};
 pub use dvafs_arith as arith;
 pub use dvafs_envision as envision;
 pub use dvafs_nn as nn;
 pub use dvafs_simd as simd;
 pub use dvafs_tech as tech;
+pub use executor::Executor;
 pub use sweep::MultiplierSweep;
 
 /// Convenience re-exports for typical use.
 pub mod prelude {
     pub use crate::controller::{DvafsController, OperatingPlan};
+    pub use crate::executor::Executor;
     pub use crate::sweep::MultiplierSweep;
     pub use dvafs_arith::{Precision, SubwordMode};
     pub use dvafs_tech::{ScalingMode, Technology};

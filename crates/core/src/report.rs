@@ -1,7 +1,12 @@
-//! Plain-text table rendering for the experiment binaries.
+//! Plain-text table and JSON rendering for the experiment binaries.
 //!
 //! The benchmark harness prints the paper's tables and figure series as
-//! aligned text; this module holds the small formatter they share.
+//! aligned text; this module holds the small formatter they share, plus
+//! [`json`] — stable JSON serialization of the figure data used by the
+//! golden snapshot tests (`tests/golden/*.json`) and the `BENCH_sweep.json`
+//! emitter. (The offline `serde` stub under `vendor/` has no serializer,
+//! so the JSON here is hand-rendered; swap to `serde_json` when a registry
+//! is available.)
 
 use std::fmt;
 
@@ -94,6 +99,165 @@ pub fn fmt_e(v: f64) -> String {
     format!("{v:.2e}")
 }
 
+pub mod json {
+    //! Stable JSON rendering of the paper's figure data.
+    //!
+    //! Floats are rendered with Rust's shortest-roundtrip `Display`, so a
+    //! serialized figure is an exact (bit-level) record of the computed
+    //! values — which is what lets `tests/golden_figures.rs` assert strict
+    //! equality and lets the determinism guarantee extend to the JSON
+    //! artefacts.
+
+    use crate::sweep::RmsePoint;
+    use dvafs_envision::measure::NetworkSummary;
+    use dvafs_tech::power::EnergySample;
+    use dvafs_tech::scaling::OperatingPoint;
+
+    /// Escapes a string for a JSON string literal.
+    #[must_use]
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Renders a float as a JSON number (shortest roundtrip; non-finite
+    /// values become `null`, which no figure produces).
+    #[must_use]
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Joins pre-rendered JSON values into a multi-line array (one element
+    /// per line, for reviewable golden-fixture diffs).
+    #[must_use]
+    pub fn array(elements: &[String]) -> String {
+        if elements.is_empty() {
+            return "[]".to_string();
+        }
+        format!("[\n  {}\n]", elements.join(",\n  "))
+    }
+
+    /// Fig. 2 operating points as a JSON array.
+    #[must_use]
+    pub fn fig2_to_json(points: &[OperatingPoint]) -> String {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"mode\":\"{}\",\"bits\":{},\"lanes\":{},\"frequency_mhz\":{},\
+                     \"v_as\":{},\"v_nas\":{},\"positive_slack_ns\":{},\
+                     \"activity_per_word\":{},\"depth_ratio\":{}}}",
+                    escape(&p.mode.to_string()),
+                    p.bits,
+                    p.lanes,
+                    num(p.frequency_mhz),
+                    num(p.v_as),
+                    num(p.v_nas),
+                    num(p.positive_slack_ns),
+                    num(p.activity_per_word),
+                    num(p.depth_ratio),
+                )
+            })
+            .collect();
+        array(&rows)
+    }
+
+    /// Fig. 3a energy samples as a JSON array.
+    #[must_use]
+    pub fn fig3a_to_json(samples: &[EnergySample]) -> String {
+        let rows: Vec<String> = samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"mode\":\"{}\",\"bits\":{},\"relative\":{},\"picojoules\":{}}}",
+                    escape(&s.mode.to_string()),
+                    s.bits,
+                    num(s.relative),
+                    num(s.picojoules),
+                )
+            })
+            .collect();
+        array(&rows)
+    }
+
+    /// Fig. 3b energy-vs-RMSE points as a JSON array.
+    #[must_use]
+    pub fn fig3b_to_json(points: &[RmsePoint]) -> String {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"design\":\"{}\",\"rmse\":{},\"energy\":{}}}",
+                    escape(&p.design),
+                    num(p.rmse),
+                    num(p.energy),
+                )
+            })
+            .collect();
+        array(&rows)
+    }
+
+    /// Table III network summaries as a JSON array.
+    #[must_use]
+    pub fn table3_to_json(summaries: &[NetworkSummary]) -> String {
+        let rows: Vec<String> = summaries
+            .iter()
+            .map(|s| {
+                let layer_rows: Vec<String> = s
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        let l = &r.layer;
+                        format!(
+                            "{{\"layer\":\"{}\",\"mode\":\"{}\",\"f_mhz\":{},\
+                             \"weight_bits\":{},\"input_bits\":{},\"weight_sparsity\":{},\
+                             \"input_sparsity\":{},\"mmacs_per_frame\":{},\"v\":{},\
+                             \"power_mw\":{},\"tops_per_w\":{}}}",
+                            escape(&l.name),
+                            escape(&l.mode.to_string()),
+                            num(l.f_mhz),
+                            l.weight_bits,
+                            l.input_bits,
+                            num(l.weight_sparsity),
+                            num(l.input_sparsity),
+                            num(l.mmacs_per_frame),
+                            num(r.v),
+                            num(r.power_mw),
+                            num(r.tops_per_w),
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"name\":\"{}\",\"total_mmacs\":{},\"avg_power_mw\":{},\
+                     \"avg_tops_per_w\":{},\"fps\":{},\"rows\":[{}]}}",
+                    escape(&s.name),
+                    num(s.total_mmacs),
+                    num(s.avg_power_mw),
+                    num(s.avg_tops_per_w),
+                    num(s.fps),
+                    layer_rows.join(","),
+                )
+            })
+            .collect();
+        array(&rows)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +294,28 @@ mod tests {
         let t = TextTable::new(vec!["x"]);
         assert!(t.is_empty());
         assert_eq!(t.to_string().lines().count(), 2);
+    }
+
+    #[test]
+    fn json_escape_and_num() {
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json::num(1.5), "1.5");
+        assert_eq!(json::num(f64::NAN), "null");
+        // Shortest-roundtrip: parsing the text back recovers the bits.
+        let v = 0.1234567890123_f64.sqrt();
+        assert_eq!(json::num(v).parse::<f64>().unwrap().to_bits(), v.to_bits());
+        assert_eq!(json::array(&[]), "[]");
+    }
+
+    #[test]
+    fn json_figures_render_valid_shapes() {
+        let sweep = crate::sweep::MultiplierSweep::new().with_samples(256);
+        let fig3b = json::fig3b_to_json(&sweep.fig3b());
+        assert!(fig3b.starts_with("[\n  {\"design\":\"DVAFS\""));
+        assert!(fig3b.ends_with("}\n]"));
+        let fig2 = json::fig2_to_json(&sweep.fig2());
+        assert_eq!(fig2.matches("\"mode\"").count(), 12);
+        let fig3a = json::fig3a_to_json(&sweep.fig3a());
+        assert_eq!(fig3a.matches("\"bits\"").count(), 12);
     }
 }

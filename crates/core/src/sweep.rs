@@ -1,11 +1,20 @@
 //! Multiplier-level evaluation sweeps: the data behind Fig. 2, Fig. 3a and
 //! Fig. 3b.
+//!
+//! Every sweep runs on a [`Executor`]: work is partitioned by index
+//! (grid cells, Monte-Carlo chunks) and merged in index order, so results
+//! are **bit-identical** for any thread count — `cargo test` enforces this
+//! with property tests over thread counts and seeds.
 
 use dvafs_arith::activity::{extract_das_profile, extract_dvafs_profile, ActivityProfile};
-use dvafs_arith::metrics::{operand_stream, precision_relative_rmse, relative_rmse};
+use dvafs_arith::metrics::{
+    operand_stream_chunked, precision_sum_squared_error, relative_rmse_from_partials,
+    sum_squared_error,
+};
 use dvafs_arith::multiplier::{
     ApproximateMultiplier, KulkarniMultiplier, KyawMultiplier, LiuMultiplier, TruncatedMultiplier,
 };
+use dvafs_executor::Executor;
 use dvafs_tech::power::{extract_k_params, EnergySample, KParams, MultiplierEnergyModel};
 use dvafs_tech::scaling::{OperatingPoint, ScalingMode};
 use dvafs_tech::technology::Technology;
@@ -40,20 +49,62 @@ pub struct MultiplierSweep {
     dvafs_profile: ActivityProfile,
     samples: usize,
     seed: u64,
+    exec: Executor,
 }
 
 impl MultiplierSweep {
+    /// Default root seed (activity extraction and Monte-Carlo streams).
+    pub const DEFAULT_SEED: u64 = 0x5EE9;
+    /// Operand-pair count of the activity extraction runs.
+    const PROFILE_SAMPLES: usize = 200;
+
     /// Creates the sweep on the paper's 40 nm technology.
     #[must_use]
     pub fn new() -> Self {
-        let seed = 0x5EE9;
+        MultiplierSweep::with_seed(Self::DEFAULT_SEED)
+    }
+
+    /// Creates the sweep rooted at an explicit seed: activity profiles are
+    /// re-extracted and Monte-Carlo operand chunks re-derived from it, so
+    /// two sweeps with the same seed produce bit-identical figures.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
         MultiplierSweep {
             tech: Technology::lp40(),
-            das_profile: extract_das_profile(200, seed),
-            dvafs_profile: extract_dvafs_profile(200, seed),
+            das_profile: extract_das_profile(Self::PROFILE_SAMPLES, seed),
+            dvafs_profile: extract_dvafs_profile(Self::PROFILE_SAMPLES, seed),
             samples: 2000,
             seed,
+            exec: Executor::from_env(),
         }
+    }
+
+    /// Overrides the Monte-Carlo sample count of the Fig. 3b RMSE streams
+    /// (the paper-scale default is 2000).
+    #[must_use]
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Runs this sweep on an explicit executor (thread count). The default
+    /// is [`Executor::from_env`]; results do not depend on the choice.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The root seed of this sweep.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The executor sweeps run on.
+    #[must_use]
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// The extracted DAS activity profile.
@@ -75,40 +126,76 @@ impl MultiplierSweep {
     }
 
     /// Fig. 2: operating points (frequency, slack, voltage, activity) for
-    /// all regimes and precisions.
+    /// all regimes and precisions. Grid cells are derived in parallel and
+    /// merged in grid order.
     #[must_use]
     pub fn fig2(&self) -> Vec<OperatingPoint> {
-        let mut out = Vec::new();
-        for mode in ScalingMode::ALL {
-            out.extend(OperatingPoint::sweep(
-                &self.tech,
-                mode,
-                &self.das_profile,
-                &self.dvafs_profile,
-            ));
-        }
-        out
+        self.exec
+            .par_map_indexed(&ScalingMode::precision_grid(), |_, &(mode, bits)| {
+                OperatingPoint::derive(
+                    &self.tech,
+                    mode,
+                    bits,
+                    &self.das_profile,
+                    &self.dvafs_profile,
+                )
+            })
     }
 
     /// Fig. 3a: energy per word across regimes and precisions, normalized
-    /// to the non-reconfigurable 16-bit baseline (2.16 pJ).
+    /// to the non-reconfigurable 16-bit baseline (2.16 pJ). Grid cells are
+    /// evaluated in parallel and merged in grid order.
     #[must_use]
     pub fn fig3a(&self) -> Vec<EnergySample> {
-        MultiplierEnergyModel::new(
+        let model = MultiplierEnergyModel::new(
             self.tech.clone(),
             self.das_profile.clone(),
             self.dvafs_profile.clone(),
-        )
-        .fig3a_sweep()
+        );
+        self.exec
+            .par_map_indexed(&ScalingMode::precision_grid(), |_, &(mode, bits)| {
+                model.energy_per_word(mode, bits)
+            })
     }
 
     /// Fig. 3b: the DVAFS energy-vs-RMSE curve against the four baselines
     /// (\[3\], \[3\]+VS, \[4\], \[5\], \[8\]).
+    ///
+    /// The Monte-Carlo RMSE integrals run as per-design × per-chunk tasks:
+    /// operand chunk `c` is seeded from the root seed and `c` alone (see
+    /// [`dvafs_arith::metrics::chunk_seed`]), and per-chunk squared-error
+    /// partials are folded in chunk order — so the curve is bit-identical
+    /// whether the task grid runs on one thread or many.
     #[must_use]
     pub fn fig3b(&self) -> Vec<RmsePoint> {
-        let pairs = operand_stream(self.samples, self.seed);
-        let mut out = Vec::new();
+        let chunks = operand_stream_chunked(self.samples, self.seed);
+        let jobs = self.fig3b_jobs();
 
+        // One task per (design, chunk), job-major so job j's partials are
+        // the contiguous slice [j*chunks .. (j+1)*chunks], already in
+        // chunk order.
+        let tasks: Vec<(usize, usize)> = (0..jobs.len())
+            .flat_map(|j| (0..chunks.len()).map(move |c| (j, c)))
+            .collect();
+        let partials = self
+            .exec
+            .par_map_indexed(&tasks, |_, &(j, c)| jobs[j].sum_squared_error(&chunks[c]));
+
+        jobs.iter()
+            .enumerate()
+            .map(|(j, job)| RmsePoint {
+                design: job.design().to_string(),
+                rmse: relative_rmse_from_partials(
+                    &partials[j * chunks.len()..(j + 1) * chunks.len()],
+                    self.samples,
+                ),
+                energy: job.energy(),
+            })
+            .collect()
+    }
+
+    /// The Fig. 3b design points, in the figure's plotting order.
+    fn fig3b_jobs(&self) -> Vec<Fig3bJob> {
         // DVAFS: precision maps to RMSE, energy from the Fig. 3a model
         // normalized to its own full-precision (reconfigurable) point.
         let model = MultiplierEnergyModel::new(
@@ -117,56 +204,86 @@ impl MultiplierSweep {
             self.dvafs_profile.clone(),
         );
         let own_full = model.energy_per_word(ScalingMode::Dvafs, 16).relative;
-        for bits in [12u32, 8, 4] {
-            let s = model.energy_per_word(ScalingMode::Dvafs, bits);
-            out.push(RmsePoint {
-                design: "DVAFS".to_string(),
-                rmse: precision_relative_rmse(bits, &pairs),
-                energy: s.relative / own_full,
-            });
-        }
+        let mut jobs: Vec<Fig3bJob> = [12u32, 8, 4]
+            .into_iter()
+            .map(|bits| Fig3bJob::Precision {
+                design: "DVAFS",
+                bits,
+                energy: model.energy_per_word(ScalingMode::Dvafs, bits).relative / own_full,
+            })
+            .collect();
 
         // Liu [3] with and without voltage scaling, at several recovery
         // depths.
         for k in [0u32, 2, 6, 12] {
-            let m = LiuMultiplier::new(k);
-            out.push(RmsePoint {
-                design: "Liu [3]".to_string(),
-                rmse: relative_rmse(&m, &pairs),
-                energy: m.relative_energy(),
-            });
-            let mv = LiuMultiplier::new(k).with_voltage_scaling();
-            out.push(RmsePoint {
-                design: "Liu [3]+VS".to_string(),
-                rmse: relative_rmse(&mv, &pairs),
-                energy: mv.relative_energy(),
-            });
+            jobs.push(Fig3bJob::baseline("Liu [3]", LiuMultiplier::new(k)));
+            jobs.push(Fig3bJob::baseline(
+                "Liu [3]+VS",
+                LiuMultiplier::new(k).with_voltage_scaling(),
+            ));
         }
-
         // Kulkarni [4] and Kyaw [5]: fixed design points.
-        let kulkarni = KulkarniMultiplier::new();
-        out.push(RmsePoint {
-            design: "Kulkarni [4]".to_string(),
-            rmse: relative_rmse(&kulkarni, &pairs),
-            energy: kulkarni.relative_energy(),
-        });
-        let kyaw = KyawMultiplier::new(8);
-        out.push(RmsePoint {
-            design: "Kyaw [5]".to_string(),
-            rmse: relative_rmse(&kyaw, &pairs),
-            energy: kyaw.relative_energy(),
-        });
-
+        jobs.push(Fig3bJob::baseline(
+            "Kulkarni [4]",
+            KulkarniMultiplier::new(),
+        ));
+        jobs.push(Fig3bJob::baseline("Kyaw [5]", KyawMultiplier::new(8)));
         // de la Guia Solaz [8]: the run-time truncated multiplier sweep.
         for t in [4u32, 8, 12, 16, 20] {
-            let m = TruncatedMultiplier::new(t);
-            out.push(RmsePoint {
-                design: "Trunc [8]".to_string(),
-                rmse: relative_rmse(&m, &pairs),
-                energy: m.relative_energy(),
-            });
+            jobs.push(Fig3bJob::baseline("Trunc [8]", TruncatedMultiplier::new(t)));
         }
-        out
+        jobs
+    }
+}
+
+/// One Fig. 3b design point: how to integrate its squared error over an
+/// operand chunk and what energy it plots at.
+enum Fig3bJob {
+    /// DVAFS at a precision: RMSE from MSB truncation, energy precomputed
+    /// from the Fig. 3a model.
+    Precision {
+        design: &'static str,
+        bits: u32,
+        energy: f64,
+    },
+    /// A baseline approximate-multiplier design point.
+    Baseline {
+        design: &'static str,
+        multiplier: Box<dyn ApproximateMultiplier + Send + Sync>,
+        energy: f64,
+    },
+}
+
+impl Fig3bJob {
+    fn baseline<M: ApproximateMultiplier + Send + Sync + 'static>(
+        design: &'static str,
+        multiplier: M,
+    ) -> Self {
+        let energy = multiplier.relative_energy();
+        Fig3bJob::Baseline {
+            design,
+            multiplier: Box::new(multiplier),
+            energy,
+        }
+    }
+
+    fn design(&self) -> &'static str {
+        match self {
+            Fig3bJob::Precision { design, .. } | Fig3bJob::Baseline { design, .. } => design,
+        }
+    }
+
+    fn energy(&self) -> f64 {
+        match self {
+            Fig3bJob::Precision { energy, .. } | Fig3bJob::Baseline { energy, .. } => *energy,
+        }
+    }
+
+    fn sum_squared_error(&self, chunk: &[(u16, u16)]) -> f64 {
+        match self {
+            Fig3bJob::Precision { bits, .. } => precision_sum_squared_error(*bits, chunk),
+            Fig3bJob::Baseline { multiplier, .. } => sum_squared_error(multiplier.as_ref(), chunk),
+        }
     }
 }
 
@@ -236,6 +353,50 @@ mod tests {
             "trunc {trunc_fine} vs DVAFS {}",
             dvafs_12b.energy
         );
+    }
+
+    #[test]
+    fn seeds_change_samples_but_not_fig3a_orderings() {
+        // Different seeds must draw different Monte-Carlo samples (the
+        // measured baseline RMSEs move) while the Fig. 3a energy ordering
+        // across regimes and precisions — the paper's claim — is seed-
+        // independent.
+        let a = MultiplierSweep::with_seed(1).with_samples(512);
+        let b = MultiplierSweep::with_seed(2).with_samples(512);
+        assert_eq!(a.seed(), 1);
+
+        let rmse = |s: &MultiplierSweep| {
+            s.fig3b()
+                .iter()
+                .filter(|p| p.design == "Liu [3]" && p.rmse > 0.0)
+                .map(|p| p.rmse)
+                .collect::<Vec<f64>>()
+        };
+        assert_ne!(rmse(&a), rmse(&b), "distinct seeds drew identical samples");
+
+        let order = |s: &MultiplierSweep| {
+            let mut fig3a = s.fig3a();
+            fig3a.sort_by(|x, y| x.relative.partial_cmp(&y.relative).expect("finite"));
+            fig3a
+                .iter()
+                .map(|e| (e.mode, e.bits))
+                .collect::<Vec<(ScalingMode, u32)>>()
+        };
+        assert_eq!(order(&a), order(&b), "Fig. 3a ordering drifted with seed");
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let serial = MultiplierSweep::new()
+            .with_samples(512)
+            .with_executor(Executor::serial());
+        let parallel = MultiplierSweep::new()
+            .with_samples(512)
+            .with_executor(Executor::new(4));
+        assert_eq!(serial.fig2(), parallel.fig2());
+        assert_eq!(serial.fig3a(), parallel.fig3a());
+        assert_eq!(serial.fig3b(), parallel.fig3b());
+        assert_eq!(serial.table1(), parallel.table1());
     }
 
     #[test]

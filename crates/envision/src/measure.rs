@@ -5,6 +5,7 @@ use crate::workload::{alexnet_table3, lenet5_table3, vgg16_table3, LayerRun};
 use dvafs_arith::activity::{extract_das_profile, ActivityProfile};
 use dvafs_arith::subword::SubwordMode;
 use dvafs_arith::Precision;
+use dvafs_executor::Executor;
 use dvafs_tech::scaling::ScalingMode;
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +31,7 @@ pub struct Fig8Sample {
 pub struct Fig8Sweep {
     chip: EnvisionChip,
     das_profile: ActivityProfile,
+    exec: Executor,
 }
 
 impl Fig8Sweep {
@@ -40,7 +42,16 @@ impl Fig8Sweep {
         Fig8Sweep {
             chip,
             das_profile: extract_das_profile(150, 0xF168),
+            exec: Executor::from_env(),
         }
+    }
+
+    /// Runs the sweep grids on an explicit executor (thread count). The
+    /// samples do not depend on the choice.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The chip under measurement.
@@ -142,15 +153,17 @@ impl Fig8Sweep {
         self.sweep(|m, b| self.at_constant_throughput(m, b))
     }
 
-    fn sweep<F: Fn(ScalingMode, u32) -> Fig8Sample>(&self, f: F) -> Vec<Fig8Sample> {
-        let baseline = f(ScalingMode::Das, 16).energy_rel;
-        let mut out = Vec::new();
-        for mode in ScalingMode::ALL {
-            for bits in [16u32, 12, 8, 4] {
-                let mut s = f(mode, bits);
-                s.energy_rel /= baseline;
-                out.push(s);
-            }
+    fn sweep<F: Fn(ScalingMode, u32) -> Fig8Sample + Sync>(&self, f: F) -> Vec<Fig8Sample> {
+        let mut out = self
+            .exec
+            .par_map_indexed(&ScalingMode::precision_grid(), |_, &(mode, bits)| {
+                f(mode, bits)
+            });
+        // The 16-bit DAS cell is the figure's normalization anchor; it is
+        // grid cell 0 by `precision_grid`'s documented contract.
+        let baseline = out[0].energy_rel;
+        for s in &mut out {
+            s.energy_rel /= baseline;
         }
         out
     }
@@ -193,20 +206,37 @@ pub struct NetworkSummary {
     pub fps: f64,
 }
 
-/// Computes a network's Table III block on a chip model.
+/// Computes a network's Table III block on a chip model (serial).
 #[must_use]
 pub fn summarize(chip: &EnvisionChip, name: &str, layers: &[LayerRun]) -> NetworkSummary {
-    let rows: Vec<Table3Row> = layers
-        .iter()
-        .map(|l| Table3Row {
+    summarize_with(chip, name, layers, &Executor::serial())
+}
+
+/// Computes a network's Table III block on a chip model, evaluating the
+/// per-layer rows in parallel on `exec`. Rows merge in layer order and the
+/// frame totals fold in layer order, so the summary is bit-identical to
+/// [`summarize`].
+#[must_use]
+pub fn summarize_with(
+    chip: &EnvisionChip,
+    name: &str,
+    layers: &[LayerRun],
+    exec: &Executor,
+) -> NetworkSummary {
+    // One pass per layer computes the row and the quantities the totals
+    // fold over; the folds themselves stay sequential in layer order.
+    let rows_and_times = exec.par_map_indexed(layers, |_, l| {
+        let row = Table3Row {
             layer: l.clone(),
             v: chip.voltage_for_frequency(l.f_mhz),
             power_mw: chip.power_mw(l),
             tops_per_w: chip.tops_per_w(l),
-        })
-        .collect();
-    let total_time: f64 = layers.iter().map(|l| chip.layer_time_s(l)).sum();
-    let total_energy_mj: f64 = layers.iter().map(|l| chip.layer_energy_mj(l)).sum();
+        };
+        (row, chip.layer_time_s(l), chip.layer_energy_mj(l))
+    });
+    let total_time: f64 = rows_and_times.iter().map(|(_, t, _)| t).sum();
+    let total_energy_mj: f64 = rows_and_times.iter().map(|(_, _, e)| e).sum();
+    let rows: Vec<Table3Row> = rows_and_times.into_iter().map(|(r, _, _)| r).collect();
     let total_mmacs: f64 = layers.iter().map(|l| l.mmacs_per_frame).sum();
     let total_ops = total_mmacs * 2e6;
     NetworkSummary {
@@ -220,13 +250,20 @@ pub fn summarize(chip: &EnvisionChip, name: &str, layers: &[LayerRun]) -> Networ
     }
 }
 
-/// The complete Table III: VGG16, AlexNet and LeNet-5 blocks.
+/// The complete Table III: VGG16, AlexNet and LeNet-5 blocks (serial).
 #[must_use]
 pub fn table3(chip: &EnvisionChip) -> Vec<NetworkSummary> {
+    table3_with(chip, &Executor::serial())
+}
+
+/// The complete Table III with per-layer rows evaluated in parallel on
+/// `exec`; bit-identical to [`table3`] for any thread count.
+#[must_use]
+pub fn table3_with(chip: &EnvisionChip, exec: &Executor) -> Vec<NetworkSummary> {
     vec![
-        summarize(chip, "VGG16", &vgg16_table3()),
-        summarize(chip, "AlexNet", &alexnet_table3()),
-        summarize(chip, "LeNet-5", &lenet5_table3()),
+        summarize_with(chip, "VGG16", &vgg16_table3(), exec),
+        summarize_with(chip, "AlexNet", &alexnet_table3(), exec),
+        summarize_with(chip, "LeNet-5", &lenet5_table3(), exec),
     ]
 }
 
@@ -289,6 +326,19 @@ mod tests {
             .collect();
         // Ordered 16, 12, 8, 4: energy strictly decreasing.
         assert!(dvafs.windows(2).all(|w| w[0] > w[1]), "{dvafs:?}");
+    }
+
+    #[test]
+    fn parallel_fig8_and_table3_bit_identical_to_serial() {
+        let serial = sweep().with_executor(Executor::serial());
+        let parallel = sweep().with_executor(Executor::new(4));
+        assert_eq!(serial.fig8a(), parallel.fig8a());
+        assert_eq!(serial.fig8b(), parallel.fig8b());
+
+        let chip = EnvisionChip::new();
+        let st = table3(&chip);
+        let pt = table3_with(&chip, &Executor::new(4));
+        assert_eq!(st, pt);
     }
 
     #[test]

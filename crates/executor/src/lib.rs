@@ -1,0 +1,320 @@
+//! # dvafs-executor — deterministic parallel sweep execution
+//!
+//! Every sweep behind the paper's figures is a map over an index space
+//! (designs × precisions, Monte-Carlo chunks, CNN layers, dataset samples).
+//! [`Executor::par_map_indexed`] runs such maps on a scoped-`std::thread`
+//! work pool and merges the results **in index order**, so the output is
+//! bit-identical to a serial run regardless of thread count or scheduling.
+//!
+//! Two rules make that guarantee hold, and every caller in this workspace
+//! follows them:
+//!
+//! 1. **Partitioning is part of the problem, not the executor.** Work items
+//!    (e.g. Monte-Carlo chunks) are defined by *index*, never by "whatever
+//!    share a thread happens to grab". Seeds derive from the root seed plus
+//!    the item index.
+//! 2. **Merging is sequential and index-ordered.** Each item's result is
+//!    computed independently; any cross-item reduction (sums of partial
+//!    RMSE, energy totals) happens after the join, in index order, on one
+//!    thread.
+//!
+//! Threads claim items dynamically from a shared atomic cursor (a
+//! single-queue work-stealing discipline), so unequal item costs — a deep
+//! per-layer precision scan next to a shallow one — still balance. The pool
+//! is scoped: workers borrow the caller's data and are joined before
+//! `par_map_indexed` returns, so no `'static` bounds leak into sweep code.
+//!
+//! There is deliberately no dependency on `rayon` (the build is offline;
+//! see `vendor/`): `std::thread::scope` plus an atomic cursor is all the
+//! machinery the workspace needs.
+//!
+//! ## Example
+//!
+//! ```
+//! use dvafs_executor::Executor;
+//!
+//! let serial = Executor::serial();
+//! let pool = Executor::new(4);
+//! let squares = |e: &Executor| e.par_map_range(100, |i| (i * i) as u64);
+//! assert_eq!(squares(&serial), squares(&pool)); // bit-identical
+//! ```
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "DVAFS_THREADS";
+
+/// A deterministic parallel map executor over a fixed worker count.
+///
+/// Cloning is cheap (the worker count is the only state); the scoped pool
+/// is created per call, so an `Executor` can be embedded in any sweep
+/// object without lifetime or poisoning concerns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor with an explicit worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded executor: `par_map_indexed` degenerates to a plain
+    /// in-order `map` on the calling thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// The default executor: `DVAFS_THREADS` if set and parseable,
+    /// otherwise the host's available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(Self::host_parallelism);
+        Executor::new(threads)
+    }
+
+    /// The host's available parallelism (≥ 1; falls back to 1 when the OS
+    /// cannot report it).
+    #[must_use]
+    pub fn host_parallelism() -> usize {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+
+    /// The worker count this executor runs with.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this executor runs on the calling thread only.
+    #[must_use]
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Maps `f` over `items`, in parallel, returning results in item order.
+    ///
+    /// `f` receives `(index, &item)` so work can derive per-item seeds from
+    /// the index. The output `Vec` is ordered by index — **not** by
+    /// completion — which is what makes parallel output bit-identical to
+    /// serial output for any pure `f`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f` (workers drain the
+    /// remaining items without executing them).
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let poisoned = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        let buckets = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut bucket: Vec<(usize, R)> = Vec::new();
+                        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n || poisoned.load(Ordering::Relaxed) != 0 {
+                                break;
+                            }
+                            match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                                Ok(r) => bucket.push((i, r)),
+                                Err(p) => {
+                                    poisoned.store(1, Ordering::Relaxed);
+                                    panic = Some(p);
+                                    break;
+                                }
+                            }
+                        }
+                        (bucket, panic)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker cannot itself panic"))
+                .collect::<Vec<_>>()
+        });
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (bucket, panic) in buckets {
+            if let Some(p) = panic {
+                resume_unwind(p);
+            }
+            for (i, r) in bucket {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// Maps `f` over the index range `0..n`, in parallel, returning results
+    /// in index order. Convenience wrapper over [`par_map_indexed`] for
+    /// sweeps whose items *are* their indices (Monte-Carlo chunk numbers,
+    /// dataset sample positions).
+    ///
+    /// [`par_map_indexed`]: Self::par_map_indexed
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f`.
+    pub fn par_map_range<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let indices: Vec<usize> = (0..n).collect();
+        self.par_map_indexed(&indices, |_, &i| f(i))
+    }
+
+    /// Fallibly maps `f` over `items` in parallel. Every item is evaluated
+    /// (errors do not short-circuit the in-flight map — deliberately, so
+    /// the error returned is deterministic rather than a race winner), then
+    /// the lowest-indexed error is selected, matching what a serial
+    /// `collect::<Result<_, _>>()` would surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing item.
+    pub fn try_par_map_indexed<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        self.par_map_indexed(items, f).into_iter().collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let exec = Executor::new(8);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = exec.par_map_indexed(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise_for_float_work() {
+        // A float pipeline sensitive to evaluation order if the executor
+        // merged in completion order.
+        let work = |i: usize| {
+            let x = (i as f64).sin() * 1e-3 + (i as f64).sqrt();
+            x.powf(1.5) / (i as f64 + 1.0)
+        };
+        let serial: Vec<f64> = Executor::serial().par_map_range(500, work);
+        for threads in [2, 3, 4, 7, 16] {
+            let par = Executor::new(threads).par_map_range(500, work);
+            assert_eq!(
+                serial.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "{threads} threads diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn unbalanced_items_all_complete() {
+        let exec = Executor::new(4);
+        let spent = AtomicU64::new(0);
+        // Item 0 is ~100x the work of the rest: claiming must rebalance.
+        let out = exec.par_map_range(64, |i| {
+            let reps = if i == 0 { 40_000 } else { 400 };
+            let mut acc = 0u64;
+            for k in 0..reps {
+                acc = acc.wrapping_mul(31).wrapping_add(k ^ i as u64);
+            }
+            spent.fetch_add(1, Ordering::Relaxed);
+            acc
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(spent.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let exec = Executor::new(4);
+        let empty: Vec<u32> = vec![];
+        assert!(exec.par_map_indexed(&empty, |_, &x| x).is_empty());
+        assert_eq!(exec.par_map_indexed(&[7u32], |_, &x| x + 1), vec![8]);
+        assert_eq!(exec.par_map_range(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert!(Executor::new(0).is_serial());
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let exec = Executor::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let r: Result<Vec<usize>, usize> =
+            exec.try_par_map_indexed(&items, |_, &x| if x % 30 == 17 { Err(x) } else { Ok(x) });
+        assert_eq!(r, Err(17));
+        let ok: Result<Vec<usize>, usize> = exec.try_par_map_indexed(&items, |_, &x| Ok(x));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 13")]
+    fn worker_panics_propagate() {
+        let exec = Executor::new(4);
+        let _ = exec.par_map_range(64, |i| {
+            if i == 13 {
+                panic!("boom at 13");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn from_env_and_host_parallelism_are_sane() {
+        assert!(Executor::host_parallelism() >= 1);
+        assert!(Executor::from_env().threads() >= 1);
+    }
+}

@@ -10,6 +10,7 @@ use crate::dataset::SyntheticDataset;
 use crate::error::NnError;
 use crate::layers::{Layer, LayerStats};
 use crate::tensor::Tensor;
+use dvafs_executor::Executor;
 use serde::{Deserialize, Serialize};
 
 /// Bit widths for one layer.
@@ -211,6 +212,24 @@ impl Network {
             .collect()
     }
 
+    /// Predictions over a whole dataset, with per-sample inference run in
+    /// parallel on `exec`. Sample inferences are independent and results
+    /// merge in sample order, so the output is bit-identical to
+    /// [`predict_all`](Self::predict_all) for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`forward`](Self::forward) errors (lowest sample index
+    /// first, matching serial semantics).
+    pub fn predict_all_with(
+        &self,
+        data: &SyntheticDataset,
+        config: &QuantConfig,
+        exec: &Executor,
+    ) -> Result<Vec<usize>, NnError> {
+        exec.try_par_map_indexed(data.images(), |_, img| self.predict(img, config))
+    }
+
     /// Centers the network's output logits on a calibration set: the mean
     /// full-precision logit of every class is subtracted from the final
     /// dense layer's bias.
@@ -286,9 +305,28 @@ impl Network {
         config: &QuantConfig,
         reference: &[usize],
     ) -> f64 {
+        self.relative_accuracy_vs_with(data, config, reference, &Executor::serial())
+    }
+
+    /// Like [`relative_accuracy_vs`](Self::relative_accuracy_vs) with the
+    /// quantized inference parallelized over samples on `exec`; agreement
+    /// counting is order-independent, so the score is bit-identical for
+    /// any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inference fails or lengths mismatch.
+    #[must_use]
+    pub fn relative_accuracy_vs_with(
+        &self,
+        data: &SyntheticDataset,
+        config: &QuantConfig,
+        reference: &[usize],
+        exec: &Executor,
+    ) -> f64 {
         assert_eq!(reference.len(), data.len(), "reference length mismatch");
         let got = self
-            .predict_all(data, config)
+            .predict_all_with(data, config, exec)
             .expect("quantized inference must succeed");
         let agree = got
             .iter()

@@ -9,6 +9,7 @@
 
 use crate::dataset::SyntheticDataset;
 use crate::network::{Network, QuantConfig};
+use dvafs_executor::Executor;
 use serde::{Deserialize, Serialize};
 
 /// Which operand of a layer is being scaled.
@@ -101,37 +102,59 @@ impl PrecisionSearch {
         data: &SyntheticDataset,
         operand: Operand,
     ) -> Vec<LayerRequirement> {
+        self.search_with(net, data, operand, &Executor::serial())
+    }
+
+    /// Like [`search`](Self::search), with the per-layer scans distributed
+    /// over `exec`'s workers (layers are independent: each scans with the
+    /// rest of the network at full precision) and the reference inference
+    /// parallelized over samples. Scan depth varies per layer, so workers
+    /// claim layers dynamically; results merge in layer order and are
+    /// bit-identical to a serial search for any thread count.
+    #[must_use]
+    pub fn search_with(
+        &self,
+        net: &Network,
+        data: &SyntheticDataset,
+        operand: Operand,
+        exec: &Executor,
+    ) -> Vec<LayerRequirement> {
         let full = QuantConfig::uniform(net.layer_count(), self.full_bits, self.full_bits);
         let reference = net
-            .predict_all(data, &full)
+            .predict_all_with(data, &full, exec)
             .expect("full-precision inference must succeed");
-        net.parameterized_layers()
-            .into_iter()
-            .map(|li| {
-                let mut best_bits = self.full_bits;
-                let mut best_acc = 1.0;
-                for bits in (1..self.full_bits).rev() {
-                    let mut cfg = full.clone();
-                    match operand {
-                        Operand::Weights => cfg.set_layer(li, bits, self.full_bits),
-                        Operand::Activations => cfg.set_layer(li, self.full_bits, bits),
-                    }
-                    let acc = net.relative_accuracy_vs(data, &cfg, &reference);
-                    if acc >= self.target {
-                        best_bits = bits;
-                        best_acc = acc;
-                    } else {
-                        break;
-                    }
+        let layers = net.parameterized_layers();
+        // The scans nest a per-sample map inside the per-layer map. Cap the
+        // inner width so outer × inner ≈ exec's worker count instead of
+        // spawning threads² workers; with few layers and few threads the
+        // inner map degenerates to serial. (Determinism is unaffected —
+        // thread counts never change results.)
+        let outer_workers = exec.threads().min(layers.len()).max(1);
+        let inner = Executor::new(exec.threads() / outer_workers);
+        exec.par_map_indexed(&layers, |_, &li| {
+            let mut best_bits = self.full_bits;
+            let mut best_acc = 1.0;
+            for bits in (1..self.full_bits).rev() {
+                let mut cfg = full.clone();
+                match operand {
+                    Operand::Weights => cfg.set_layer(li, bits, self.full_bits),
+                    Operand::Activations => cfg.set_layer(li, self.full_bits, bits),
                 }
-                LayerRequirement {
-                    layer_index: li,
-                    layer_name: net.layers()[li].name(),
-                    bits: best_bits,
-                    relative_accuracy: best_acc,
+                let acc = net.relative_accuracy_vs_with(data, &cfg, &reference, &inner);
+                if acc >= self.target {
+                    best_bits = bits;
+                    best_acc = acc;
+                } else {
+                    break;
                 }
-            })
-            .collect()
+            }
+            LayerRequirement {
+                layer_index: li,
+                layer_name: net.layers()[li].name(),
+                bits: best_bits,
+                relative_accuracy: best_acc,
+            }
+        })
     }
 
     /// Builds a mixed-precision configuration from independent weight and
@@ -230,6 +253,18 @@ mod tests {
                 l.bits,
                 s.bits
             );
+        }
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        let net = tiny_net();
+        let d = data();
+        let search = PrecisionSearch::new().with_target(0.9);
+        for op in [Operand::Weights, Operand::Activations] {
+            let serial = search.search(&net, &d, op);
+            let parallel = search.search_with(&net, &d, op, &Executor::new(4));
+            assert_eq!(serial, parallel);
         }
     }
 

@@ -188,13 +188,10 @@ impl MultiplierEnergyModel {
     /// The full Fig. 3a sweep: 16/12/8/4 bits in all three regimes.
     #[must_use]
     pub fn fig3a_sweep(&self) -> Vec<EnergySample> {
-        let mut out = Vec::new();
-        for mode in ScalingMode::ALL {
-            for bits in [16u32, 12, 8, 4] {
-                out.push(self.energy_per_word(mode, bits));
-            }
-        }
-        out
+        ScalingMode::precision_grid()
+            .into_iter()
+            .map(|(mode, bits)| self.energy_per_word(mode, bits))
+            .collect()
     }
 }
 

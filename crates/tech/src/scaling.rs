@@ -34,6 +34,23 @@ pub enum ScalingMode {
 impl ScalingMode {
     /// All regimes in presentation order.
     pub const ALL: [ScalingMode; 3] = [ScalingMode::Das, ScalingMode::Dvas, ScalingMode::Dvafs];
+
+    /// The paper's precision axis in presentation order (16 → 4 bits).
+    pub const PRECISIONS: [u32; 4] = [16, 12, 8, 4];
+
+    /// The full regime × precision evaluation grid behind Fig. 2, Fig. 3a,
+    /// Fig. 4 and Fig. 8, mode-major in presentation order.
+    ///
+    /// **Contract:** cell 0 is always `(Das, 16)` — the figures'
+    /// normalization baseline. Sweeps that evaluate this grid in parallel
+    /// index their baseline as cell 0, so the ordering here is load-bearing.
+    #[must_use]
+    pub fn precision_grid() -> Vec<(ScalingMode, u32)> {
+        Self::ALL
+            .into_iter()
+            .flat_map(|mode| Self::PRECISIONS.into_iter().map(move |bits| (mode, bits)))
+            .collect()
+    }
 }
 
 impl fmt::Display for ScalingMode {

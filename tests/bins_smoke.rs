@@ -1,5 +1,8 @@
 //! Smoke tests: every paper-reproduction binary in `crates/bench` must build
-//! and exit 0, so the figure/table entry points cannot silently rot.
+//! and exit 0, so the figure/table entry points cannot silently rot — and
+//! every binary must print **byte-identical stdout at `--threads 1` and
+//! `--threads 4`**, which is the end-to-end enforcement of the parallel
+//! executor's determinism guarantee.
 //!
 //! Each binary is invoked through `cargo run --release`: the gate-level
 //! simulators are orders of magnitude slower unoptimized, and the tier-1
@@ -9,7 +12,8 @@
 use std::path::Path;
 use std::process::Command;
 
-/// Every `[[bin]]` target of `dvafs-bench`, one per paper artefact.
+/// Every `[[bin]]` target of `dvafs-bench`, one per paper artefact (plus
+/// the `BENCH_sweep.json` performance emitter).
 const FIGURE_BINARIES: &[&str] = &[
     "fig2",
     "fig3a",
@@ -21,9 +25,11 @@ const FIGURE_BINARIES: &[&str] = &[
     "table2",
     "table3",
     "ablations",
+    "bench_sweep",
 ];
 
-fn run_bench_binary(name: &str) {
+/// Runs one binary at a thread count, returning its stdout.
+fn run_at_threads(name: &str, threads: &str) -> String {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let output = Command::new(cargo)
@@ -37,15 +43,15 @@ fn run_bench_binary(name: &str) {
             name,
         ])
         // Binaries with an expensive default configuration honour --fast
-        // (currently fig6); the rest ignore argv.
-        .arg("--")
-        .arg("--fast")
+        // (fig6, bench_sweep); the rest ignore the flag. Every binary
+        // honours --threads.
+        .args(["--", "--fast", "--threads", threads])
         .current_dir(workspace_root)
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn cargo run --bin {name}: {e}"));
     assert!(
         output.status.success(),
-        "binary {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        "binary {name} (--threads {threads}) exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
         output.status.code(),
         String::from_utf8_lossy(&output.stdout),
         String::from_utf8_lossy(&output.stderr),
@@ -53,6 +59,17 @@ fn run_bench_binary(name: &str) {
     assert!(
         !output.stdout.is_empty(),
         "binary {name} exited 0 but printed nothing"
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn run_bench_binary(name: &str) {
+    let serial = run_at_threads(name, "1");
+    let parallel = run_at_threads(name, "4");
+    assert_eq!(
+        serial, parallel,
+        "binary {name}: stdout differs between --threads 1 and --threads 4 \
+         (parallel execution must be bit-identical to serial)"
     );
 }
 
@@ -65,7 +82,19 @@ macro_rules! smoke {
     )*};
 }
 
-smoke!(fig2, fig3a, fig3b, fig4, fig6, fig8, table1, table2, table3, ablations);
+smoke!(
+    fig2,
+    fig3a,
+    fig3b,
+    fig4,
+    fig6,
+    fig8,
+    table1,
+    table2,
+    table3,
+    ablations,
+    bench_sweep
+);
 
 #[test]
 fn smoke_list_matches_bench_bin_dir() {

@@ -1,0 +1,80 @@
+//! Golden snapshot tests: the paper's figure data, serialized to JSON and
+//! compared byte-for-byte against checked-in fixtures.
+//!
+//! The fixtures pin the *exact* floating-point values of Fig. 2, Fig. 3a,
+//! Fig. 3b and Table III at the default seed, so any change to the models,
+//! the activity extraction, the Monte-Carlo chunking or the executor that
+//! moves a figure — even in the last bit — fails loudly here instead of
+//! drifting silently.
+//!
+//! ## Regenerating
+//!
+//! After an *intentional* model change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_figures
+//! git diff tests/golden/   # review the numeric drift, then commit it
+//! ```
+//!
+//! Fixtures are written with shortest-roundtrip float formatting (see
+//! `dvafs::report::json`), so a byte-level diff is a bit-level diff of the
+//! computed values.
+
+use dvafs::report::json;
+use dvafs::sweep::MultiplierSweep;
+use dvafs_envision::chip::EnvisionChip;
+use dvafs_envision::measure::table3;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir golden");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n\
+             regenerate with: UPDATE_GOLDEN=1 cargo test --test golden_figures",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from tests/golden/{name}.json — if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test \
+         golden_figures and commit the diff"
+    );
+}
+
+#[test]
+fn fig2_matches_golden() {
+    let sweep = MultiplierSweep::new();
+    assert_matches_golden("fig2", &json::fig2_to_json(&sweep.fig2()));
+}
+
+#[test]
+fn fig3a_matches_golden() {
+    let sweep = MultiplierSweep::new();
+    assert_matches_golden("fig3a", &json::fig3a_to_json(&sweep.fig3a()));
+}
+
+#[test]
+fn fig3b_matches_golden() {
+    // Paper-scale Monte-Carlo volume: the fixture pins the full stream.
+    let sweep = MultiplierSweep::new();
+    assert_matches_golden("fig3b", &json::fig3b_to_json(&sweep.fig3b()));
+}
+
+#[test]
+fn table3_matches_golden() {
+    let chip = EnvisionChip::new();
+    assert_matches_golden("table3", &json::table3_to_json(&table3(&chip)));
+}

@@ -1,0 +1,56 @@
+//! Property tests for the executor's determinism contract: for random
+//! thread counts and random root seeds, the parallel multiplier sweeps are
+//! **bit-identical** (`==`, not approximately equal) to the serial ones.
+//!
+//! This is what licenses every other test and figure in the workspace to
+//! run parallel by default — parallelism can never silently move the
+//! paper's numbers.
+
+use dvafs::executor::Executor;
+use dvafs::sweep::MultiplierSweep;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn fig3a_and_fig3b_bit_identical_across_thread_counts(
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        // Reduced Monte-Carlo volume (multiple chunks, last one partial)
+        // keeps a case affordable; the chunk layout is identical to the
+        // paper-scale configuration.
+        let sweep = MultiplierSweep::with_seed(seed).with_samples(600);
+        let serial = sweep.clone().with_executor(Executor::serial());
+        let parallel = sweep.with_executor(Executor::new(threads));
+
+        let fig3a_serial = serial.fig3a();
+        let fig3a_parallel = parallel.fig3a();
+        prop_assert_eq!(&fig3a_serial, &fig3a_parallel);
+        // Strict equality must hold down to the bit pattern of every float.
+        for (s, p) in fig3a_serial.iter().zip(&fig3a_parallel) {
+            prop_assert_eq!(s.relative.to_bits(), p.relative.to_bits());
+            prop_assert_eq!(s.picojoules.to_bits(), p.picojoules.to_bits());
+        }
+
+        let fig3b_serial = serial.fig3b();
+        let fig3b_parallel = parallel.fig3b();
+        prop_assert_eq!(&fig3b_serial, &fig3b_parallel);
+        for (s, p) in fig3b_serial.iter().zip(&fig3b_parallel) {
+            prop_assert_eq!(s.rmse.to_bits(), p.rmse.to_bits());
+            prop_assert_eq!(s.energy.to_bits(), p.energy.to_bits());
+        }
+    }
+
+    #[test]
+    fn fig2_bit_identical_across_thread_counts(
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let sweep = MultiplierSweep::with_seed(seed);
+        let serial = sweep.clone().with_executor(Executor::serial()).fig2();
+        let parallel = sweep.with_executor(Executor::new(threads)).fig2();
+        prop_assert_eq!(serial, parallel);
+    }
+}
