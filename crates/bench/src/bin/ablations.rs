@@ -1,129 +1,9 @@
-//! Ablation studies of the design choices DESIGN.md calls out:
+//! Design-choice ablation studies — see `dvafs run ablations`.
 //!
-//! 1. **Operand isolation** in the subword multiplier — gating operands
-//!    before the partial-product cells (vs. killing products afterwards)
-//!    is what reaches the paper's `k3` activity reduction.
-//! 2. **Optimized sign extension** in the Booth–Wallace multiplier — the
-//!    inverted-bit + constant scheme vs. naive sign-bit replication, which
-//!    keeps high columns toggling under input gating (`k0`).
-//! 3. **Voltage-rail quantization** — how much of the DVAFS energy win a
-//!    coarse power grid gives back.
-
-use dvafs::report::{fmt_f, TextTable};
-use dvafs_arith::multiplier::dvafs::{
-    build_subword_multiplier, build_subword_multiplier_unisolated,
-};
-use dvafs_arith::multiplier::exact::{build_booth_wallace, build_booth_wallace_naive};
-use dvafs_arith::multiplier::DvafsMultiplier;
-use dvafs_arith::netlist::{to_bits, Netlist, Simulator};
-use dvafs_arith::subword::SubwordMode;
-use dvafs_tech::delay::DelayModel;
-use dvafs_tech::voltage::VoltageSolver;
-use rand::{Rng, SeedableRng};
-
-fn drive_subword(netlist: &Netlist, mode: SubwordMode, pairs: &[(u16, u16)]) -> f64 {
-    let mut sim = Simulator::new(netlist.clone());
-    for &(a, b) in pairs {
-        sim.eval(&DvafsMultiplier::stimulus(a, b, mode))
-            .expect("stimulus fits");
-    }
-    sim.stats().weighted_toggles
-}
-
-fn drive_booth(netlist: &Netlist, bits: u32, pairs: &[(u16, u16)]) -> f64 {
-    let drop = 16 - bits;
-    let mut sim = Simulator::new(netlist.clone());
-    for &(a, b) in pairs {
-        // Gate LSBs as a DAS data path does (arithmetic truncation).
-        let aq = ((a as i16 >> drop) << drop) as u16;
-        let bq = ((b as i16 >> drop) << drop) as u16;
-        let mut inputs = to_bits(u64::from(aq), 16);
-        inputs.extend(to_bits(u64::from(bq), 16));
-        sim.eval(&inputs).expect("stimulus fits");
-    }
-    sim.stats().weighted_toggles
-}
+//! Legacy shim: the experiment lives in the scenario registry
+//! (`dvafs::scenario`); this binary only preserves the original command
+//! line and its byte-identical stdout.
 
 fn main() {
-    dvafs_bench::banner(
-        "Ablations",
-        "design choices behind the extracted parameters",
-    );
-    let args = dvafs_bench::BenchArgs::parse();
-    let exec = args.executor();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(dvafs_bench::EXPERIMENT_SEED);
-    let pairs: Vec<(u16, u16)> = (0..150).map(|_| (rng.gen(), rng.gen())).collect();
-
-    // 1. Operand isolation in the subword multiplier.
-    println!("1. Operand isolation (subword multiplier, per-cycle activity vs 1x16b)");
-    let isolated = build_subword_multiplier();
-    let unisolated = build_subword_multiplier_unisolated();
-    let modes = [
-        (SubwordMode::X1, 1.0),
-        (SubwordMode::X2, 1.0 / 1.82),
-        (SubwordMode::X4, 1.0 / 3.2),
-    ];
-    // Each toggle simulation is independent: drive both designs at every
-    // mode in parallel, design-major so row m reads [m] and [3 + m].
-    let sub_grid: Vec<(&Netlist, SubwordMode)> = [&isolated, &unisolated]
-        .into_iter()
-        .flat_map(|n| modes.iter().map(move |&(m, _)| (n, m)))
-        .collect();
-    let toggles = exec.par_map_indexed(&sub_grid, |_, &(n, m)| drive_subword(n, m, &pairs));
-    let (base_iso, base_un) = (toggles[0], toggles[3]);
-    let mut t = TextTable::new(vec!["mode", "isolated", "unisolated", "paper k3 target"]);
-    for (m, (mode, paper)) in modes.into_iter().enumerate() {
-        t.row(vec![
-            mode.to_string(),
-            fmt_f(toggles[m] / base_iso, 3),
-            fmt_f(toggles[3 + m] / base_un, 3),
-            fmt_f(paper, 3),
-        ]);
-    }
-    println!("{t}");
-
-    // 2. Sign-extension scheme in the Booth-Wallace multiplier.
-    println!("2. Sign-extension scheme (Booth-Wallace, DAS activity vs 16b)");
-    let optimized = build_booth_wallace(16);
-    let naive = build_booth_wallace_naive(16);
-    let booth_grid: Vec<(&Netlist, u32)> = [&optimized, &naive]
-        .into_iter()
-        .flat_map(|n| [16u32, 12, 8, 4].into_iter().map(move |b| (n, b)))
-        .collect();
-    let booth = exec.par_map_indexed(&booth_grid, |_, &(n, b)| drive_booth(n, b, &pairs));
-    // Both columns normalized to the OPTIMIZED design's 16-bit activity so
-    // the absolute switched-capacitance cost of naive replication shows.
-    let b_opt = booth[0];
-    let mut t = TextTable::new(vec!["precision", "optimized", "naive replication"]);
-    for (i, bits) in [16u32, 12, 8, 4].into_iter().enumerate() {
-        t.row(vec![
-            format!("{bits}b"),
-            fmt_f(booth[i] / b_opt, 3),
-            fmt_f(booth[4 + i] / b_opt, 3),
-        ]);
-    }
-    println!("{t}");
-    println!(
-        "(cells: optimized {} vs naive {})",
-        optimized.gate_count(),
-        naive.gate_count()
-    );
-    println!();
-
-    // 3. Voltage-rail quantization.
-    println!("3. Rail quantization: DVAFS 4x4b energy factor vs grid step");
-    let model = DelayModel::calibrate(1.1, &[(0.9, 2.0), (0.75, 8.0)]).expect("calibrates");
-    let mut t = TextTable::new(vec!["step [V]", "V(8x slack)", "(V/Vnom)^2"]);
-    for step in [0.005f64, 0.01, 0.05, 0.10] {
-        let solver = VoltageSolver::new(model, 0.70, step);
-        let v = solver.min_voltage(8.0);
-        t.row(vec![
-            fmt_f(step, 3),
-            fmt_f(v, 3),
-            fmt_f((v / 1.1) * (v / 1.1), 3),
-        ]);
-    }
-    println!("{t}");
-    println!("a 0.1 V grid gives back ~15-25% of the voltage-scaling energy win,");
-    println!("which is why split rails with fine steps matter in a DVAFS system.");
+    dvafs_bench::run_legacy("ablations");
 }

@@ -1,102 +1,12 @@
-//! Emits `BENCH_sweep.json`: wall time of every parallelized figure
-//! workload, serial vs parallel, plus thread count and host parallelism —
-//! the per-commit performance record CI uploads as an artifact.
+//! BENCH_sweep.json emitter: wall time per scenario — see `dvafs run bench_sweep`.
 //!
-//! While timing, the emitter also *verifies* the determinism contract: the
-//! parallel result of every workload is asserted bit-identical to the
-//! serial result before a timing is recorded.
-//!
-//! Timings go to the JSON file only — stdout stays byte-stable across
-//! thread counts and runs, so the smoke tests can diff it like any other
-//! figure binary. Output path: `--out PATH` (default `BENCH_sweep.json`
-//! in the working directory).
-
-use dvafs::executor::Executor;
-use dvafs::sweep::MultiplierSweep;
-use dvafs_bench::{bench_sweep_json, time_ms, SweepTiming};
-use dvafs_envision::chip::EnvisionChip;
-use dvafs_envision::measure::{table3_with, Fig8Sweep};
-use dvafs_nn::dataset::SyntheticDataset;
-use dvafs_nn::models;
-use dvafs_nn::precision::{prediction_diversity, Operand, PrecisionSearch};
-
-/// Times `workload` on one thread and on `par`, asserting both runs
-/// produce identical results.
-fn measure<R: PartialEq>(
-    figure: &str,
-    par: &Executor,
-    workload: impl Fn(&Executor) -> R,
-) -> SweepTiming {
-    let serial = Executor::serial();
-    let mut serial_result = None;
-    let serial_ms = time_ms(|| serial_result = Some(workload(&serial)));
-    let mut parallel_result = None;
-    let parallel_ms = time_ms(|| parallel_result = Some(workload(par)));
-    assert!(
-        serial_result == parallel_result,
-        "{figure}: parallel result diverged from serial"
-    );
-    SweepTiming {
-        figure: figure.to_string(),
-        serial_ms,
-        parallel_ms,
-    }
-}
+//! Legacy shim: the experiment lives in the scenario registry
+//! (`dvafs::scenario`); this binary preserves the original command line
+//! (including `--out` as the artifact *file* path). Unlike the other
+//! shims its stdout is **not** byte-identical to the pre-registry binary:
+//! the sweep now times every registered scenario through the registry, so
+//! the `measured <id>` line count grew from 6 to 10.
 
 fn main() {
-    dvafs_bench::banner("BENCH sweep", "serial vs parallel wall time per figure");
-    let args = dvafs_bench::BenchArgs::parse();
-    let par = args.executor();
-
-    let samples = if args.fast { 1024 } else { 2000 };
-    let sweep = MultiplierSweep::new().with_samples(samples);
-    let fig8 = Fig8Sweep::new(EnvisionChip::new());
-    let chip = EnvisionChip::new();
-
-    // The Fig. 6 stand-in: the LeNet-5 per-layer precision search at the
-    // `--fast` scale of the fig6 binary (the heaviest parallelized path).
-    let mut lenet = models::lenet5(dvafs_bench::EXPERIMENT_SEED);
-    let digits = SyntheticDataset::digits(
-        if args.fast { 12 } else { 24 },
-        dvafs_bench::EXPERIMENT_SEED + 1,
-    );
-    if prediction_diversity(&lenet, &digits) < 3 {
-        lenet.calibrate_logits(&digits);
-    }
-    let search = PrecisionSearch::new();
-
-    let timings = vec![
-        measure("fig2", &par, |e| {
-            sweep.clone().with_executor(e.clone()).fig2()
-        }),
-        measure("fig3a", &par, |e| {
-            sweep.clone().with_executor(e.clone()).fig3a()
-        }),
-        measure("fig3b", &par, |e| {
-            sweep.clone().with_executor(e.clone()).fig3b()
-        }),
-        measure("fig6", &par, |e| {
-            let w = search.search_with(&lenet, &digits, Operand::Weights, e);
-            let a = search.search_with(&lenet, &digits, Operand::Activations, e);
-            (w, a)
-        }),
-        measure("fig8", &par, |e| {
-            let s = fig8.clone().with_executor(e.clone());
-            (s.fig8a(), s.fig8b())
-        }),
-        measure("table3", &par, |e| table3_with(&chip, e)),
-    ];
-
-    for t in &timings {
-        println!(
-            "measured {}: serial and parallel runs bit-identical",
-            t.figure
-        );
-    }
-
-    let path = args.out.as_deref().unwrap_or("BENCH_sweep.json");
-    std::fs::write(path, bench_sweep_json(&timings, par.threads(), args.fast))
-        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-    println!();
-    println!("wrote {path}");
+    dvafs_bench::run_legacy("bench_sweep");
 }

@@ -1,0 +1,8 @@
+//! The single experiment CLI over the scenario registry: `dvafs list`,
+//! `dvafs run <id>... [--format text|json|csv] [--out DIR] [--threads N]
+//! [--fast]`, `dvafs run --all`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dvafs_bench::cli::main_with_args(&args));
+}

@@ -1,43 +1,9 @@
-//! Regenerates Fig. 2: operating frequency (a), positive slack at the
-//! nominal rail (b), supply voltage at zero slack (c) and relative
-//! switching activity (d) of the DVAFS multiplier at constant 500 MOPS.
-
-use dvafs::report::{fmt_f, TextTable};
-use dvafs::sweep::MultiplierSweep;
-use dvafs_tech::scaling::ScalingMode;
+//! Fig. 2: f, slack, V and activity vs precision — see `dvafs run fig2`.
+//!
+//! Legacy shim: the experiment lives in the scenario registry
+//! (`dvafs::scenario`); this binary only preserves the original command
+//! line and its byte-identical stdout.
 
 fn main() {
-    dvafs_bench::banner("Fig. 2", "f, slack, V and activity vs precision @ 500 MOPS");
-    let args = dvafs_bench::BenchArgs::parse();
-    let sweep = MultiplierSweep::new().with_executor(args.executor());
-    let points = sweep.fig2();
-
-    for (label, metric) in [
-        ("Fig. 2a  Operating frequency [MHz]", 0usize),
-        ("Fig. 2b  Positive slack @1.1V [ns]", 1),
-        ("Fig. 2c  Supply voltage Vas @0 slack [V]", 2),
-        ("Fig. 2d  Relative activity per word [-]", 3),
-    ] {
-        println!("{label}");
-        let mut t = TextTable::new(vec!["mode", "16b", "12b", "8b", "4b"]);
-        for mode in ScalingMode::ALL {
-            let series: Vec<String> = points
-                .iter()
-                .filter(|p| p.mode == mode)
-                .map(|p| match metric {
-                    0 => fmt_f(p.frequency_mhz, 0),
-                    1 => fmt_f(p.positive_slack_ns, 2),
-                    2 => fmt_f(p.v_as, 2),
-                    _ => fmt_f(p.activity_per_word, 3),
-                })
-                .collect();
-            let mut cells = vec![mode.to_string()];
-            cells.extend(series);
-            t.row(cells);
-        }
-        println!("{t}");
-    }
-    println!("paper anchors: DVAFS f = 500/500/250/125 MHz; DAS slack ~1 ns @4b;");
-    println!("DVAFS slack ~7 ns @4x4b; DVAS V -> 0.9 V; DVAFS V -> 0.75 V;");
-    println!("activity drop 12.5x (DAS) and 3.2x per cycle (DVAFS) at 4b.");
+    dvafs_bench::run_legacy("fig2");
 }

@@ -1,46 +1,9 @@
-//! Regenerates Fig. 3a: energy per word of the reconfigurable multiplier
-//! in DAS, DVAS and DVAFS regimes, normalized to the non-reconfigurable
-//! 16-bit baseline (2.16 pJ/word in 40 nm LP).
-
-use dvafs::report::{fmt_f, TextTable};
-use dvafs::sweep::MultiplierSweep;
-use dvafs_tech::scaling::ScalingMode;
+//! Fig. 3a: multiplier energy/word vs precision — see `dvafs run fig3a`.
+//!
+//! Legacy shim: the experiment lives in the scenario registry
+//! (`dvafs::scenario`); this binary only preserves the original command
+//! line and its byte-identical stdout.
 
 fn main() {
-    dvafs_bench::banner("Fig. 3a", "multiplier energy/word vs precision");
-    let args = dvafs_bench::BenchArgs::parse();
-    let sweep = MultiplierSweep::new().with_executor(args.executor());
-    let samples = sweep.fig3a();
-
-    let mut t = TextTable::new(vec!["mode", "bits", "E/word [rel]", "E/word [pJ]"]);
-    for s in &samples {
-        t.row(vec![
-            s.mode.to_string(),
-            format!("{}b", s.bits),
-            fmt_f(s.relative, 4),
-            fmt_f(s.picojoules, 3),
-        ]);
-    }
-    println!("{t}");
-
-    let e16 = samples
-        .iter()
-        .find(|s| s.mode == ScalingMode::Dvafs && s.bits == 16)
-        .expect("16b sample present");
-    let e4 = samples
-        .iter()
-        .find(|s| s.mode == ScalingMode::Dvafs && s.bits == 4)
-        .expect("4b sample present");
-    println!(
-        "reconfiguration overhead at 16b: {:.0}% (paper: 21%, 2.63 pJ vs 2.16 pJ)",
-        (e16.relative - 1.0) * 100.0
-    );
-    println!(
-        "DVAFS saving at 4x4b vs baseline: {:.1}% (paper: >95%)",
-        (1.0 - e4.relative) * 100.0
-    );
-    println!(
-        "multiplier dynamic range 16b -> 4b: {:.1}x (paper: ~20x)",
-        e16.relative / e4.relative
-    );
+    dvafs_bench::run_legacy("fig3a");
 }

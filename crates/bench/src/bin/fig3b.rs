@@ -1,29 +1,9 @@
-//! Regenerates Fig. 3b: relative energy vs product RMSE for DVAFS against
-//! the approximate-multiplier baselines \[3\], \[3\]+VS, \[4\], \[5\] and \[8\].
-
-use dvafs::report::{fmt_e, fmt_f, TextTable};
-use dvafs::sweep::MultiplierSweep;
+//! Fig. 3b: energy vs RMSE against the approximate baselines — see `dvafs run fig3b`.
+//!
+//! Legacy shim: the experiment lives in the scenario registry
+//! (`dvafs::scenario`); this binary only preserves the original command
+//! line and its byte-identical stdout.
 
 fn main() {
-    dvafs_bench::banner(
-        "Fig. 3b",
-        "energy vs RMSE: DVAFS against [3], [4], [5], [8]",
-    );
-    let args = dvafs_bench::BenchArgs::parse();
-    let sweep = MultiplierSweep::new().with_executor(args.executor());
-    let mut points = sweep.fig3b();
-    points.sort_by(|a, b| {
-        a.design
-            .cmp(&b.design)
-            .then(a.rmse.partial_cmp(&b.rmse).expect("finite"))
-    });
-
-    let mut t = TextTable::new(vec!["design", "RMSE [-]", "relative energy [-]"]);
-    for p in &points {
-        t.row(vec![p.design.clone(), fmt_e(p.rmse), fmt_f(p.energy, 3)]);
-    }
-    println!("{t}");
-    println!("expected shape (paper): DVAFS dominates below ~1e-4 RMSE; the programmable");
-    println!("truncated multiplier [8] is the closest competitor at high accuracy; [3]-[5]");
-    println!("are fixed design points with higher energy at matched accuracy.");
+    dvafs_bench::run_legacy("fig3b");
 }

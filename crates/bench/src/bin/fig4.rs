@@ -1,62 +1,9 @@
-//! Regenerates Fig. 4: energy per word of the SIMD processor (lanes +
-//! memory) vs precision at constant throughput, for SW = 8 and SW = 64.
-
-use dvafs::report::{fmt_f, TextTable};
-use dvafs_simd::energy::SimdEnergyModel;
-use dvafs_simd::kernels::ConvKernel;
-use dvafs_simd::processor::{ProcConfig, Processor};
-use dvafs_tech::scaling::ScalingMode;
+//! Fig. 4: SIMD processor energy/word vs precision — see `dvafs run fig4`.
+//!
+//! Legacy shim: the experiment lives in the scenario registry
+//! (`dvafs::scenario`); this binary only preserves the original command
+//! line and its byte-identical stdout.
 
 fn main() {
-    dvafs_bench::banner(
-        "Fig. 4",
-        "SIMD processor energy/word vs precision @ constant T",
-    );
-    let args = dvafs_bench::BenchArgs::parse();
-    let exec = args.executor();
-    let model = SimdEnergyModel::new();
-    let kernel = ConvKernel::random(25, 2048, dvafs_bench::EXPERIMENT_SEED);
-
-    // The full evaluation grid, row-major as the table prints it. Each
-    // cell simulates the whole kernel, so cells run in parallel and merge
-    // in grid order (the 1x16b DAS cell — cell 0 of each SW block by
-    // `precision_grid`'s contract — doubles as the SW's baseline).
-    let grid: Vec<(usize, ScalingMode, u32)> = [8usize, 64]
-        .into_iter()
-        .flat_map(|sw| {
-            ScalingMode::precision_grid()
-                .into_iter()
-                .map(move |(mode, b)| (sw, mode, b))
-        })
-        .collect();
-    let energies = exec.par_map_indexed(&grid, |_, &(sw, mode, bits)| {
-        let cfg = ProcConfig::new(sw, mode, bits).expect("valid config");
-        let r = Processor::with_model(cfg, model.clone())
-            .run_kernel(&kernel)
-            .expect("kernel runs");
-        assert!(r.outputs_match(&kernel), "outputs must stay bit-exact");
-        r.energy_per_word()
-    });
-
-    let mut t = TextTable::new(vec!["SW", "mode", "16b", "12b", "8b", "4b"]);
-    let cells_per_sw = ScalingMode::ALL.len() * ScalingMode::PRECISIONS.len();
-    for (s, sw) in [8usize, 64].into_iter().enumerate() {
-        // Baseline: the same-width processor at 1x16b (DAS is grid row 0).
-        let base = energies[s * cells_per_sw];
-        for (m, mode) in ScalingMode::ALL.into_iter().enumerate() {
-            let row = s * cells_per_sw + m * 4;
-            let series: Vec<String> = energies[row..row + 4]
-                .iter()
-                .map(|&e| fmt_f(e / base, 3))
-                .collect();
-            let mut cells = vec![sw.to_string(), mode.to_string()];
-            cells.extend(series);
-            t.row(cells);
-        }
-    }
-    println!("{t}");
-    println!("(energy relative to the same-SW 1x16b processor at 500 MHz)");
-    println!("paper anchors: DVAFS reaches ~0.15 (85% saving) at 4x4b; DAS/DVAS stop near");
-    println!("0.40-0.55 because decode and memory do not scale; SW=64 gains more in DVAS,");
-    println!("while DVAFS is strong even at SW=8.");
+    dvafs_bench::run_legacy("fig4");
 }

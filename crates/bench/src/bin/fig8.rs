@@ -1,62 +1,9 @@
-//! Regenerates Fig. 8: Envision's relative energy per operation at
-//! (a) constant 200 MHz and (b) constant 76 GOPS throughput.
-
-use dvafs::report::{fmt_f, TextTable};
-use dvafs_envision::chip::EnvisionChip;
-use dvafs_envision::measure::Fig8Sweep;
-use dvafs_tech::scaling::ScalingMode;
+//! Fig. 8: Envision energy/op at constant f and constant T — see `dvafs run fig8`.
+//!
+//! Legacy shim: the experiment lives in the scenario registry
+//! (`dvafs::scenario`); this binary only preserves the original command
+//! line and its byte-identical stdout.
 
 fn main() {
-    dvafs_bench::banner("Fig. 8", "Envision energy/op at constant f and constant T");
-    let args = dvafs_bench::BenchArgs::parse();
-    let sweep = Fig8Sweep::new(EnvisionChip::new()).with_executor(args.executor());
-
-    for (label, samples) in [
-        ("Fig. 8a  constant f = 200 MHz", sweep.fig8a()),
-        ("Fig. 8b  constant T = 76 GOPS", sweep.fig8b()),
-    ] {
-        println!("{label}");
-        let mut t = TextTable::new(vec![
-            "mode",
-            "bits",
-            "f [MHz]",
-            "V [V]",
-            "P [mW]",
-            "E/op [rel]",
-        ]);
-        for s in &samples {
-            t.row(vec![
-                s.mode.to_string(),
-                format!("{}b", s.bits),
-                fmt_f(s.f_mhz, 0),
-                fmt_f(s.v, 2),
-                fmt_f(s.power_mw, 1),
-                fmt_f(s.energy_rel, 3),
-            ]);
-        }
-        println!("{t}");
-        let gain = |m: ScalingMode| {
-            let e16 = samples
-                .iter()
-                .find(|s| s.mode == ScalingMode::Das && s.bits == 16)
-                .expect("baseline present")
-                .energy_rel;
-            let e4 = samples
-                .iter()
-                .find(|s| s.mode == m && s.bits == 4)
-                .expect("4b point present")
-                .energy_rel;
-            e16 / e4
-        };
-        println!(
-            "16b -> 4b gains: DAS {:.1}x | DVAS {:.1}x | DVAFS {:.1}x",
-            gain(ScalingMode::Das),
-            gain(ScalingMode::Dvas),
-            gain(ScalingMode::Dvafs)
-        );
-        println!();
-    }
-    println!("paper anchors: 300 mW @16b/200MHz (0.25 TOPS/W real); 2.4x (DAS) and 3.8x");
-    println!("(DVAS) at constant f; 104-108 mW @4x4b/200MHz (2.8 TOPS/W); 18 mW @4x4b/50MHz");
-    println!("(4.2 TOPS/W) — 6.9x/4.1x better than DAS/DVAS at constant throughput.");
+    dvafs_bench::run_legacy("fig8");
 }

@@ -1,57 +1,9 @@
-//! Regenerates Table I: the D(V)A(F)S parameters of the 16-bit
-//! subword-parallel multiplier, extracted from gate-level simulation.
-
-use dvafs::report::{fmt_f, TextTable};
-use dvafs::sweep::MultiplierSweep;
-use dvafs_arith::activity::paper_table1;
+//! Table I: D(V)A(F)S parameters of the multiplier — see `dvafs run table1`.
+//!
+//! Legacy shim: the experiment lives in the scenario registry
+//! (`dvafs::scenario`); this binary only preserves the original command
+//! line and its byte-identical stdout.
 
 fn main() {
-    dvafs_bench::banner("Table I", "D(V)A(F)S parameters of the multiplier");
-    let args = dvafs_bench::BenchArgs::parse();
-    let sweep = MultiplierSweep::new().with_executor(args.executor());
-    let ours = sweep.table1();
-    let paper = paper_table1();
-
-    let mut t = TextTable::new(vec![
-        "parameter",
-        "4b",
-        "8b",
-        "12b",
-        "16b",
-        "",
-        "paper 4b",
-        "paper 8b",
-        "paper 12b",
-        "paper 16b",
-    ]);
-    let col =
-        |f: &dyn Fn(usize) -> f64| -> Vec<String> { (0..4).map(|i| fmt_f(f(i), 2)).collect() };
-    // `ours` is ordered 4, 8, 12, 16; paper_table1 likewise.
-    let rows: Vec<(&str, Vec<String>, Vec<String>)> = vec![
-        ("k0", col(&|i| ours[i].k0), col(&|i| paper[i].k0)),
-        ("k1", col(&|i| ours[i].k1), col(&|i| paper[i].k1)),
-        ("k2", col(&|i| ours[i].k2), col(&|i| paper[i].k2)),
-        ("k3", col(&|i| ours[i].k3), col(&|i| paper[i].k3)),
-        ("k4", col(&|i| ours[i].k4), col(&|i| paper[i].k4)),
-        (
-            "k5",
-            col(&|i| ours[i].k5),
-            (0..4).map(|_| "-".to_string()).collect(),
-        ),
-        (
-            "N",
-            (0..4).map(|i| ours[i].n.to_string()).collect(),
-            (0..4).map(|i| paper[i].n.to_string()).collect(),
-        ),
-    ];
-    for (name, o, p) in rows {
-        let mut cells = vec![name.to_string()];
-        cells.extend(o);
-        cells.push(String::new());
-        cells.extend(p);
-        t.row(cells);
-    }
-    println!("{t}");
-    println!("(ours: extracted from toggle simulation of the mode-gated multiplier netlist");
-    println!(" plus the calibrated 40nm alpha-power delay model; paper: Table I values)");
+    dvafs_bench::run_legacy("table1");
 }

@@ -1,59 +1,9 @@
-//! Regenerates Table III: per-layer power and efficiency of VGG16,
-//! AlexNet and LeNet-5 on Envision, with sparsity and DVAFS scaling.
-
-use dvafs::report::{fmt_f, TextTable};
-use dvafs_envision::chip::EnvisionChip;
-use dvafs_envision::measure::table3_with;
+//! Table III: per-layer power on Envision — see `dvafs run table3`.
+//!
+//! Legacy shim: the experiment lives in the scenario registry
+//! (`dvafs::scenario`); this binary only preserves the original command
+//! line and its byte-identical stdout.
 
 fn main() {
-    dvafs_bench::banner(
-        "Table III",
-        "per-layer power on Envision (sparsity + DVAFS)",
-    );
-    let args = dvafs_bench::BenchArgs::parse();
-    let chip = EnvisionChip::new();
-    let summaries = table3_with(&chip, &args.executor());
-
-    // Paper totals for comparison: (name, P mW, TOPS/W, fps).
-    let paper_totals = [
-        ("VGG16", 26.0, 2.0, 3.3),
-        ("AlexNet", 44.0, 1.8, 47.0),
-        ("LeNet-5", 25.0, 3.0, 13000.0),
-    ];
-
-    for s in &summaries {
-        println!("{} ({:.1} MMACs/frame)", s.name, s.total_mmacs);
-        let mut t = TextTable::new(vec![
-            "layer", "mode", "f[MHz]", "V[V]", "wght[b]", "in[b]", "wsp%", "isp%", "MMACs",
-            "P[mW]", "TOPS/W",
-        ]);
-        for r in &s.rows {
-            let l = &r.layer;
-            t.row(vec![
-                l.name.clone(),
-                l.mode.to_string(),
-                fmt_f(l.f_mhz, 0),
-                fmt_f(r.v, 2),
-                l.weight_bits.to_string(),
-                l.input_bits.to_string(),
-                fmt_f(l.weight_sparsity * 100.0, 0),
-                fmt_f(l.input_sparsity * 100.0, 0),
-                fmt_f(l.mmacs_per_frame, 1),
-                fmt_f(r.power_mw, 1),
-                fmt_f(r.tops_per_w, 1),
-            ]);
-        }
-        println!("{t}");
-        let p = paper_totals
-            .iter()
-            .find(|(n, ..)| *n == s.name)
-            .expect("paper totals exist");
-        println!(
-            "total: P = {:.1} mW (paper {:.0}), eff = {:.1} TOPS/W (paper {:.1}), {:.1} fps (paper {})",
-            s.avg_power_mw, p.1, s.avg_tops_per_w, p.2, s.fps, p.3
-        );
-        println!();
-    }
-    println!("(per-layer modes, precisions and sparsities follow the published table; power");
-    println!(" and efficiency are produced by the calibrated chip model)");
+    dvafs_bench::run_legacy("table3");
 }

@@ -1,0 +1,324 @@
+//! The `dvafs` command-line front-end over the scenario registry.
+//!
+//! ```text
+//! dvafs list
+//! dvafs run <id>... [--all] [--format text|json|csv] [--out DIR]
+//!                   [--threads N] [--fast]
+//! ```
+//!
+//! `list` prints every registered scenario (id, artefact, title, and what
+//! `--fast` shrinks). `run` executes scenarios in registry order and
+//! either prints each rendering to stdout or, with `--out DIR`, writes
+//! one `<id>.<ext>` file per scenario (plus any scenario artifacts, e.g.
+//! `bench_sweep`'s `BENCH_sweep.json`). A JSON file written this way is
+//! byte-comparable to the golden fixtures under `tests/golden/`.
+//!
+//! Unlike the legacy shims, the CLI **warns on stderr about flags it does
+//! not recognize** and hard-errors when `--out`, `--format` or
+//! `--threads` is missing its value.
+
+use dvafs::scenario::{self, Format, Scenario, ScenarioCtx};
+use dvafs::Executor;
+use std::path::Path;
+
+/// A parsed `dvafs run` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Scenario ids to run, in registry order (resolved from `--all` or
+    /// the explicit id list).
+    pub ids: Vec<String>,
+    /// Output format (`--format`, default text).
+    pub format: Format,
+    /// Output directory (`--out DIR`); `None` prints to stdout.
+    pub out: Option<String>,
+    /// Worker count (`--threads`, default environment/host).
+    pub threads: usize,
+    /// Reduced problem sizes (`--fast`).
+    pub fast: bool,
+}
+
+/// A parsed top-level CLI command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `dvafs list`.
+    List,
+    /// `dvafs run ...`.
+    Run(RunOpts),
+}
+
+const USAGE: &str = "usage: dvafs <command>\n\n\
+commands:\n  \
+  list                       list registered scenarios\n  \
+  run <id>... [options]      run scenarios (or `run --all`)\n\n\
+run options:\n  \
+  --all                      run every registered scenario\n  \
+  --format text|json|csv     output format (default text)\n  \
+  --out DIR                  write one file per scenario instead of stdout\n  \
+  --threads N                worker count (default: DVAFS_THREADS or host)\n  \
+  --fast                     reduced problem sizes (see `dvafs list`)";
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) if !v.starts_with("--") => Ok(v.clone()),
+        _ => Err(format!("{flag} requires a value")),
+    }
+}
+
+/// Parses the arguments after the program name. Returns the command plus
+/// any unknown-flag warnings (the caller decides where to surface them).
+///
+/// # Errors
+///
+/// Returns a user-facing message for an unknown command, an unknown
+/// scenario id, a missing flag value, an unparseable `--threads`, or an
+/// unknown `--format`.
+pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
+    match args.first().map(String::as_str) {
+        None | Some("--help" | "help") => Err(USAGE.to_string()),
+        Some("list") => Ok((Command::List, Vec::new())),
+        Some("run") => {
+            let mut opts = RunOpts {
+                ids: Vec::new(),
+                format: Format::Text,
+                out: None,
+                threads: Executor::from_env().threads(),
+                fast: false,
+            };
+            let mut all = false;
+            let mut warnings = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--all" => all = true,
+                    "--fast" => opts.fast = true,
+                    "--format" => {
+                        opts.format = Format::parse(&take_value(args, &mut i, "--format")?)?;
+                    }
+                    "--out" => opts.out = Some(take_value(args, &mut i, "--out")?),
+                    "--threads" => {
+                        let v = take_value(args, &mut i, "--threads")?;
+                        opts.threads =
+                            v.parse::<usize>().ok().filter(|&t| t > 0).ok_or_else(|| {
+                                format!("--threads requires a positive integer, got {v:?}")
+                            })?;
+                    }
+                    flag if flag.starts_with("--") => {
+                        warnings.push(format!("warning: ignoring unrecognized flag {flag}"));
+                    }
+                    id => {
+                        scenario::find(id)
+                            .ok_or_else(|| format!("unknown scenario {id:?} — see `dvafs list`"))?;
+                        opts.ids.push(id.to_string());
+                    }
+                }
+                i += 1;
+            }
+            if all {
+                opts.ids = scenario::registry()
+                    .iter()
+                    .map(|s| s.id().to_string())
+                    .collect();
+            }
+            if opts.ids.is_empty() {
+                return Err("run: no scenarios given (pass ids or --all)".to_string());
+            }
+            Ok((Command::Run(opts), warnings))
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// Renders the `dvafs list` output.
+#[must_use]
+pub fn list_text() -> String {
+    let mut t = dvafs::report::TextTable::new(vec!["id", "artefact", "title", "--fast"]);
+    for s in scenario::registry() {
+        t.row(vec![
+            s.id().to_string(),
+            s.label().to_string(),
+            s.title().to_string(),
+            s.fast_note().to_string(),
+        ]);
+    }
+    format!(
+        "registered scenarios (run with `dvafs run <id>`, machine-readable \
+         via `--format json|csv`):\n\n{t}"
+    )
+}
+
+/// Runs one scenario and returns what should go to stdout for it.
+///
+/// # Errors
+///
+/// Returns a message when an output file cannot be written.
+fn run_one(s: &'static dyn Scenario, opts: &RunOpts) -> Result<String, String> {
+    let ctx = ScenarioCtx::new()
+        .with_threads(opts.threads)
+        .with_fast(opts.fast);
+    let result = s.run(&ctx);
+    let rendered = scenario::render(s.label(), s.title(), &result, opts.format);
+    let mut stdout = String::new();
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        let path = Path::new(dir).join(format!("{}.{}", s.id(), opts.format.extension()));
+        std::fs::write(&path, &rendered)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        stdout.push_str(&format!("wrote {}\n", path.display()));
+    } else {
+        stdout.push_str(&rendered);
+        if !rendered.ends_with('\n') {
+            stdout.push('\n');
+        }
+    }
+    // Scenario artifacts (bench_sweep's BENCH_sweep.json) always land on
+    // disk: under --out DIR, or the working directory otherwise. Without
+    // --out, stdout carries the rendering itself, so the write notice goes
+    // to stderr — `dvafs run bench_sweep --format json | jq` must stay
+    // parseable.
+    for artifact in result.artifacts() {
+        let path = match &opts.out {
+            Some(dir) => Path::new(dir).join(&artifact.name),
+            None => Path::new(&artifact.name).to_path_buf(),
+        };
+        std::fs::write(&path, &artifact.contents)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        if opts.out.is_some() {
+            stdout.push_str(&format!("wrote {}\n", path.display()));
+        } else {
+            eprintln!("dvafs: wrote {}", path.display());
+        }
+    }
+    Ok(stdout)
+}
+
+/// Executes a parsed command, returning the full stdout text.
+///
+/// # Errors
+///
+/// Returns a user-facing message when a scenario fails to write output.
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::List => Ok(list_text()),
+        Command::Run(opts) => {
+            let mut stdout = String::new();
+            for id in &opts.ids {
+                let s = scenario::find(id).expect("ids validated during parsing");
+                stdout.push_str(&run_one(s, opts)?);
+            }
+            Ok(stdout)
+        }
+    }
+}
+
+/// The whole CLI: parse, surface warnings on stderr, execute, print.
+/// Returns the process exit code.
+#[must_use]
+pub fn main_with_args(args: &[String]) -> i32 {
+    match parse(args) {
+        Ok((cmd, warnings)) => {
+            for w in &warnings {
+                eprintln!("dvafs: {w}");
+            }
+            match execute(&cmd) {
+                Ok(stdout) => {
+                    print!("{stdout}");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("dvafs: {e}");
+                    1
+                }
+            }
+        }
+        Err(usage) => {
+            eprintln!("{usage}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parse_list_and_help() {
+        assert_eq!(parse(&argv(&["list"])).unwrap().0, Command::List);
+        assert!(parse(&argv(&[])).is_err());
+        assert!(parse(&argv(&["bogus"]))
+            .unwrap_err()
+            .contains("unknown command"));
+    }
+
+    #[test]
+    fn parse_run_flags() {
+        let (cmd, warnings) = parse(&argv(&[
+            "run",
+            "fig2",
+            "table3",
+            "--format",
+            "csv",
+            "--threads",
+            "2",
+            "--fast",
+        ]))
+        .unwrap();
+        assert!(warnings.is_empty());
+        let Command::Run(opts) = cmd else {
+            panic!("expected run")
+        };
+        assert_eq!(opts.ids, ["fig2", "table3"]);
+        assert_eq!(opts.format, Format::Csv);
+        assert_eq!(opts.threads, 2);
+        assert!(opts.fast && opts.out.is_none());
+    }
+
+    #[test]
+    fn parse_run_all_resolves_registry_order() {
+        let (Command::Run(opts), _) = parse(&argv(&["run", "--all"])).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(opts.ids.len(), 11);
+        assert_eq!(opts.ids[0], "fig2");
+        assert_eq!(opts.ids.last().unwrap(), "bench_sweep");
+    }
+
+    #[test]
+    fn unknown_flags_warn_but_do_not_fail() {
+        let (_, warnings) = parse(&argv(&["run", "fig2", "--bogus"])).unwrap();
+        assert_eq!(warnings, ["warning: ignoring unrecognized flag --bogus"]);
+    }
+
+    #[test]
+    fn missing_values_and_bad_ids_hard_error() {
+        assert!(parse(&argv(&["run", "fig2", "--out"]))
+            .unwrap_err()
+            .contains("--out requires a value"));
+        assert!(parse(&argv(&["run", "fig2", "--out", "--fast"]))
+            .unwrap_err()
+            .contains("--out requires a value"));
+        assert!(parse(&argv(&["run", "--threads", "zero"]))
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&argv(&["run", "fig99"]))
+            .unwrap_err()
+            .contains("unknown scenario"));
+        assert!(parse(&argv(&["run", "fig2", "--format", "yaml"]))
+            .unwrap_err()
+            .contains("unknown format"));
+        assert!(parse(&argv(&["run"])).unwrap_err().contains("no scenarios"));
+    }
+
+    #[test]
+    fn list_covers_every_scenario_id() {
+        let text = list_text();
+        for s in scenario::registry() {
+            assert!(text.contains(s.id()), "list missing {}", s.id());
+        }
+    }
+}

@@ -1,10 +1,17 @@
 //! # dvafs-bench — experiment harness
 //!
-//! One binary per table/figure of the DVAFS paper (DATE 2017):
+//! All experiments live in the scenario registry ([`dvafs::scenario`]) and
+//! are served by **one** CLI, the `dvafs` binary:
 //!
-//! | target | artefact | run with |
+//! ```sh
+//! cargo run -p dvafs-bench --release --bin dvafs -- list
+//! cargo run -p dvafs-bench --release --bin dvafs -- run fig2 --format json
+//! cargo run -p dvafs-bench --release --bin dvafs -- run --all --fast --out artifacts/
+//! ```
+//!
+//! | scenario id | artefact | legacy shim |
 //! |---|---|---|
-//! | `table1` | Table I (k parameters) | `cargo run -p dvafs-bench --release --bin table1` |
+//! | `table1` | Table I (k parameters) | `--bin table1` |
 //! | `fig2` | Fig. 2a–d (f, slack, V, activity) | `--bin fig2` |
 //! | `fig3a` | Fig. 3a (energy/word, DAS/DVAS/DVAFS) | `--bin fig3a` |
 //! | `fig3b` | Fig. 3b (energy vs RMSE vs baselines) | `--bin fig3b` |
@@ -14,32 +21,38 @@
 //! | `fig8` | Fig. 8a/8b (Envision energy/word) | `--bin fig8` |
 //! | `table3` | Table III (per-layer power on Envision) | `--bin table3` |
 //! | `ablations` | design-choice ablation studies | `--bin ablations` |
-//! | `bench_sweep` | `BENCH_sweep.json` (serial vs parallel wall time) | `--bin bench_sweep` |
+//! | `bench_sweep` | `BENCH_sweep.json` (wall time per scenario) | `--bin bench_sweep` |
 //!
-//! Every binary accepts `--threads N` (default: `DVAFS_THREADS` or the
-//! host's available parallelism) and produces **bit-identical stdout for
-//! any thread count** — `tests/bins_smoke.rs` runs each one at `--threads
-//! 1` and `--threads 4` and diffs the output. Expensive binaries also
-//! accept `--fast` for CI-sized runs.
+//! The legacy one-binary-per-figure entry points still build; each is a
+//! three-line shim that delegates to the registry through [`run_legacy`],
+//! so existing commands print **byte-identical stdout** (the smoke tests
+//! diff shim output against the in-process scenario rendering).
+//!
+//! Every scenario accepts `--threads N` (default: `DVAFS_THREADS` or the
+//! host's available parallelism) and produces **bit-identical output for
+//! any thread count**. `--fast` is uniformly accepted; scenarios that are
+//! already CI-sized treat it as a no-op — `dvafs list` documents per
+//! scenario what it shrinks.
 //!
 //! Criterion micro-benchmarks of the simulators live in `benches/`.
 
 #![warn(missing_docs)]
 
-use dvafs::executor::Executor;
-use std::time::Instant;
+pub mod cli;
 
-/// Shared seed for every experiment binary (full determinism).
-pub const EXPERIMENT_SEED: u64 = 0xDA7E2017;
+use dvafs::executor::Executor;
+use dvafs::scenario::{self, ScenarioCtx};
+
+pub use dvafs::report::{bench_sweep_json, time_ms, SweepTiming};
+pub use dvafs::scenario::EXPERIMENT_SEED;
 
 /// Prints the standard experiment banner.
 pub fn banner(id: &str, title: &str) {
-    println!("=== DVAFS reproduction | {id}: {title} ===");
-    println!();
+    print!("{}", scenario::banner_text(id, title));
 }
 
 /// Command-line configuration shared by every experiment binary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Worker count for sweep execution (`--threads N`; defaults to
     /// `DVAFS_THREADS` or the host parallelism).
@@ -52,21 +65,38 @@ pub struct BenchArgs {
 
 impl BenchArgs {
     /// Parses `std::env::args`. Unknown flags are ignored so smoke tests
-    /// can pass a superset of flags to every binary, but a present
-    /// `--threads` with a missing or unparseable value is a hard error —
-    /// silently falling back to the default would record benchmarks at a
-    /// thread count the user never asked for.
+    /// can pass a superset of flags to every legacy binary (the `dvafs`
+    /// CLI warns instead — see [`cli`]), but a present `--threads` or
+    /// `--out` with a missing (or unparseable) value is a hard error —
+    /// silently falling back to a default would record results under a
+    /// configuration the user never asked for.
     ///
     /// # Panics
     ///
-    /// Panics when `--threads` is given without a valid positive integer.
+    /// Panics when `--threads` is given without a valid positive integer,
+    /// or `--out` without a value.
     #[must_use]
     pub fn parse() -> Self {
-        let args: Vec<String> = std::env::args().collect();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_slice(&args)
+    }
+
+    /// Parses an explicit argument slice (everything after the program
+    /// name). See [`BenchArgs::parse`] for the flag semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--threads` is given without a valid positive integer,
+    /// or `--out` without a value.
+    #[must_use]
+    pub fn from_slice(args: &[String]) -> Self {
+        // A value is "missing" when the flag is last or followed by
+        // another flag — `--out --fast` must not eat `--fast` as a path.
         let value_of = |flag: &str| -> Option<String> {
             args.iter()
                 .position(|a| a == flag)
                 .and_then(|i| args.get(i + 1))
+                .filter(|v| !v.starts_with("--"))
                 .cloned()
         };
         let threads = if args.iter().any(|a| a == "--threads") {
@@ -79,10 +109,18 @@ impl BenchArgs {
         } else {
             Executor::from_env().threads()
         };
+        let out = if args.iter().any(|a| a == "--out") {
+            Some(
+                value_of("--out")
+                    .unwrap_or_else(|| panic!("--out requires a path value (e.g. --out DIR)")),
+            )
+        } else {
+            None
+        };
         BenchArgs {
             threads,
             fast: args.iter().any(|a| a == "--fast"),
-            out: value_of("--out"),
+            out,
         }
     }
 
@@ -91,69 +129,48 @@ impl BenchArgs {
     pub fn executor(&self) -> Executor {
         Executor::new(self.threads)
     }
-}
 
-/// One timed figure workload of the `bench_sweep` emitter.
-#[derive(Debug, Clone)]
-pub struct SweepTiming {
-    /// Figure/table identifier (e.g. `"fig3b"`).
-    pub figure: String,
-    /// Serial (1-thread) wall time in milliseconds.
-    pub serial_ms: f64,
-    /// Parallel wall time in milliseconds at `threads` workers.
-    pub parallel_ms: f64,
-}
-
-impl SweepTiming {
-    /// Serial-over-parallel speedup (> 1 means parallel won).
+    /// The scenario context configured by these arguments.
     #[must_use]
-    pub fn speedup(&self) -> f64 {
-        if self.parallel_ms > 0.0 {
-            self.serial_ms / self.parallel_ms
-        } else {
-            0.0
-        }
+    pub fn ctx(&self) -> ScenarioCtx {
+        ScenarioCtx::new()
+            .with_executor(self.executor())
+            .with_fast(self.fast)
     }
 }
 
-/// Times one closure in milliseconds, discarding its result.
-pub fn time_ms<R>(f: impl FnOnce() -> R) -> f64 {
-    let start = Instant::now();
-    let _ = f();
-    start.elapsed().as_secs_f64() * 1e3
-}
-
-/// Renders the `BENCH_sweep.json` document: per-figure serial vs parallel
-/// wall time, the measured thread count, and the host parallelism, so the
-/// workspace's performance trajectory is recorded per commit by CI.
-#[must_use]
-pub fn bench_sweep_json(timings: &[SweepTiming], threads: usize, fast: bool) -> String {
-    let rows: Vec<String> = timings
-        .iter()
-        .map(|t| {
-            format!(
-                "    {{\"figure\":\"{}\",\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\
-                 \"speedup\":{:.3}}}",
-                t.figure,
-                t.serial_ms,
-                t.parallel_ms,
-                t.speedup()
-            )
-        })
-        .collect();
-    format!
-        (
-        "{{\n  \"threads\": {},\n  \"host_parallelism\": {},\n  \"fast\": {},\n  \"figures\": [\n{}\n  ]\n}}\n",
-        threads,
-        Executor::host_parallelism(),
-        fast,
-        rows.join(",\n")
-    )
+/// The body of every legacy figure binary: print the banner, parse the
+/// legacy flags (unknown flags ignored), run the scenario, print its
+/// presentation text, and write any artifacts (`bench_sweep`'s
+/// `BENCH_sweep.json`, honouring `--out` as a file path as the old binary
+/// did).
+///
+/// # Panics
+///
+/// Panics when `id` is not registered, on invalid `--threads`/`--out`
+/// values, or when an artifact cannot be written.
+pub fn run_legacy(id: &str) {
+    let s = scenario::find(id).unwrap_or_else(|| panic!("scenario {id} not registered"));
+    banner(s.label(), s.title());
+    let args = BenchArgs::parse();
+    let result = s.run(&args.ctx());
+    print!("{}", result.text());
+    for artifact in result.artifacts() {
+        let path = args.out.clone().unwrap_or_else(|| artifact.name.clone());
+        std::fs::write(&path, &artifact.contents)
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!();
+        println!("wrote {path}");
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
 
     #[test]
     fn seed_is_fixed() {
@@ -161,29 +178,31 @@ mod tests {
     }
 
     #[test]
-    fn sweep_timing_speedup() {
-        let t = SweepTiming {
-            figure: "fig3b".into(),
-            serial_ms: 100.0,
-            parallel_ms: 25.0,
-        };
-        assert!((t.speedup() - 4.0).abs() < 1e-12);
+    fn from_slice_parses_known_flags() {
+        let a = BenchArgs::from_slice(&argv(&["--threads", "3", "--fast", "--out", "x.json"]));
+        assert_eq!(a.threads, 3);
+        assert!(a.fast);
+        assert_eq!(a.out.as_deref(), Some("x.json"));
+        assert_eq!(a.executor().threads(), 3);
+        assert!(a.ctx().fast);
     }
 
     #[test]
-    fn bench_sweep_json_shape() {
-        let doc = bench_sweep_json(
-            &[SweepTiming {
-                figure: "fig2".into(),
-                serial_ms: 1.0,
-                parallel_ms: 0.5,
-            }],
-            4,
-            true,
-        );
-        assert!(doc.contains("\"threads\": 4"));
-        assert!(doc.contains("\"figure\":\"fig2\""));
-        assert!(doc.contains("\"speedup\":2.000"));
-        assert!(doc.ends_with("}\n"));
+    fn from_slice_ignores_unknown_flags() {
+        let a = BenchArgs::from_slice(&argv(&["--bogus", "--threads", "2"]));
+        assert_eq!(a.threads, 2);
+        assert!(!a.fast);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads requires a positive integer")]
+    fn missing_threads_value_is_fatal() {
+        let _ = BenchArgs::from_slice(&argv(&["--threads"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--out requires a path value")]
+    fn missing_out_value_is_fatal() {
+        let _ = BenchArgs::from_slice(&argv(&["--out", "--fast"]));
     }
 }

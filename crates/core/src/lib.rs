@@ -14,13 +14,17 @@
 //! * [`controller`] — [`DvafsController`]: pick mode, frequency and rail
 //!   voltages for a precision requirement, and schedule mixed-precision
 //!   task sequences (e.g. CNN layers);
+//! * [`scenario`] — the experiment registry: every figure and table of
+//!   the paper as a pluggable [`scenario::Scenario`] with structured
+//!   results (run them with `dvafs list` / `dvafs run <id>` from
+//!   `crates/bench`);
 //! * [`sweep`] — regenerates the paper's multiplier-level evaluation data
 //!   (Fig. 2, Fig. 3a, Fig. 3b);
 //! * [`executor`] — the deterministic parallel sweep executor (re-exported
 //!   [`dvafs_executor`]): every sweep above runs serial or parallel with
 //!   bit-identical results;
-//! * [`report`] — plain-text table and JSON rendering for the experiment
-//!   binaries and the golden snapshot tests.
+//! * [`report`] — plain-text table and JSON rendering primitives shared
+//!   by the scenario serializer and the golden snapshot tests.
 //!
 //! Substrates, re-exported here: [`dvafs_arith`] (gate-level
 //! precision-scalable arithmetic), [`dvafs_tech`] (delay/voltage/power
@@ -47,6 +51,7 @@
 
 pub mod controller;
 pub mod report;
+pub mod scenario;
 pub mod sweep;
 
 /// Deterministic parallel sweep execution (the [`dvafs_executor`] crate,
@@ -68,6 +73,7 @@ pub use sweep::MultiplierSweep;
 pub mod prelude {
     pub use crate::controller::{DvafsController, OperatingPlan};
     pub use crate::executor::Executor;
+    pub use crate::scenario::{Scenario, ScenarioCtx, ScenarioResult};
     pub use crate::sweep::MultiplierSweep;
     pub use dvafs_arith::{Precision, SubwordMode};
     pub use dvafs_tech::{ScalingMode, Technology};

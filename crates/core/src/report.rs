@@ -1,14 +1,17 @@
-//! Plain-text table and JSON rendering for the experiment binaries.
+//! Plain-text table and JSON rendering primitives for the experiment
+//! scenarios.
 //!
-//! The benchmark harness prints the paper's tables and figure series as
-//! aligned text; this module holds the small formatter they share, plus
-//! [`json`] — stable JSON serialization of the figure data used by the
-//! golden snapshot tests (`tests/golden/*.json`) and the `BENCH_sweep.json`
-//! emitter. (The offline `serde` stub under `vendor/` has no serializer,
-//! so the JSON here is hand-rendered; swap to `serde_json` when a registry
-//! is available.)
+//! The scenario registry ([`crate::scenario`]) prints the paper's tables
+//! and figure series as aligned text; this module holds the small
+//! formatter they share, plus [`json`] — the low-level escaping/number
+//! helpers the generic serializer ([`crate::scenario::render`]) builds
+//! JSON from — and the [`SweepTiming`]/[`bench_sweep_json`] performance
+//! record the `bench_sweep` scenario emits. (The offline `serde` stub
+//! under `vendor/` has no serializer, so the JSON here is hand-rendered;
+//! swap to `serde_json` when a registry is available.)
 
 use std::fmt;
+use std::time::Instant;
 
 /// A simple column-aligned text table.
 ///
@@ -99,19 +102,74 @@ pub fn fmt_e(v: f64) -> String {
     format!("{v:.2e}")
 }
 
+/// One timed scenario of the `bench_sweep` performance record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTiming {
+    /// Scenario identifier (e.g. `"fig3b"`).
+    pub figure: String,
+    /// Serial (1-thread) wall time in milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall time in milliseconds at the configured worker count.
+    pub parallel_ms: f64,
+}
+
+impl SweepTiming {
+    /// Serial-over-parallel speedup (> 1 means parallel won).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times one closure in milliseconds, discarding its result.
+pub fn time_ms<R>(f: impl FnOnce() -> R) -> f64 {
+    let start = Instant::now();
+    let _ = f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Renders the `BENCH_sweep.json` document: per-scenario serial vs
+/// parallel wall time, the measured thread count, and the host
+/// parallelism, so the workspace's performance trajectory is recorded per
+/// commit by CI.
+#[must_use]
+pub fn bench_sweep_json(timings: &[SweepTiming], threads: usize, fast: bool) -> String {
+    let rows: Vec<String> = timings
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"figure\":\"{}\",\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\
+                 \"speedup\":{:.3}}}",
+                t.figure,
+                t.serial_ms,
+                t.parallel_ms,
+                t.speedup()
+            )
+        })
+        .collect();
+    format!
+        (
+        "{{\n  \"threads\": {},\n  \"host_parallelism\": {},\n  \"fast\": {},\n  \"figures\": [\n{}\n  ]\n}}\n",
+        threads,
+        dvafs_executor::Executor::host_parallelism(),
+        fast,
+        rows.join(",\n")
+    )
+}
+
 pub mod json {
-    //! Stable JSON rendering of the paper's figure data.
+    //! Low-level JSON building blocks (escaping, number and array layout).
     //!
     //! Floats are rendered with Rust's shortest-roundtrip `Display`, so a
     //! serialized figure is an exact (bit-level) record of the computed
     //! values — which is what lets `tests/golden_figures.rs` assert strict
     //! equality and lets the determinism guarantee extend to the JSON
-    //! artefacts.
-
-    use crate::sweep::RmsePoint;
-    use dvafs_envision::measure::NetworkSummary;
-    use dvafs_tech::power::EnergySample;
-    use dvafs_tech::scaling::OperatingPoint;
+    //! artefacts. The per-figure serialization itself lives in the generic
+    //! scenario serializer, [`crate::scenario::render`].
 
     /// Escapes a string for a JSON string literal.
     #[must_use]
@@ -150,111 +208,6 @@ pub mod json {
             return "[]".to_string();
         }
         format!("[\n  {}\n]", elements.join(",\n  "))
-    }
-
-    /// Fig. 2 operating points as a JSON array.
-    #[must_use]
-    pub fn fig2_to_json(points: &[OperatingPoint]) -> String {
-        let rows: Vec<String> = points
-            .iter()
-            .map(|p| {
-                format!(
-                    "{{\"mode\":\"{}\",\"bits\":{},\"lanes\":{},\"frequency_mhz\":{},\
-                     \"v_as\":{},\"v_nas\":{},\"positive_slack_ns\":{},\
-                     \"activity_per_word\":{},\"depth_ratio\":{}}}",
-                    escape(&p.mode.to_string()),
-                    p.bits,
-                    p.lanes,
-                    num(p.frequency_mhz),
-                    num(p.v_as),
-                    num(p.v_nas),
-                    num(p.positive_slack_ns),
-                    num(p.activity_per_word),
-                    num(p.depth_ratio),
-                )
-            })
-            .collect();
-        array(&rows)
-    }
-
-    /// Fig. 3a energy samples as a JSON array.
-    #[must_use]
-    pub fn fig3a_to_json(samples: &[EnergySample]) -> String {
-        let rows: Vec<String> = samples
-            .iter()
-            .map(|s| {
-                format!(
-                    "{{\"mode\":\"{}\",\"bits\":{},\"relative\":{},\"picojoules\":{}}}",
-                    escape(&s.mode.to_string()),
-                    s.bits,
-                    num(s.relative),
-                    num(s.picojoules),
-                )
-            })
-            .collect();
-        array(&rows)
-    }
-
-    /// Fig. 3b energy-vs-RMSE points as a JSON array.
-    #[must_use]
-    pub fn fig3b_to_json(points: &[RmsePoint]) -> String {
-        let rows: Vec<String> = points
-            .iter()
-            .map(|p| {
-                format!(
-                    "{{\"design\":\"{}\",\"rmse\":{},\"energy\":{}}}",
-                    escape(&p.design),
-                    num(p.rmse),
-                    num(p.energy),
-                )
-            })
-            .collect();
-        array(&rows)
-    }
-
-    /// Table III network summaries as a JSON array.
-    #[must_use]
-    pub fn table3_to_json(summaries: &[NetworkSummary]) -> String {
-        let rows: Vec<String> = summaries
-            .iter()
-            .map(|s| {
-                let layer_rows: Vec<String> = s
-                    .rows
-                    .iter()
-                    .map(|r| {
-                        let l = &r.layer;
-                        format!(
-                            "{{\"layer\":\"{}\",\"mode\":\"{}\",\"f_mhz\":{},\
-                             \"weight_bits\":{},\"input_bits\":{},\"weight_sparsity\":{},\
-                             \"input_sparsity\":{},\"mmacs_per_frame\":{},\"v\":{},\
-                             \"power_mw\":{},\"tops_per_w\":{}}}",
-                            escape(&l.name),
-                            escape(&l.mode.to_string()),
-                            num(l.f_mhz),
-                            l.weight_bits,
-                            l.input_bits,
-                            num(l.weight_sparsity),
-                            num(l.input_sparsity),
-                            num(l.mmacs_per_frame),
-                            num(r.v),
-                            num(r.power_mw),
-                            num(r.tops_per_w),
-                        )
-                    })
-                    .collect();
-                format!(
-                    "{{\"name\":\"{}\",\"total_mmacs\":{},\"avg_power_mw\":{},\
-                     \"avg_tops_per_w\":{},\"fps\":{},\"rows\":[{}]}}",
-                    escape(&s.name),
-                    num(s.total_mmacs),
-                    num(s.avg_power_mw),
-                    num(s.avg_tops_per_w),
-                    num(s.fps),
-                    layer_rows.join(","),
-                )
-            })
-            .collect();
-        array(&rows)
     }
 }
 
@@ -308,14 +261,39 @@ mod tests {
     }
 
     #[test]
-    fn json_figures_render_valid_shapes() {
-        let sweep = crate::sweep::MultiplierSweep::new().with_samples(256);
-        let fig3b = json::fig3b_to_json(&sweep.fig3b());
-        assert!(fig3b.starts_with("[\n  {\"design\":\"DVAFS\""));
-        assert!(fig3b.ends_with("}\n]"));
-        let fig2 = json::fig2_to_json(&sweep.fig2());
-        assert_eq!(fig2.matches("\"mode\"").count(), 12);
-        let fig3a = json::fig3a_to_json(&sweep.fig3a());
-        assert_eq!(fig3a.matches("\"bits\"").count(), 12);
+    fn sweep_timing_speedup() {
+        let t = SweepTiming {
+            figure: "fig3b".into(),
+            serial_ms: 100.0,
+            parallel_ms: 25.0,
+        };
+        assert!((t.speedup() - 4.0).abs() < 1e-12);
+        let zero = SweepTiming {
+            parallel_ms: 0.0,
+            ..t
+        };
+        assert_eq!(zero.speedup(), 0.0);
+    }
+
+    #[test]
+    fn bench_sweep_json_shape() {
+        let doc = bench_sweep_json(
+            &[SweepTiming {
+                figure: "fig2".into(),
+                serial_ms: 1.0,
+                parallel_ms: 0.5,
+            }],
+            4,
+            true,
+        );
+        assert!(doc.contains("\"threads\": 4"));
+        assert!(doc.contains("\"figure\":\"fig2\""));
+        assert!(doc.contains("\"speedup\":2.000"));
+        assert!(doc.ends_with("}\n"));
+    }
+
+    #[test]
+    fn time_ms_is_nonnegative() {
+        assert!(time_ms(|| 40 + 2) >= 0.0);
     }
 }

@@ -1,0 +1,88 @@
+//! The `BENCH_sweep.json` emitter: wall time of **every registered
+//! scenario**, serial vs parallel, plus thread count and host parallelism
+//! — the per-commit performance record CI uploads as an artifact.
+//!
+//! Since the registry refactor this scenario times the real experiments
+//! through [`super::registry`], so the perf trajectory covers every
+//! figure and table, not just the parallelized multiplier sweeps. While
+//! timing, it also *verifies* the determinism contract: each scenario's
+//! parallel [`ScenarioResult`] is asserted equal to the serial one before
+//! a timing is recorded.
+//!
+//! Timings go to the JSON artifact only — the presentation text stays
+//! byte-stable across thread counts and runs, so smoke tests can diff it
+//! like any other scenario. Without `--fast` this runs every scenario at
+//! paper scale twice (minutes of gate-level simulation); CI uses `--fast`.
+
+use super::{registry, DataTable, Scenario, ScenarioCtx, ScenarioResult};
+use crate::report::{bench_sweep_json, time_ms, SweepTiming};
+
+/// The performance-sweep scenario (`dvafs run bench_sweep`).
+pub struct BenchSweep;
+
+impl Scenario for BenchSweep {
+    fn id(&self) -> &'static str {
+        "bench_sweep"
+    }
+
+    fn label(&self) -> &'static str {
+        "BENCH sweep"
+    }
+
+    fn title(&self) -> &'static str {
+        "serial vs parallel wall time per scenario"
+    }
+
+    fn fast_note(&self) -> &'static str {
+        "runs every timed scenario in its own fast configuration"
+    }
+
+    fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
+        let serial_ctx = ctx.serial();
+        let mut timings = Vec::new();
+        let mut r = ScenarioResult::new();
+
+        for s in registry() {
+            if s.id() == self.id() {
+                continue; // timing the timer would recurse
+            }
+            let mut serial_result = None;
+            let serial_ms = time_ms(|| serial_result = Some(s.run(&serial_ctx)));
+            let mut parallel_result = None;
+            let parallel_ms = time_ms(|| parallel_result = Some(s.run(ctx)));
+            assert!(
+                serial_result == parallel_result,
+                "{}: parallel result diverged from serial",
+                s.id()
+            );
+            r.line(format_args!(
+                "measured {}: serial and parallel runs bit-identical",
+                s.id()
+            ));
+            timings.push(SweepTiming {
+                figure: s.id().to_string(),
+                serial_ms,
+                parallel_ms,
+            });
+        }
+
+        let mut data = DataTable::new(
+            "timings",
+            vec!["scenario", "serial_ms", "parallel_ms", "speedup"],
+        );
+        for t in &timings {
+            data.push_row(vec![
+                t.figure.clone().into(),
+                t.serial_ms.into(),
+                t.parallel_ms.into(),
+                t.speedup().into(),
+            ]);
+        }
+        r.push_table(data);
+        r.push_artifact(
+            "BENCH_sweep.json",
+            bench_sweep_json(&timings, ctx.threads(), ctx.fast),
+        );
+        r
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig. 2: operating frequency (a), positive slack at the nominal rail
+//! (b), supply voltage at zero slack (c) and relative switching activity
+//! (d) of the DVAFS multiplier at constant 500 MOPS.
+
+use super::{DataTable, Scenario, ScenarioCtx, ScenarioResult};
+use crate::report::{fmt_f, TextTable};
+use crate::sweep::MultiplierSweep;
+use dvafs_tech::scaling::ScalingMode;
+
+/// The Fig. 2 scenario (`dvafs run fig2`).
+pub struct Fig2;
+
+impl Scenario for Fig2 {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn label(&self) -> &'static str {
+        "Fig. 2"
+    }
+
+    fn title(&self) -> &'static str {
+        "f, slack, V and activity vs precision @ 500 MOPS"
+    }
+
+    fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
+        let sweep = MultiplierSweep::new().with_executor(ctx.executor().clone());
+        let points = sweep.fig2();
+        let mut r = ScenarioResult::new();
+
+        for (label, metric) in [
+            ("Fig. 2a  Operating frequency [MHz]", 0usize),
+            ("Fig. 2b  Positive slack @1.1V [ns]", 1),
+            ("Fig. 2c  Supply voltage Vas @0 slack [V]", 2),
+            ("Fig. 2d  Relative activity per word [-]", 3),
+        ] {
+            r.line(label);
+            let mut t = TextTable::new(vec!["mode", "16b", "12b", "8b", "4b"]);
+            for mode in ScalingMode::ALL {
+                let series: Vec<String> = points
+                    .iter()
+                    .filter(|p| p.mode == mode)
+                    .map(|p| match metric {
+                        0 => fmt_f(p.frequency_mhz, 0),
+                        1 => fmt_f(p.positive_slack_ns, 2),
+                        2 => fmt_f(p.v_as, 2),
+                        _ => fmt_f(p.activity_per_word, 3),
+                    })
+                    .collect();
+                let mut cells = vec![mode.to_string()];
+                cells.extend(series);
+                t.row(cells);
+            }
+            r.line(t);
+        }
+        r.line("paper anchors: DVAFS f = 500/500/250/125 MHz; DAS slack ~1 ns @4b;");
+        r.line("DVAFS slack ~7 ns @4x4b; DVAS V -> 0.9 V; DVAFS V -> 0.75 V;");
+        r.line("activity drop 12.5x (DAS) and 3.2x per cycle (DVAFS) at 4b.");
+
+        let mut data = DataTable::new(
+            "fig2",
+            vec![
+                "mode",
+                "bits",
+                "lanes",
+                "frequency_mhz",
+                "v_as",
+                "v_nas",
+                "positive_slack_ns",
+                "activity_per_word",
+                "depth_ratio",
+            ],
+        );
+        for p in &points {
+            data.push_row(vec![
+                p.mode.to_string().into(),
+                p.bits.into(),
+                p.lanes.into(),
+                p.frequency_mhz.into(),
+                p.v_as.into(),
+                p.v_nas.into(),
+                p.positive_slack_ns.into(),
+                p.activity_per_word.into(),
+                p.depth_ratio.into(),
+            ]);
+        }
+        r.push_table(data);
+        r
+    }
+}

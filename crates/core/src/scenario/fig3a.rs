@@ -1,0 +1,75 @@
+//! Fig. 3a: energy per word of the reconfigurable multiplier in DAS, DVAS
+//! and DVAFS regimes, normalized to the non-reconfigurable 16-bit baseline
+//! (2.16 pJ/word in 40 nm LP).
+
+use super::{DataTable, Scenario, ScenarioCtx, ScenarioResult};
+use crate::report::{fmt_f, TextTable};
+use crate::sweep::MultiplierSweep;
+use dvafs_tech::scaling::ScalingMode;
+
+/// The Fig. 3a scenario (`dvafs run fig3a`).
+pub struct Fig3a;
+
+impl Scenario for Fig3a {
+    fn id(&self) -> &'static str {
+        "fig3a"
+    }
+
+    fn label(&self) -> &'static str {
+        "Fig. 3a"
+    }
+
+    fn title(&self) -> &'static str {
+        "multiplier energy/word vs precision"
+    }
+
+    fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
+        let sweep = MultiplierSweep::new().with_executor(ctx.executor().clone());
+        let samples = sweep.fig3a();
+        let mut r = ScenarioResult::new();
+
+        let mut t = TextTable::new(vec!["mode", "bits", "E/word [rel]", "E/word [pJ]"]);
+        for s in &samples {
+            t.row(vec![
+                s.mode.to_string(),
+                format!("{}b", s.bits),
+                fmt_f(s.relative, 4),
+                fmt_f(s.picojoules, 3),
+            ]);
+        }
+        r.line(t);
+
+        let e16 = samples
+            .iter()
+            .find(|s| s.mode == ScalingMode::Dvafs && s.bits == 16)
+            .expect("16b sample present");
+        let e4 = samples
+            .iter()
+            .find(|s| s.mode == ScalingMode::Dvafs && s.bits == 4)
+            .expect("4b sample present");
+        r.line(format_args!(
+            "reconfiguration overhead at 16b: {:.0}% (paper: 21%, 2.63 pJ vs 2.16 pJ)",
+            (e16.relative - 1.0) * 100.0
+        ));
+        r.line(format_args!(
+            "DVAFS saving at 4x4b vs baseline: {:.1}% (paper: >95%)",
+            (1.0 - e4.relative) * 100.0
+        ));
+        r.line(format_args!(
+            "multiplier dynamic range 16b -> 4b: {:.1}x (paper: ~20x)",
+            e16.relative / e4.relative
+        ));
+
+        let mut data = DataTable::new("fig3a", vec!["mode", "bits", "relative", "picojoules"]);
+        for s in &samples {
+            data.push_row(vec![
+                s.mode.to_string().into(),
+                s.bits.into(),
+                s.relative.into(),
+                s.picojoules.into(),
+            ]);
+        }
+        r.push_table(data);
+        r
+    }
+}

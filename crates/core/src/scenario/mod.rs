@@ -1,0 +1,227 @@
+//! Pluggable paper experiments: every figure and table of the DATE 2017
+//! evaluation as a named, machine-readable [`Scenario`].
+//!
+//! The original harness grew as one hand-rolled binary per artefact, each
+//! with its own `main`, arg parsing and ad-hoc printing. This module turns
+//! experiments into *data*:
+//!
+//! * [`Scenario`] — the experiment interface: an id (`"fig2"`), a banner
+//!   label/title, and `run(&ScenarioCtx) -> ScenarioResult`;
+//! * [`ScenarioCtx`] — everything a run needs: the root seed, fast-mode,
+//!   and the deterministic parallel [`Executor`];
+//! * [`ScenarioResult`] — structured tables plus the legacy presentation
+//!   text, rendered to text/JSON/CSV by the one generic serializer in
+//!   [`render`];
+//! * [`registry`] — the static table of all scenarios, in paper order.
+//!
+//! The `dvafs` CLI in `crates/bench` (`dvafs list`, `dvafs run <id>`) is a
+//! thin front-end over this module, and the legacy one-binary-per-figure
+//! entry points are shims that delegate here — their stdout is
+//! byte-identical to the pre-registry harness, which the smoke tests
+//! enforce by diffing subprocess output against [`render::render`].
+//!
+//! ## Determinism
+//!
+//! A scenario run is a pure function of its context: same seed, same
+//! fast-mode ⇒ bit-identical [`ScenarioResult`] for *any* thread count
+//! (the executor merges in index order). The one exception is
+//! `bench_sweep`, whose artifact records wall-clock timings; its tables
+//! and text stay deterministic.
+
+mod ablations;
+mod bench_sweep;
+mod fig2;
+mod fig3a;
+mod fig3b;
+mod fig4;
+mod fig6;
+mod fig8;
+pub mod render;
+pub mod result;
+mod table1;
+mod table2;
+mod table3;
+
+pub use ablations::Ablations;
+pub use bench_sweep::BenchSweep;
+pub use fig2::Fig2;
+pub use fig3a::Fig3a;
+pub use fig3b::Fig3b;
+pub use fig4::Fig4;
+pub use fig6::Fig6;
+pub use fig8::Fig8;
+pub use render::{banner_text, render, Format};
+pub use result::{Artifact, DataTable, ScenarioResult, Value};
+pub use table1::Table1;
+pub use table2::Table2;
+pub use table3::Table3;
+
+use dvafs_executor::Executor;
+
+/// Shared root seed of every experiment (full determinism). The
+/// multiplier-level sweeps additionally pin their own
+/// [`crate::sweep::MultiplierSweep::DEFAULT_SEED`] so the golden fixtures
+/// of Fig. 2/3a/3b stay stable independently of this value.
+pub const EXPERIMENT_SEED: u64 = 0xDA7E2017;
+
+/// Everything a scenario run depends on: root seed, fast-mode, and the
+/// executor the sweeps parallelize on.
+#[derive(Debug, Clone)]
+pub struct ScenarioCtx {
+    /// Root seed for stimulus generation, synthetic models and datasets.
+    pub seed: u64,
+    /// Reduced problem sizes for CI smoke runs (`--fast`). Scenarios that
+    /// are already CI-sized ignore it — see [`Scenario::fast_note`].
+    pub fast: bool,
+    exec: Executor,
+}
+
+impl ScenarioCtx {
+    /// The default context: [`EXPERIMENT_SEED`], full problem sizes, and
+    /// the environment-configured executor.
+    #[must_use]
+    pub fn new() -> Self {
+        ScenarioCtx {
+            seed: EXPERIMENT_SEED,
+            fast: false,
+            exec: Executor::from_env(),
+        }
+    }
+
+    /// Replaces the executor with an explicit worker count.
+    #[must_use]
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_executor(Executor::new(threads))
+    }
+
+    /// Replaces the executor.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Sets fast-mode (reduced problem sizes).
+    #[must_use]
+    pub fn with_fast(mut self, fast: bool) -> Self {
+        self.fast = fast;
+        self
+    }
+
+    /// Replaces the root seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The executor scenario sweeps run on.
+    #[must_use]
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// The executor's worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
+
+    /// This context with a single-threaded executor (used by
+    /// `bench_sweep` to time serial baselines).
+    #[must_use]
+    pub fn serial(&self) -> Self {
+        self.clone().with_executor(Executor::serial())
+    }
+}
+
+impl Default for ScenarioCtx {
+    fn default() -> Self {
+        ScenarioCtx::new()
+    }
+}
+
+/// One registered paper experiment.
+///
+/// Implementations are stateless unit structs; all run state comes from
+/// the [`ScenarioCtx`], so a scenario can be executed concurrently, timed,
+/// or embedded in other scenarios (`bench_sweep` does exactly that).
+pub trait Scenario: Sync {
+    /// Stable machine id, the `dvafs run` argument (e.g. `"fig2"`).
+    fn id(&self) -> &'static str;
+
+    /// The banner label — the paper artefact name (e.g. `"Fig. 2"`).
+    fn label(&self) -> &'static str;
+
+    /// The banner title — what the experiment reproduces.
+    fn title(&self) -> &'static str;
+
+    /// What `--fast` shrinks for this scenario (`dvafs list` shows this).
+    /// The default documents the common case: nothing, the workload is
+    /// already CI-sized.
+    fn fast_note(&self) -> &'static str {
+        "no-op (workload is already CI-sized)"
+    }
+
+    /// Runs the experiment and returns its structured result.
+    fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult;
+}
+
+/// The scenario registry, in paper order (figures, tables, then the
+/// repo-level ablations and the performance sweep).
+static REGISTRY: [&dyn Scenario; 11] = [
+    &Fig2,
+    &Fig3a,
+    &Fig3b,
+    &Fig4,
+    &Fig6,
+    &Fig8,
+    &Table1,
+    &Table2,
+    &Table3,
+    &Ablations,
+    &BenchSweep,
+];
+
+/// All registered scenarios.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn Scenario] {
+    &REGISTRY
+}
+
+/// Looks a scenario up by id.
+#[must_use]
+pub fn find(id: &str) -> Option<&'static dyn Scenario> {
+    REGISTRY.iter().copied().find(|s| s.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let mut ids: Vec<&str> = registry().iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), 11);
+        for id in &ids {
+            assert!(find(id).is_some(), "find({id})");
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 11, "duplicate scenario ids");
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn ctx_builders() {
+        let ctx = ScenarioCtx::new()
+            .with_threads(3)
+            .with_fast(true)
+            .with_seed(7);
+        assert_eq!(ctx.threads(), 3);
+        assert!(ctx.fast);
+        assert_eq!(ctx.seed, 7);
+        assert_eq!(ctx.serial().threads(), 1);
+        assert_eq!(ctx.serial().seed, 7);
+    }
+}

@@ -1,0 +1,93 @@
+//! Table I: the D(V)A(F)S parameters of the 16-bit subword-parallel
+//! multiplier, extracted from gate-level simulation.
+
+use super::{DataTable, Scenario, ScenarioCtx, ScenarioResult};
+use crate::report::{fmt_f, TextTable};
+use crate::sweep::MultiplierSweep;
+use dvafs_arith::activity::paper_table1;
+
+/// The Table I scenario (`dvafs run table1`).
+pub struct Table1;
+
+impl Scenario for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn label(&self) -> &'static str {
+        "Table I"
+    }
+
+    fn title(&self) -> &'static str {
+        "D(V)A(F)S parameters of the multiplier"
+    }
+
+    fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
+        let sweep = MultiplierSweep::new().with_executor(ctx.executor().clone());
+        let ours = sweep.table1();
+        let paper = paper_table1();
+        let mut r = ScenarioResult::new();
+
+        let mut t = TextTable::new(vec![
+            "parameter",
+            "4b",
+            "8b",
+            "12b",
+            "16b",
+            "",
+            "paper 4b",
+            "paper 8b",
+            "paper 12b",
+            "paper 16b",
+        ]);
+        let col =
+            |f: &dyn Fn(usize) -> f64| -> Vec<String> { (0..4).map(|i| fmt_f(f(i), 2)).collect() };
+        // `ours` is ordered 4, 8, 12, 16; paper_table1 likewise.
+        let rows: Vec<(&str, Vec<String>, Vec<String>)> = vec![
+            ("k0", col(&|i| ours[i].k0), col(&|i| paper[i].k0)),
+            ("k1", col(&|i| ours[i].k1), col(&|i| paper[i].k1)),
+            ("k2", col(&|i| ours[i].k2), col(&|i| paper[i].k2)),
+            ("k3", col(&|i| ours[i].k3), col(&|i| paper[i].k3)),
+            ("k4", col(&|i| ours[i].k4), col(&|i| paper[i].k4)),
+            (
+                "k5",
+                col(&|i| ours[i].k5),
+                (0..4).map(|_| "-".to_string()).collect(),
+            ),
+            (
+                "N",
+                (0..4).map(|i| ours[i].n.to_string()).collect(),
+                (0..4).map(|i| paper[i].n.to_string()).collect(),
+            ),
+        ];
+        for (name, o, p) in rows {
+            let mut cells = vec![name.to_string()];
+            cells.extend(o);
+            cells.push(String::new());
+            cells.extend(p);
+            t.row(cells);
+        }
+        r.line(t);
+        r.line("(ours: extracted from toggle simulation of the mode-gated multiplier netlist");
+        r.line(" plus the calibrated 40nm alpha-power delay model; paper: Table I values)");
+
+        let mut data = DataTable::new(
+            "table1",
+            vec!["bits", "n", "k0", "k1", "k2", "k3", "k4", "k5"],
+        );
+        for k in &ours {
+            data.push_row(vec![
+                k.bits.into(),
+                k.n.into(),
+                k.k0.into(),
+                k.k1.into(),
+                k.k2.into(),
+                k.k3.into(),
+                k.k4.into(),
+                k.k5.into(),
+            ]);
+        }
+        r.push_table(data);
+        r
+    }
+}

@@ -1,0 +1,132 @@
+//! Table III: per-layer power and efficiency of VGG16, AlexNet and
+//! LeNet-5 on Envision, with sparsity and DVAFS scaling.
+
+use super::{DataTable, Scenario, ScenarioCtx, ScenarioResult, Value};
+use crate::report::{fmt_f, TextTable};
+use dvafs_envision::chip::EnvisionChip;
+use dvafs_envision::measure::table3_with;
+
+/// The Table III scenario (`dvafs run table3`).
+pub struct Table3;
+
+impl Scenario for Table3 {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn label(&self) -> &'static str {
+        "Table III"
+    }
+
+    fn title(&self) -> &'static str {
+        "per-layer power on Envision (sparsity + DVAFS)"
+    }
+
+    fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
+        let chip = EnvisionChip::new();
+        let summaries = table3_with(&chip, ctx.executor());
+        let mut r = ScenarioResult::new();
+
+        // Paper totals for comparison: (name, P mW, TOPS/W, fps).
+        let paper_totals = [
+            ("VGG16", 26.0, 2.0, 3.3),
+            ("AlexNet", 44.0, 1.8, 47.0),
+            ("LeNet-5", 25.0, 3.0, 13000.0),
+        ];
+
+        for s in &summaries {
+            r.line(format_args!(
+                "{} ({:.1} MMACs/frame)",
+                s.name, s.total_mmacs
+            ));
+            let mut t = TextTable::new(vec![
+                "layer", "mode", "f[MHz]", "V[V]", "wght[b]", "in[b]", "wsp%", "isp%", "MMACs",
+                "P[mW]", "TOPS/W",
+            ]);
+            for row in &s.rows {
+                let l = &row.layer;
+                t.row(vec![
+                    l.name.clone(),
+                    l.mode.to_string(),
+                    fmt_f(l.f_mhz, 0),
+                    fmt_f(row.v, 2),
+                    l.weight_bits.to_string(),
+                    l.input_bits.to_string(),
+                    fmt_f(l.weight_sparsity * 100.0, 0),
+                    fmt_f(l.input_sparsity * 100.0, 0),
+                    fmt_f(l.mmacs_per_frame, 1),
+                    fmt_f(row.power_mw, 1),
+                    fmt_f(row.tops_per_w, 1),
+                ]);
+            }
+            r.line(t);
+            let p = paper_totals
+                .iter()
+                .find(|(n, ..)| *n == s.name)
+                .expect("paper totals exist");
+            r.line(format_args!(
+                "total: P = {:.1} mW (paper {:.0}), eff = {:.1} TOPS/W (paper {:.1}), {:.1} fps (paper {})",
+                s.avg_power_mw, p.1, s.avg_tops_per_w, p.2, s.fps, p.3
+            ));
+            r.blank();
+        }
+        r.line("(per-layer modes, precisions and sparsities follow the published table; power");
+        r.line(" and efficiency are produced by the calibrated chip model)");
+
+        let mut data = DataTable::new(
+            "table3",
+            vec![
+                "name",
+                "total_mmacs",
+                "avg_power_mw",
+                "avg_tops_per_w",
+                "fps",
+                "rows",
+            ],
+        );
+        for s in &summaries {
+            let mut layers = DataTable::new(
+                "rows",
+                vec![
+                    "layer",
+                    "mode",
+                    "f_mhz",
+                    "weight_bits",
+                    "input_bits",
+                    "weight_sparsity",
+                    "input_sparsity",
+                    "mmacs_per_frame",
+                    "v",
+                    "power_mw",
+                    "tops_per_w",
+                ],
+            );
+            for row in &s.rows {
+                let l = &row.layer;
+                layers.push_row(vec![
+                    l.name.clone().into(),
+                    l.mode.to_string().into(),
+                    l.f_mhz.into(),
+                    l.weight_bits.into(),
+                    l.input_bits.into(),
+                    l.weight_sparsity.into(),
+                    l.input_sparsity.into(),
+                    l.mmacs_per_frame.into(),
+                    row.v.into(),
+                    row.power_mw.into(),
+                    row.tops_per_w.into(),
+                ]);
+            }
+            data.push_row(vec![
+                s.name.clone().into(),
+                s.total_mmacs.into(),
+                s.avg_power_mw.into(),
+                s.avg_tops_per_w.into(),
+                s.fps.into(),
+                Value::Nested(layers),
+            ]);
+        }
+        r.push_table(data);
+        r
+    }
+}

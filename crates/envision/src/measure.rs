@@ -1,4 +1,8 @@
 //! Measurement sweeps: Fig. 8a, Fig. 8b and Table III.
+//!
+//! These are the data sources behind the `fig8` and `table3` scenarios of
+//! the experiment registry (`dvafs::scenario`) — run them with
+//! `dvafs run fig8` / `dvafs run table3` from `crates/bench`.
 
 use crate::chip::EnvisionChip;
 use crate::workload::{alexnet_table3, lenet5_table3, vgg16_table3, LayerRun};

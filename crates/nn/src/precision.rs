@@ -6,6 +6,10 @@
 //! accuracy* (agreement with the full-precision network) at or above a
 //! target — 99 % in the paper — is that layer's requirement. A DVAFS
 //! processor then runs every layer at its own precision.
+//!
+//! The end-to-end experiment is the `fig6` scenario of the registry
+//! (`dvafs::scenario`): `dvafs run fig6` (add `--fast` for the CI-sized
+//! configuration) from `crates/bench`.
 
 use crate::dataset::SyntheticDataset;
 use crate::network::{Network, QuantConfig};

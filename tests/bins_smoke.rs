@@ -1,19 +1,31 @@
-//! Smoke tests: every paper-reproduction binary in `crates/bench` must build
-//! and exit 0, so the figure/table entry points cannot silently rot — and
-//! every binary must print **byte-identical stdout at `--threads 1` and
-//! `--threads 4`**, which is the end-to-end enforcement of the parallel
-//! executor's determinism guarantee.
+//! Smoke tests: every experiment entry point in `crates/bench` must build
+//! and exit 0 — and every **legacy shim** must print stdout byte-identical
+//! to the in-process scenario rendering (`dvafs::scenario::render`), at a
+//! *different* thread count. One subprocess run per binary is enough to
+//! pin both properties:
+//!
+//! * the shim really delegates to the registry (same bytes), and
+//! * output is thread-count invariant (subprocess at `--threads 2` vs
+//!   in-process at `--threads 1`) — the end-to-end enforcement of the
+//!   parallel executor's determinism guarantee.
+//!
+//! This replaces the pre-registry scheme of running every binary twice
+//! and diffing the two runs: the suite now spawns half the subprocesses
+//! and additionally checks shim fidelity, which subprocess-vs-subprocess
+//! diffing never could.
 //!
 //! Each binary is invoked through `cargo run --release`: the gate-level
 //! simulators are orders of magnitude slower unoptimized, and the tier-1
-//! pipeline (`cargo build --release && cargo test -q`) leaves a warm release
-//! cache. Output is captured and only shown on failure.
+//! pipeline (`cargo build --release && cargo test -q`) leaves a warm
+//! release cache. Output is captured and only shown on failure.
 
+use dvafs::scenario::{self, Format, ScenarioCtx};
 use std::path::Path;
 use std::process::Command;
 
-/// Every `[[bin]]` target of `dvafs-bench`, one per paper artefact (plus
-/// the `BENCH_sweep.json` performance emitter).
+/// Every legacy `[[bin]]` target of `dvafs-bench`, one per paper artefact
+/// (plus the `BENCH_sweep.json` performance emitter). The `dvafs` CLI
+/// binary is covered separately below.
 const FIGURE_BINARIES: &[&str] = &[
     "fig2",
     "fig3a",
@@ -28,8 +40,8 @@ const FIGURE_BINARIES: &[&str] = &[
     "bench_sweep",
 ];
 
-/// Runs one binary at a thread count, returning its stdout.
-fn run_at_threads(name: &str, threads: &str) -> String {
+/// Runs one bench binary with the given trailing args, returning stdout.
+fn run_bin(name: &str, args: &[&str]) -> String {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let output = Command::new(cargo)
@@ -41,17 +53,15 @@ fn run_at_threads(name: &str, threads: &str) -> String {
             "dvafs-bench",
             "--bin",
             name,
+            "--",
         ])
-        // Binaries with an expensive default configuration honour --fast
-        // (fig6, bench_sweep); the rest ignore the flag. Every binary
-        // honours --threads.
-        .args(["--", "--fast", "--threads", threads])
+        .args(args)
         .current_dir(workspace_root)
         .output()
         .unwrap_or_else(|e| panic!("failed to spawn cargo run --bin {name}: {e}"));
     assert!(
         output.status.success(),
-        "binary {name} (--threads {threads}) exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        "binary {name} {args:?} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
         output.status.code(),
         String::from_utf8_lossy(&output.stdout),
         String::from_utf8_lossy(&output.stderr),
@@ -63,13 +73,38 @@ fn run_at_threads(name: &str, threads: &str) -> String {
     String::from_utf8_lossy(&output.stdout).into_owned()
 }
 
+/// The smoke check for one legacy shim: subprocess stdout at `--threads 2`
+/// (with an unknown flag thrown in, which legacy shims must keep
+/// ignoring) equals the in-process scenario rendering at `--threads 1`.
 fn run_bench_binary(name: &str) {
-    let serial = run_at_threads(name, "1");
-    let parallel = run_at_threads(name, "4");
+    let stdout = run_bin(name, &["--fast", "--threads", "2", "--legacy-noise"]);
+    if name == "bench_sweep" {
+        // Timings make a second full run pointless; the scenario itself
+        // asserts serial == parallel for every registered experiment. Pin
+        // the stable parts of the presentation instead.
+        assert!(stdout.starts_with("=== DVAFS reproduction | BENCH sweep"));
+        for s in scenario::registry() {
+            if s.id() != "bench_sweep" {
+                assert!(
+                    stdout.contains(&format!(
+                        "measured {}: serial and parallel runs bit-identical",
+                        s.id()
+                    )),
+                    "bench_sweep stdout missing {}",
+                    s.id()
+                );
+            }
+        }
+        assert!(stdout.ends_with("wrote BENCH_sweep.json\n"));
+        return;
+    }
+    let s = scenario::find(name).expect("every legacy binary has a scenario");
+    let result = s.run(&ScenarioCtx::new().with_threads(1).with_fast(true));
+    let expected = scenario::render(s.label(), s.title(), &result, Format::Text);
     assert_eq!(
-        serial, parallel,
-        "binary {name}: stdout differs between --threads 1 and --threads 4 \
-         (parallel execution must be bit-identical to serial)"
+        stdout, expected,
+        "binary {name}: stdout differs from the in-process scenario \
+         rendering (shim drift, or thread-count dependent output)"
     );
 }
 
@@ -97,9 +132,60 @@ smoke!(
 );
 
 #[test]
+fn dvafs_cli_lists_every_scenario() {
+    let stdout = run_bin("dvafs", &["list"]);
+    for s in scenario::registry() {
+        assert!(stdout.contains(s.id()), "dvafs list missing {}", s.id());
+        assert!(
+            stdout.contains(s.fast_note()),
+            "dvafs list missing --fast note for {}",
+            s.id()
+        );
+    }
+}
+
+#[test]
+fn dvafs_cli_rejects_bad_invocations() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for (args, needle) in [
+        (vec!["run"], "no scenarios"),
+        (vec!["run", "fig99"], "unknown scenario"),
+        (vec!["run", "fig2", "--out"], "--out requires a value"),
+        (vec!["run", "fig2", "--format", "yaml"], "unknown format"),
+    ] {
+        let output = Command::new(&cargo)
+            .args([
+                "run",
+                "--quiet",
+                "--release",
+                "-p",
+                "dvafs-bench",
+                "--bin",
+                "dvafs",
+                "--",
+            ])
+            .args(&args)
+            .current_dir(workspace_root)
+            .output()
+            .expect("spawn dvafs");
+        assert!(
+            !output.status.success(),
+            "dvafs {args:?} should exit nonzero"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(needle),
+            "dvafs {args:?}: stderr {stderr:?} missing {needle:?}"
+        );
+    }
+}
+
+#[test]
 fn smoke_list_matches_bench_bin_dir() {
     // Guard the guard: if a new binary is added under crates/bench/src/bin,
-    // it must be added to FIGURE_BINARIES above (and the smoke! list).
+    // it must be added to FIGURE_BINARIES above (and the smoke! list) —
+    // or be the `dvafs` CLI itself, which has its own tests here.
     let bin_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/bench/src/bin");
     let mut on_disk: Vec<String> = std::fs::read_dir(bin_dir)
         .expect("crates/bench/src/bin exists")
@@ -114,9 +200,17 @@ fn smoke_list_matches_bench_bin_dir() {
         .collect();
     on_disk.sort();
     let mut listed: Vec<String> = FIGURE_BINARIES.iter().map(ToString::to_string).collect();
+    listed.push("dvafs".to_string());
     listed.sort();
     assert_eq!(
         listed, on_disk,
         "smoke-test list out of sync with crates/bench/src/bin"
     );
+    // And every legacy binary must be a registered scenario.
+    for name in FIGURE_BINARIES {
+        assert!(
+            scenario::find(name).is_some(),
+            "binary {name} has no registered scenario"
+        );
+    }
 }

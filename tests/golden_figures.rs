@@ -7,6 +7,11 @@
 //! moves a figure — even in the last bit — fails loudly here instead of
 //! drifting silently.
 //!
+//! Since the scenario-registry refactor the JSON comes from the **generic
+//! scenario serializer** (`dvafs::scenario::render`), invoked in-process —
+//! the same path `dvafs run <id> --format json` serves — so these tests
+//! also pin the CLI's machine-readable output.
+//!
 //! ## Regenerating
 //!
 //! After an *intentional* model change:
@@ -20,10 +25,7 @@
 //! `dvafs::report::json`), so a byte-level diff is a bit-level diff of the
 //! computed values.
 
-use dvafs::report::json;
-use dvafs::sweep::MultiplierSweep;
-use dvafs_envision::chip::EnvisionChip;
-use dvafs_envision::measure::table3;
+use dvafs::scenario::{self, Format, ScenarioCtx};
 use std::path::PathBuf;
 
 fn fixture_path(name: &str) -> PathBuf {
@@ -32,8 +34,14 @@ fn fixture_path(name: &str) -> PathBuf {
         .join(format!("{name}.json"))
 }
 
-fn assert_matches_golden(name: &str, actual: &str) {
-    let path = fixture_path(name);
+fn assert_matches_golden(id: &str) {
+    let s = scenario::find(id).expect("scenario registered");
+    // Paper-scale configuration on a small worker pool: determinism makes
+    // the thread count irrelevant to the bytes produced.
+    let result = s.run(&ScenarioCtx::new().with_threads(2));
+    let actual = scenario::render(s.label(), s.title(), &result, Format::Json);
+
+    let path = fixture_path(id);
     if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
         std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir golden");
         std::fs::write(&path, actual).expect("write fixture");
@@ -48,7 +56,7 @@ fn assert_matches_golden(name: &str, actual: &str) {
     });
     assert_eq!(
         expected, actual,
-        "{name} drifted from tests/golden/{name}.json — if the change is \
+        "{id} drifted from tests/golden/{id}.json — if the change is \
          intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test \
          golden_figures and commit the diff"
     );
@@ -56,25 +64,21 @@ fn assert_matches_golden(name: &str, actual: &str) {
 
 #[test]
 fn fig2_matches_golden() {
-    let sweep = MultiplierSweep::new();
-    assert_matches_golden("fig2", &json::fig2_to_json(&sweep.fig2()));
+    assert_matches_golden("fig2");
 }
 
 #[test]
 fn fig3a_matches_golden() {
-    let sweep = MultiplierSweep::new();
-    assert_matches_golden("fig3a", &json::fig3a_to_json(&sweep.fig3a()));
+    assert_matches_golden("fig3a");
 }
 
 #[test]
 fn fig3b_matches_golden() {
     // Paper-scale Monte-Carlo volume: the fixture pins the full stream.
-    let sweep = MultiplierSweep::new();
-    assert_matches_golden("fig3b", &json::fig3b_to_json(&sweep.fig3b()));
+    assert_matches_golden("fig3b");
 }
 
 #[test]
 fn table3_matches_golden() {
-    let chip = EnvisionChip::new();
-    assert_matches_golden("table3", &json::table3_to_json(&table3(&chip)));
+    assert_matches_golden("table3");
 }
