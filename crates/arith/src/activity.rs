@@ -8,12 +8,19 @@
 //!   parameters of Table I), and
 //! * the **relative active critical path** (Fig. 2b), from which the
 //!   technology model derives achievable supply voltages (`k2`/`k4`).
+//!
+//! Extraction runs on a selectable netlist [`Engine`] (bitsliced by
+//! default, the scalar oracle on request) and an [`Executor`]: the
+//! per-precision/per-mode streams are independent toggle simulations, so
+//! the `_with` variants fan them out as parallel tasks and merge in sweep
+//! order — profiles are bit-identical for any engine and thread count.
 
 use crate::fixed::{Precision, Quantizer, RoundingMode};
 use crate::multiplier::dvafs::DvafsMultiplier;
 use crate::multiplier::exact::build_booth_wallace;
-use crate::netlist::Simulator;
+use crate::netlist::{ActivityStats, Engine};
 use crate::subword::SubwordMode;
+use dvafs_executor::Executor;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -80,41 +87,40 @@ pub const DEFAULT_SAMPLES: usize = 200;
 /// region.
 #[must_use]
 pub fn extract_das_profile(samples: usize, seed: u64) -> ActivityProfile {
+    extract_das_profile_with(samples, seed, Engine::default(), &Executor::serial())
+}
+
+/// [`extract_das_profile`] on an explicit netlist engine and executor: the
+/// four precision streams run as parallel tasks and merge in sweep order,
+/// so the profile is bit-identical for any engine/thread-count choice.
+#[must_use]
+pub fn extract_das_profile_with(
+    samples: usize,
+    seed: u64,
+    engine: Engine,
+    exec: &Executor,
+) -> ActivityProfile {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let stream: Vec<(i32, i32)> = (0..samples)
         .map(|_| (rng.gen_range(-32768..=32767), rng.gen_range(-32768..=32767)))
         .collect();
 
     let m = DvafsMultiplier::new();
-    let netlist = m.build_netlist();
-    let mut entries = Vec::new();
-    let mut reference: Option<(f64, f64)> = None;
-    for &bits in &[16u32, 12, 8, 4] {
+    let sweep = [16u32, 12, 8, 4];
+    let stats = exec.par_map_indexed(&sweep, |_, &bits| {
         let q = Quantizer::new(
             Precision::new(bits).expect("sweep precisions are valid"),
             RoundingMode::Truncate,
         );
-        let mut sim = Simulator::new(netlist.clone());
-        for &(x, y) in &stream {
-            let xq = q.quantize(x) as u16;
-            let yq = q.quantize(y) as u16;
-            sim.eval(&DvafsMultiplier::stimulus(xq, yq, SubwordMode::X1))
-                .expect("stimulus width fixed");
-        }
-        let st = sim.stats();
-        let (ref_act, ref_depth) =
-            *reference.get_or_insert((st.weighted_toggles, f64::from(st.active_depth)));
-        entries.push(ModeActivity {
-            bits,
-            lanes: 1,
-            activity_per_cycle: st.weighted_toggles / ref_act,
-            activity_per_word: st.weighted_toggles / ref_act,
-            depth_ratio: f64::from(st.active_depth) / ref_depth,
-        });
-    }
+        let quantized: Vec<(u16, u16)> = stream
+            .iter()
+            .map(|&(x, y)| (q.quantize(x) as u16, q.quantize(y) as u16))
+            .collect();
+        m.simulate_stream_with(&quantized, SubwordMode::X1, engine)
+    });
     ActivityProfile {
         design: "DAS on the reconfigurable multiplier".to_string(),
-        entries,
+        entries: entries_relative_to_first(&sweep, &stats, |_| 1),
     }
 }
 
@@ -126,41 +132,42 @@ pub fn extract_das_profile(samples: usize, seed: u64) -> ActivityProfile {
 /// that design-dependence.
 #[must_use]
 pub fn extract_das_profile_booth(samples: usize, seed: u64) -> ActivityProfile {
+    extract_das_profile_booth_with(samples, seed, Engine::default(), &Executor::serial())
+}
+
+/// [`extract_das_profile_booth`] on an explicit netlist engine and
+/// executor (see [`extract_das_profile_with`]).
+#[must_use]
+pub fn extract_das_profile_booth_with(
+    samples: usize,
+    seed: u64,
+    engine: Engine,
+    exec: &Executor,
+) -> ActivityProfile {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let stream: Vec<(i32, i32)> = (0..samples)
         .map(|_| (rng.gen_range(-32768..=32767), rng.gen_range(-32768..=32767)))
         .collect();
 
     let netlist = build_booth_wallace(16);
-    let mut entries = Vec::new();
-    let mut reference: Option<(f64, f64)> = None;
-    for &bits in &[16u32, 12, 8, 4] {
+    let sweep = [16u32, 12, 8, 4];
+    let stats = exec.par_map_indexed(&sweep, |_, &bits| {
         let q = Quantizer::new(
             Precision::new(bits).expect("sweep precisions are valid"),
             RoundingMode::Truncate,
         );
-        let mut sim = Simulator::new(netlist.clone());
-        for &(x, y) in &stream {
+        engine.simulate_stream(&netlist, stream.len(), |s| {
+            let (x, y) = stream[s];
             let xq = (q.quantize(x) as u16) as u64;
             let yq = (q.quantize(y) as u16) as u64;
             let mut inputs = crate::netlist::to_bits(xq, 16);
             inputs.extend(crate::netlist::to_bits(yq, 16));
-            sim.eval(&inputs).expect("stimulus width fixed");
-        }
-        let st = sim.stats();
-        let (ref_act, ref_depth) =
-            *reference.get_or_insert((st.weighted_toggles, f64::from(st.active_depth)));
-        entries.push(ModeActivity {
-            bits,
-            lanes: 1,
-            activity_per_cycle: st.weighted_toggles / ref_act,
-            activity_per_word: st.weighted_toggles / ref_act,
-            depth_ratio: f64::from(st.active_depth) / ref_depth,
-        });
-    }
+            inputs
+        })
+    });
     ActivityProfile {
         design: "DAS Booth-Wallace multiplier".to_string(),
-        entries,
+        entries: entries_relative_to_first(&sweep, &stats, |_| 1),
     }
 }
 
@@ -171,28 +178,58 @@ pub fn extract_das_profile_booth(samples: usize, seed: u64) -> ActivityProfile {
 /// gives the per-word activity that enters the energy-per-word curves.
 #[must_use]
 pub fn extract_dvafs_profile(samples: usize, seed: u64) -> ActivityProfile {
+    extract_dvafs_profile_with(samples, seed, Engine::default(), &Executor::serial())
+}
+
+/// [`extract_dvafs_profile`] on an explicit netlist engine and executor:
+/// the three subword-mode streams run as parallel tasks and merge in mode
+/// order (see [`extract_das_profile_with`]).
+#[must_use]
+pub fn extract_dvafs_profile_with(
+    samples: usize,
+    seed: u64,
+    engine: Engine,
+    exec: &Executor,
+) -> ActivityProfile {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let stream: Vec<(u16, u16)> = (0..samples).map(|_| (rng.gen(), rng.gen())).collect();
     let m = DvafsMultiplier::new();
-    let mut entries = Vec::new();
-    let mut reference: Option<(f64, f64)> = None;
-    for mode in SubwordMode::ALL {
-        let st = m.simulate_stream(&stream, mode);
-        let (ref_act, ref_depth) =
-            *reference.get_or_insert((st.weighted_toggles, f64::from(st.active_depth)));
-        let per_cycle = st.weighted_toggles / ref_act;
-        entries.push(ModeActivity {
-            bits: mode.lane_bits(),
-            lanes: mode.lanes(),
-            activity_per_cycle: per_cycle,
-            activity_per_word: per_cycle / mode.lanes() as f64,
-            depth_ratio: f64::from(st.active_depth) / ref_depth,
-        });
-    }
+    let stats = exec.par_map_indexed(&SubwordMode::ALL, |_, &mode| {
+        m.simulate_stream_with(&stream, mode, engine)
+    });
+    let lane_bits: Vec<u32> = SubwordMode::ALL.iter().map(|m| m.lane_bits()).collect();
     ActivityProfile {
         design: "DVAFS subword-parallel multiplier".to_string(),
-        entries,
+        entries: entries_relative_to_first(&lane_bits, &stats, |i| SubwordMode::ALL[i].lanes()),
     }
+}
+
+/// Folds per-configuration [`ActivityStats`] into profile entries, each
+/// normalized to the first (full-precision) configuration — the shared
+/// tail of every extraction above. `lanes(i)` supplies the subword lane
+/// count of configuration `i`.
+fn entries_relative_to_first(
+    bits: &[u32],
+    stats: &[ActivityStats],
+    lanes: impl Fn(usize) -> usize,
+) -> Vec<ModeActivity> {
+    let ref_act = stats[0].weighted_toggles;
+    let ref_depth = f64::from(stats[0].active_depth);
+    bits.iter()
+        .zip(stats)
+        .enumerate()
+        .map(|(i, (&bits, st))| {
+            let per_cycle = st.weighted_toggles / ref_act;
+            let n = lanes(i);
+            ModeActivity {
+                bits,
+                lanes: n,
+                activity_per_cycle: per_cycle,
+                activity_per_word: per_cycle / n as f64,
+                depth_ratio: f64::from(st.active_depth) / ref_depth,
+            }
+        })
+        .collect()
 }
 
 /// Paper Table I reference values, used to validate extraction and to run
@@ -325,5 +362,43 @@ mod tests {
         let a = extract_dvafs_profile(60, 9);
         let b = extract_dvafs_profile(60, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn engines_extract_identical_profiles() {
+        // The scalar oracle and the bitsliced engine must agree on every
+        // profile down to the bit — 70 samples spans a word boundary.
+        let serial = Executor::serial();
+        for engine in Engine::ALL {
+            assert_eq!(
+                extract_das_profile_with(70, 5, engine, &serial),
+                extract_das_profile(70, 5),
+                "{engine:?} das"
+            );
+            assert_eq!(
+                extract_dvafs_profile_with(70, 5, engine, &serial),
+                extract_dvafs_profile(70, 5),
+                "{engine:?} dvafs"
+            );
+            assert_eq!(
+                extract_das_profile_booth_with(70, 5, engine, &serial),
+                extract_das_profile_booth(70, 5),
+                "{engine:?} booth"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_extraction_is_bit_identical_to_serial() {
+        let serial = Executor::serial();
+        let pool = Executor::new(4);
+        assert_eq!(
+            extract_das_profile_with(60, 7, Engine::Bitsliced, &serial),
+            extract_das_profile_with(60, 7, Engine::Bitsliced, &pool)
+        );
+        assert_eq!(
+            extract_dvafs_profile_with(60, 7, Engine::Bitsliced, &serial),
+            extract_dvafs_profile_with(60, 7, Engine::Bitsliced, &pool)
+        );
     }
 }

@@ -45,6 +45,11 @@ pub enum ArithError {
         /// Lanes supplied.
         actual: usize,
     },
+    /// A bitsliced evaluation's valid-lane count was outside `1..=64`.
+    LaneOutOfRange {
+        /// The offending lane count.
+        lanes: usize,
+    },
 }
 
 impl fmt::Display for ArithError {
@@ -62,6 +67,9 @@ impl fmt::Display for ArithError {
             }
             ArithError::LaneCountMismatch { expected, actual } => {
                 write!(f, "mode requires {expected} lanes, got {actual}")
+            }
+            ArithError::LaneOutOfRange { lanes } => {
+                write!(f, "valid lane count must be between 1 and 64, got {lanes}")
             }
         }
     }
@@ -87,6 +95,7 @@ mod tests {
                 expected: 4,
                 actual: 2,
             },
+            ArithError::LaneOutOfRange { lanes: 65 },
         ];
         for c in cases {
             let msg = c.to_string();

@@ -1,12 +1,110 @@
-//! Error metrics for approximate arithmetic.
+//! Error metrics and bitslice packing for approximate arithmetic.
 //!
 //! Fig. 3b of the paper expresses accuracy as Root-Mean-Square Error (RMSE)
 //! of the multiplier output, normalized so that different designs can share
 //! one axis. These helpers compute absolute and full-scale-relative RMSE
 //! over operand streams.
+//!
+//! This module also hosts the **packing/transpose layer** of the bitsliced
+//! netlist engine ([`crate::netlist::BitSimulator`]): a Monte-Carlo stream
+//! is consumed in [`WORD_LANES`]-sample words, each primary input becoming
+//! one `u64` whose lane `s` is sample `s`'s bit. [`pack_stimuli`] /
+//! [`unpack_stimuli`] transpose whole stimulus vectors, [`pack_value_bits`]
+//! / [`unpack_value_bits`] transpose operand words into bit planes and
+//! back; round-trips are exact and the ragged tail keeps only the valid
+//! lanes.
 
 use crate::multiplier::ApproximateMultiplier;
+use crate::netlist::lane_mask;
 use rand::{Rng, SeedableRng};
+
+/// Samples per bitsliced word (re-exported from the netlist engine so the
+/// packing layer and its callers agree on the chunk width).
+pub const WORD_LANES: usize = crate::netlist::LANES;
+
+/// Transposes up to [`WORD_LANES`] stimulus vectors (one `Vec<bool>` per
+/// sample, all the same length) into per-input lane words: word `i`'s lane
+/// `s` is `stimuli[s][i]`. The inverse of [`unpack_stimuli`].
+///
+/// # Panics
+///
+/// Panics if more than [`WORD_LANES`] stimuli are given or their lengths
+/// differ.
+#[must_use]
+pub fn pack_stimuli(stimuli: &[Vec<bool>]) -> Vec<u64> {
+    assert!(
+        stimuli.len() <= WORD_LANES,
+        "at most {WORD_LANES} samples fit one word, got {}",
+        stimuli.len()
+    );
+    let Some(first) = stimuli.first() else {
+        return Vec::new();
+    };
+    let mut words = vec![0u64; first.len()];
+    for (s, stim) in stimuli.iter().enumerate() {
+        assert_eq!(stim.len(), first.len(), "stimulus lengths must agree");
+        for (i, &bit) in stim.iter().enumerate() {
+            words[i] |= u64::from(bit) << s;
+        }
+    }
+    words
+}
+
+/// Transposes per-input lane words back into `valid` stimulus vectors —
+/// the inverse of [`pack_stimuli`], discarding lanes at and above `valid`.
+///
+/// # Panics
+///
+/// Panics if `valid` is not in `1..=`[`WORD_LANES`].
+#[must_use]
+pub fn unpack_stimuli(words: &[u64], valid: usize) -> Vec<Vec<bool>> {
+    let _ = lane_mask(valid); // validates the range
+    (0..valid)
+        .map(|s| words.iter().map(|w| (w >> s) & 1 == 1).collect())
+        .collect()
+}
+
+/// Transposes up to [`WORD_LANES`] operand values into `width` bit planes:
+/// plane `j`'s lane `s` is bit `j` of `values[s]`. The inverse of
+/// [`unpack_value_bits`].
+///
+/// # Panics
+///
+/// Panics if more than [`WORD_LANES`] values are given.
+#[must_use]
+pub fn pack_value_bits(values: &[u64], width: usize) -> Vec<u64> {
+    assert!(
+        values.len() <= WORD_LANES,
+        "at most {WORD_LANES} samples fit one word, got {}",
+        values.len()
+    );
+    let mut planes = vec![0u64; width];
+    for (s, &v) in values.iter().enumerate() {
+        for (j, plane) in planes.iter_mut().enumerate() {
+            *plane |= ((v >> j) & 1) << s;
+        }
+    }
+    planes
+}
+
+/// Transposes bit planes back into `valid` per-sample values (plane `j`
+/// contributes bit `j`) — the inverse of [`pack_value_bits`].
+///
+/// # Panics
+///
+/// Panics if `valid` is not in `1..=`[`WORD_LANES`].
+#[must_use]
+pub fn unpack_value_bits(planes: &[u64], valid: usize) -> Vec<u64> {
+    let _ = lane_mask(valid); // validates the range
+    (0..valid)
+        .map(|s| {
+            planes
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (j, p)| acc | (((p >> s) & 1) << j))
+        })
+        .collect()
+}
 
 /// Full-scale product value of a 16×16 unsigned multiplier, used to
 /// normalize RMSE onto the paper's relative axis.
@@ -87,16 +185,23 @@ pub fn operand_stream_chunked(samples: usize, root_seed: u64) -> Vec<Vec<(u16, u
 
 /// Sum of squared product errors of an approximate multiplier over a chunk
 /// — the mergeable partial behind a chunked RMSE.
+///
+/// Products come from the multiplier's batched
+/// [`evaluate_packed`](ApproximateMultiplier::evaluate_packed) entry point
+/// in [`WORD_LANES`]-pair batches; the squared errors are accumulated in
+/// sample order, so the sum is bit-identical to the one-`mul`-at-a-time
+/// fold it replaces.
 #[must_use]
 pub fn sum_squared_error<M: ApproximateMultiplier + ?Sized>(m: &M, pairs: &[(u16, u16)]) -> f64 {
-    pairs
-        .iter()
-        .map(|&(a, b)| {
+    let mut sum = 0.0f64;
+    for batch in pairs.chunks(WORD_LANES) {
+        for (&(a, b), p) in batch.iter().zip(m.evaluate_packed(batch)) {
             let exact = u64::from(a) * u64::from(b);
-            let e = m.mul(a, b) as f64 - exact as f64;
-            e * e
-        })
-        .sum()
+            let e = p as f64 - exact as f64;
+            sum += e * e;
+        }
+    }
+    sum
 }
 
 /// Sum of squared errors of a `bits`-MSB truncated multiplication over a
@@ -131,13 +236,18 @@ pub fn relative_rmse_from_partials(partials: &[f64], samples: usize) -> f64 {
 /// Absolute product RMSE of an approximate multiplier over a stream.
 #[must_use]
 pub fn product_rmse<M: ApproximateMultiplier + ?Sized>(m: &M, pairs: &[(u16, u16)]) -> f64 {
-    let errors: Vec<f64> = pairs
-        .iter()
-        .map(|&(a, b)| {
-            let exact = u64::from(a) * u64::from(b);
-            m.mul(a, b) as f64 - exact as f64
-        })
-        .collect();
+    let mut errors = Vec::with_capacity(pairs.len());
+    for batch in pairs.chunks(WORD_LANES) {
+        errors.extend(
+            batch
+                .iter()
+                .zip(m.evaluate_packed(batch))
+                .map(|(&(a, b), p)| {
+                    let exact = u64::from(a) * u64::from(b);
+                    p as f64 - exact as f64
+                }),
+        );
+    }
     rmse(&errors)
 }
 
@@ -208,6 +318,54 @@ mod tests {
     #[test]
     fn rmse_of_constant_error() {
         assert!((rmse(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stimuli_transpose_round_trips() {
+        // 5 samples x 3 inputs, ragged (5 < 64): the round-trip is exact.
+        let stimuli: Vec<Vec<bool>> = (0..5u64)
+            .map(|s| (0..3).map(|i| (s >> i) & 1 == 1).collect())
+            .collect();
+        let words = pack_stimuli(&stimuli);
+        assert_eq!(words.len(), 3);
+        // Input 0's word lane-packs the LSBs of samples 0..5: 0,1,0,1,0.
+        assert_eq!(words[0], 0b01010);
+        assert_eq!(unpack_stimuli(&words, 5), stimuli);
+        // A full 64-sample word round-trips too.
+        let full: Vec<Vec<bool>> = (0..64u64).map(|s| vec![s % 3 == 0, s % 5 == 0]).collect();
+        assert_eq!(unpack_stimuli(&pack_stimuli(&full), 64), full);
+        assert!(pack_stimuli(&[]).is_empty());
+    }
+
+    #[test]
+    fn value_bit_planes_round_trip() {
+        let values: Vec<u64> = (0..70u64)
+            .map(|v| v.wrapping_mul(0xACE1) & 0xFFFF)
+            .collect();
+        for chunk in values.chunks(WORD_LANES) {
+            let planes = pack_value_bits(chunk, 16);
+            assert_eq!(planes.len(), 16);
+            assert_eq!(unpack_value_bits(&planes, chunk.len()), chunk);
+        }
+    }
+
+    #[test]
+    fn ragged_tail_masks_unused_lanes() {
+        // Only the low `valid` lanes survive an unpack; bits planted above
+        // them are discarded.
+        let mut planes = pack_value_bits(&[3, 1, 2], 2);
+        planes[0] |= 1 << 40;
+        planes[1] |= 1 << 63;
+        assert_eq!(unpack_value_bits(&planes, 3), vec![3, 1, 2]);
+        let stimuli = unpack_stimuli(&planes, 3);
+        assert_eq!(stimuli.len(), 3);
+        assert_eq!(stimuli[0], vec![true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 samples")]
+    fn packing_rejects_oversized_words() {
+        let _ = pack_value_bits(&[0u64; 65], 4);
     }
 
     #[test]

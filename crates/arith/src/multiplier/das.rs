@@ -73,6 +73,24 @@ impl DasMultiplier {
         self.inner.mul(i64::from(xq), i64::from(yq))
     }
 
+    /// Batched entry point: quantizes every operand pair at the configured
+    /// precision and evaluates the whole batch through the underlying
+    /// gate-level multiplier's bitsliced engine (64 pairs per word) —
+    /// bit-identical to calling [`mul`](Self::mul) pair by pair.
+    #[must_use]
+    pub fn evaluate_packed(&self, pairs: &[(i32, i32)]) -> Vec<i64> {
+        let quantized: Vec<(i64, i64)> = pairs
+            .iter()
+            .map(|&(x, y)| {
+                (
+                    i64::from(self.quantizer.quantize(x)),
+                    i64::from(self.quantizer.quantize(y)),
+                )
+            })
+            .collect();
+        self.inner.evaluate_packed(&quantized)
+    }
+
     /// The signed quantization error of the product relative to the exact
     /// full-precision product.
     #[must_use]
@@ -116,6 +134,21 @@ mod tests {
                 let expect = i64::from(q.quantize(x)) * i64::from(q.quantize(y));
                 assert_eq!(m.mul(x, y), expect);
             }
+        }
+    }
+
+    #[test]
+    fn evaluate_packed_matches_scalar_mul_at_every_precision() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        // 70 pairs: one full bitsliced word plus a ragged tail.
+        let pairs: Vec<(i32, i32)> = (0..70)
+            .map(|_| (rng.gen_range(-32768..=32767), rng.gen_range(-32768..=32767)))
+            .collect();
+        let mut m = DasMultiplier::new(RoundingMode::Truncate);
+        for bits in [4u32, 8, 12, 16] {
+            m.set_precision(Precision::new(bits).unwrap());
+            let expected: Vec<i64> = pairs.iter().map(|&(x, y)| m.mul(x, y)).collect();
+            assert_eq!(m.evaluate_packed(&pairs), expected, "{bits}b");
         }
     }
 

@@ -18,7 +18,10 @@
 //!   semantics, as the physical array computes magnitudes per quadrant).
 
 use crate::error::ArithError;
-use crate::netlist::{from_bits, to_bits, ActivityStats, Netlist, Simulator};
+use crate::metrics::{pack_value_bits, unpack_value_bits};
+use crate::netlist::{
+    from_bits, to_bits, ActivityStats, BitSimulator, Engine, Netlist, Simulator, LANES,
+};
 use crate::subword::SubwordMode;
 use crate::wallace::ColumnStack;
 
@@ -233,17 +236,84 @@ impl DvafsMultiplier {
         inputs
     }
 
+    /// Encodes up to [`LANES`] operand pairs as one bitsliced stimulus
+    /// word per netlist input (the mode selects are constant across lanes)
+    /// — the packed counterpart of [`stimulus`](Self::stimulus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] pairs are given.
+    #[must_use]
+    pub fn packed_stimulus(pairs: &[(u16, u16)], mode: SubwordMode) -> Vec<u64> {
+        let fill = |on: bool| if on { u64::MAX } else { 0 };
+        let xs: Vec<u64> = pairs.iter().map(|&(a, _)| u64::from(a)).collect();
+        let ys: Vec<u64> = pairs.iter().map(|&(_, b)| u64::from(b)).collect();
+        let mut words = vec![fill(mode == SubwordMode::X2), fill(mode == SubwordMode::X4)];
+        words.extend(pack_value_bits(&xs, 16));
+        words.extend(pack_value_bits(&ys, 16));
+        words
+    }
+
+    /// Batched gate-level entry point: the packed lane products of a whole
+    /// operand batch, in order, evaluated [`LANES`] pairs per word through
+    /// the bitsliced engine — bit-identical to
+    /// [`mul_packed_via_netlist`](Self::mul_packed_via_netlist) pair by
+    /// pair, with the netlist built once.
+    #[must_use]
+    pub fn evaluate_packed(&self, pairs: &[(u16, u16)], mode: SubwordMode) -> Vec<u32> {
+        let mut sim = BitSimulator::new(self.build_netlist());
+        let mut out = Vec::with_capacity(pairs.len());
+        for batch in pairs.chunks(LANES) {
+            let words = sim
+                .eval_packed(&Self::packed_stimulus(batch, mode), batch.len())
+                .expect("stimulus width is fixed");
+            out.extend(
+                unpack_value_bits(&words, batch.len())
+                    .into_iter()
+                    .map(|v| v as u32),
+            );
+        }
+        out
+    }
+
     /// Drives the netlist with a stream of packed operand pairs in a fixed
     /// mode and returns the switching-activity statistics — the `α`
-    /// extraction behind the paper's Fig. 2d and Table I.
+    /// extraction behind the paper's Fig. 2d and Table I. Runs on the
+    /// default (bitsliced) engine; see
+    /// [`simulate_stream_with`](Self::simulate_stream_with).
     #[must_use]
     pub fn simulate_stream(&self, pairs: &[(u16, u16)], mode: SubwordMode) -> ActivityStats {
-        let mut sim = Simulator::new(self.build_netlist());
-        for &(a, b) in pairs {
-            sim.eval(&Self::stimulus(a, b, mode))
-                .expect("stimulus width is fixed");
+        self.simulate_stream_with(pairs, mode, Engine::default())
+    }
+
+    /// [`simulate_stream`](Self::simulate_stream) on an explicit engine.
+    /// The scalar path is the reference oracle; both produce bit-identical
+    /// statistics (the property-test net enforces it).
+    #[must_use]
+    pub fn simulate_stream_with(
+        &self,
+        pairs: &[(u16, u16)],
+        mode: SubwordMode,
+        engine: Engine,
+    ) -> ActivityStats {
+        match engine {
+            Engine::Scalar => {
+                let mut sim = Simulator::new(self.build_netlist());
+                for &(a, b) in pairs {
+                    sim.eval(&Self::stimulus(a, b, mode))
+                        .expect("stimulus width is fixed");
+                }
+                sim.stats()
+            }
+            Engine::Bitsliced => {
+                let mut sim = BitSimulator::new(self.build_netlist());
+                for batch in pairs.chunks(LANES) {
+                    sim.eval_packed(&Self::packed_stimulus(batch, mode), batch.len())
+                        .expect("stimulus width is fixed");
+                }
+                sim.stats()
+            }
         }
-        sim.stats()
     }
 }
 
@@ -293,6 +363,34 @@ mod tests {
                     "mode={mode} a={a:#06x} b={b:#06x}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn evaluate_packed_matches_behavioral_in_all_modes() {
+        // 70 pairs exercises a full word plus a ragged 6-lane tail.
+        let m = DvafsMultiplier::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for mode in SubwordMode::ALL {
+            let pairs: Vec<(u16, u16)> = (0..70).map(|_| (rng.gen(), rng.gen())).collect();
+            let expected: Vec<u32> = pairs
+                .iter()
+                .map(|&(a, b)| m.mul_packed(a, b, mode))
+                .collect();
+            assert_eq!(m.evaluate_packed(&pairs, mode), expected, "mode={mode}");
+        }
+    }
+
+    #[test]
+    fn stream_engines_agree_on_stats() {
+        let m = DvafsMultiplier::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let pairs: Vec<(u16, u16)> = (0..130).map(|_| (rng.gen(), rng.gen())).collect();
+        for mode in SubwordMode::ALL {
+            let scalar = m.simulate_stream_with(&pairs, mode, Engine::Scalar);
+            let packed = m.simulate_stream_with(&pairs, mode, Engine::Bitsliced);
+            assert_eq!(scalar, packed, "mode={mode}");
+            assert_eq!(m.simulate_stream(&pairs, mode), packed, "default engine");
         }
     }
 

@@ -1,7 +1,8 @@
 //! Exact reference multipliers, behavioral and gate-level.
 
 use crate::booth::booth_digits;
-use crate::netlist::{from_bits, to_bits, Netlist, Simulator};
+use crate::metrics::{pack_value_bits, unpack_value_bits};
+use crate::netlist::{from_bits, to_bits, BitSimulator, Netlist, Simulator, LANES};
 use crate::wallace::ColumnStack;
 
 /// Builds a signed `n x n` Booth-encoded Wallace-tree multiplier netlist.
@@ -271,17 +272,50 @@ impl ExactMultiplier {
     pub fn mul_via_netlist(&self, x: i64, y: i64) -> i64 {
         let nl = self.build_netlist();
         let mut sim = Simulator::new(nl);
-        let mask = if self.n == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.n) - 1
-        };
+        let mask = self.operand_mask();
         let mut inputs = to_bits((x as u64) & mask, self.n);
         inputs.extend(to_bits((y as u64) & mask, self.n));
         let out = sim
             .eval(&inputs)
             .expect("input width matches by construction");
-        let raw = from_bits(&out);
+        self.decode_product(from_bits(&out))
+    }
+
+    /// Batched gate-level entry point: the exact products of a whole
+    /// operand batch, in order, evaluated through the bitsliced engine —
+    /// one netlist build, [`LANES`] pairs per word, bit-identical to
+    /// [`mul_via_netlist`](Self::mul_via_netlist) pair by pair.
+    #[must_use]
+    pub fn evaluate_packed(&self, pairs: &[(i64, i64)]) -> Vec<i64> {
+        let mut sim = BitSimulator::new(self.build_netlist());
+        let mask = self.operand_mask();
+        let mut out = Vec::with_capacity(pairs.len());
+        for batch in pairs.chunks(LANES) {
+            let xs: Vec<u64> = batch.iter().map(|&(x, _)| (x as u64) & mask).collect();
+            let ys: Vec<u64> = batch.iter().map(|&(_, y)| (y as u64) & mask).collect();
+            let mut planes = pack_value_bits(&xs, self.n);
+            planes.extend(pack_value_bits(&ys, self.n));
+            let words = sim
+                .eval_packed(&planes, batch.len())
+                .expect("input width matches by construction");
+            out.extend(
+                unpack_value_bits(&words, batch.len())
+                    .into_iter()
+                    .map(|raw| self.decode_product(raw)),
+            );
+        }
+        out
+    }
+
+    fn operand_mask(&self) -> u64 {
+        if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        }
+    }
+
+    fn decode_product(&self, raw: u64) -> i64 {
         if self.signed {
             let w = 2 * self.n;
             ((raw << (64 - w)) as i64) >> (64 - w)
@@ -355,6 +389,34 @@ mod tests {
             let y = rng.gen_range(0i64..65536);
             assert_eq!(m.mul_via_netlist(x, y), x * y);
         }
+    }
+
+    #[test]
+    fn evaluate_packed_matches_behavioral_across_word_boundaries() {
+        // 100 pairs forces one full word plus a ragged 36-lane tail.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let signed_pairs: Vec<(i64, i64)> = (0..100)
+            .map(|_| (rng.gen_range(-32768..=32767), rng.gen_range(-32768..=32767)))
+            .collect();
+        let bw = ExactMultiplier::booth_wallace(16);
+        assert_eq!(
+            bw.evaluate_packed(&signed_pairs),
+            signed_pairs
+                .iter()
+                .map(|&(x, y)| x * y)
+                .collect::<Vec<i64>>()
+        );
+        let unsigned_pairs: Vec<(i64, i64)> = (0..70)
+            .map(|_| (rng.gen_range(0..65536), rng.gen_range(0..65536)))
+            .collect();
+        let ar = ExactMultiplier::array(16);
+        assert_eq!(
+            ar.evaluate_packed(&unsigned_pairs),
+            unsigned_pairs
+                .iter()
+                .map(|&(x, y)| x * y)
+                .collect::<Vec<i64>>()
+        );
     }
 
     #[test]

@@ -9,9 +9,33 @@
 //!
 //! Nodes are created in topological order by construction (a gate can only
 //! reference already-created fanins), so evaluation is a single forward pass.
+//!
+//! ## Evaluation engines
+//!
+//! Two evaluators share the netlist representation and produce **bit-identical**
+//! results — values, per-gate toggle counts, and therefore every `α`, RMSE and
+//! energy figure downstream:
+//!
+//! * [`Simulator`] — the scalar engine: one `bool` per gate per operand pair.
+//!   Retained as the *reference oracle*: the property-test net
+//!   (`tests/bitslice_equivalence.rs`) proves the packed engine against it on
+//!   random netlists, random streams and ragged lengths.
+//! * [`bitslice::BitSimulator`] — the bitsliced engine (the default behind
+//!   [`Engine::Bitsliced`]): 64 Monte-Carlo samples packed into one `u64` lane
+//!   word per gate, the whole netlist evaluated word-at-a-time (every cell is
+//!   1–3 word ops), and toggles counted with `popcount` over consecutive
+//!   words. Ragged tails (`samples % 64 != 0`) are handled by masked lanes,
+//!   so all sample counts keep their exact scalar results.
+//!
+//! [`Engine`] selects between them at run time; `bench_sweep` times both per
+//! scenario and asserts their results equal before recording a timing.
 
 use crate::error::ArithError;
 use serde::{Deserialize, Serialize};
+
+pub mod bitslice;
+
+pub use bitslice::{lane_mask, BitSimulator, LANES};
 
 /// Index of a node inside a [`Netlist`].
 pub type NodeId = usize;
@@ -488,6 +512,14 @@ impl Simulator {
         self.primed = false;
     }
 
+    /// Per-node toggle counters accumulated since the last reset (indexed
+    /// by [`NodeId`]; primary inputs stay at zero). Exposed so equivalence
+    /// tests can compare engines gate by gate, not just in aggregate.
+    #[must_use]
+    pub fn toggles(&self) -> &[u64] {
+        &self.toggles
+    }
+
     /// Activity statistics accumulated since the last reset.
     ///
     /// The `active_depth` is the longest path *through gates that actually
@@ -497,41 +529,114 @@ impl Simulator {
     /// unchanged.
     #[must_use]
     pub fn stats(&self) -> ActivityStats {
-        let mut toggles = 0u64;
-        let mut weighted = 0.0f64;
-        let mut active = 0usize;
-        let mut active_depth = 0u32;
-        // Depth within the toggling cone, in topological (creation) order.
-        let mut cone = vec![0u32; self.netlist.kinds.len()];
-        for (i, &t) in self.toggles.iter().enumerate() {
-            let kind = self.netlist.kinds[i];
-            if matches!(kind, GateKind::Input | GateKind::Zero | GateKind::One) {
-                continue;
-            }
-            toggles += t;
-            weighted += t as f64 * kind.relative_cap();
-            if t > 0 {
-                active += 1;
-                let fan = match kind {
-                    GateKind::Input | GateKind::Zero | GateKind::One => 0,
-                    GateKind::Not(a) => cone[a],
-                    GateKind::And(a, b)
-                    | GateKind::Or(a, b)
-                    | GateKind::Xor(a, b)
-                    | GateKind::Nand(a, b)
-                    | GateKind::Nor(a, b) => cone[a].max(cone[b]),
-                    GateKind::Mux { sel, a, b } => cone[sel].max(cone[a]).max(cone[b]),
-                };
-                cone[i] = fan + kind.stage_delay();
-                active_depth = active_depth.max(cone[i]);
-            }
+        stats_from_toggles(&self.netlist, &self.toggles, self.cycles)
+    }
+}
+
+/// Folds per-node toggle counters into [`ActivityStats`].
+///
+/// Both engines accumulate the same `toggles` layout (one counter per
+/// [`NodeId`]), and this single fold — walking nodes in creation order —
+/// derives every aggregate from it, so the scalar and bitsliced statistics
+/// agree by construction whenever the counters do.
+#[must_use]
+pub fn stats_from_toggles(netlist: &Netlist, toggles: &[u64], cycles: u64) -> ActivityStats {
+    let mut total = 0u64;
+    let mut weighted = 0.0f64;
+    let mut active = 0usize;
+    let mut active_depth = 0u32;
+    // Depth within the toggling cone, in topological (creation) order.
+    let mut cone = vec![0u32; netlist.kinds.len()];
+    for (i, &t) in toggles.iter().enumerate() {
+        let kind = netlist.kinds[i];
+        if matches!(kind, GateKind::Input | GateKind::Zero | GateKind::One) {
+            continue;
         }
-        ActivityStats {
-            cycles: self.cycles,
-            toggles,
-            weighted_toggles: weighted,
-            active_gates: active,
-            active_depth,
+        total += t;
+        weighted += t as f64 * kind.relative_cap();
+        if t > 0 {
+            active += 1;
+            let fan = match kind {
+                GateKind::Input | GateKind::Zero | GateKind::One => 0,
+                GateKind::Not(a) => cone[a],
+                GateKind::And(a, b)
+                | GateKind::Or(a, b)
+                | GateKind::Xor(a, b)
+                | GateKind::Nand(a, b)
+                | GateKind::Nor(a, b) => cone[a].max(cone[b]),
+                GateKind::Mux { sel, a, b } => cone[sel].max(cone[a]).max(cone[b]),
+            };
+            cone[i] = fan + kind.stage_delay();
+            active_depth = active_depth.max(cone[i]);
+        }
+    }
+    ActivityStats {
+        cycles,
+        toggles: total,
+        weighted_toggles: weighted,
+        active_gates: active,
+        active_depth,
+    }
+}
+
+/// Which evaluation engine drives a netlist over a stimulus stream.
+///
+/// Both engines are proven bit-identical (values *and* per-gate toggle
+/// counts) by the property-test net; [`Engine::Bitsliced`] is the default
+/// everywhere, [`Engine::Scalar`] is the retained reference oracle that
+/// `bench_sweep` times against it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// One `bool` per gate per sample ([`Simulator`]) — the reference oracle.
+    Scalar,
+    /// 64 samples per `u64` word per gate ([`BitSimulator`]) — the default.
+    #[default]
+    Bitsliced,
+}
+
+impl Engine {
+    /// Both engines, oracle first (test matrices iterate this).
+    pub const ALL: [Engine; 2] = [Engine::Scalar, Engine::Bitsliced];
+
+    /// Drives `netlist` with `samples` stimulus vectors (`stimulus(i)` is
+    /// the input vector of sample `i`) and returns the accumulated activity
+    /// statistics — the α extraction primitive behind Fig. 2d and Table I.
+    ///
+    /// The bitsliced engine consumes the stream in [`LANES`]-sample words
+    /// with a masked ragged tail; the result is bit-identical to the scalar
+    /// engine's for every stream length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stimulus vector does not match the netlist's input count.
+    #[must_use]
+    pub fn simulate_stream<F>(self, netlist: &Netlist, samples: usize, stimulus: F) -> ActivityStats
+    where
+        F: Fn(usize) -> Vec<bool>,
+    {
+        match self {
+            Engine::Scalar => {
+                let mut sim = Simulator::new(netlist.clone());
+                for s in 0..samples {
+                    sim.eval(&stimulus(s)).expect("stimulus width must match");
+                }
+                sim.stats()
+            }
+            Engine::Bitsliced => {
+                let mut sim = BitSimulator::new(netlist.clone());
+                let mut word = Vec::with_capacity(LANES);
+                let mut start = 0;
+                while start < samples {
+                    let valid = LANES.min(samples - start);
+                    word.clear();
+                    word.extend((start..start + valid).map(&stimulus));
+                    let packed = crate::metrics::pack_stimuli(&word);
+                    sim.eval_packed(&packed, valid)
+                        .expect("stimulus width must match");
+                    start += valid;
+                }
+                sim.stats()
+            }
         }
     }
 }

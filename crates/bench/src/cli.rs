@@ -109,7 +109,17 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                     id => {
                         scenario::find(id)
                             .ok_or_else(|| format!("unknown scenario {id:?} — see `dvafs list`"))?;
-                        opts.ids.push(id.to_string());
+                        // A repeated id runs once: rendering the same
+                        // scenario twice in one invocation is never what
+                        // the caller wanted (and doubles minutes of
+                        // gate-level simulation), so dedupe and warn.
+                        if opts.ids.iter().any(|queued| queued == id) {
+                            warnings.push(format!(
+                                "warning: scenario {id:?} given more than once; running it once"
+                            ));
+                        } else {
+                            opts.ids.push(id.to_string());
+                        }
                     }
                 }
                 i += 1;
@@ -292,6 +302,27 @@ mod tests {
     fn unknown_flags_warn_but_do_not_fail() {
         let (_, warnings) = parse(&argv(&["run", "fig2", "--bogus"])).unwrap();
         assert_eq!(warnings, ["warning: ignoring unrecognized flag --bogus"]);
+    }
+
+    #[test]
+    fn repeated_ids_run_once_and_warn() {
+        // `dvafs run fig2 fig2` must run fig2 once, not render it twice.
+        let (cmd, warnings) = parse(&argv(&["run", "fig2", "fig2", "table3", "fig2"])).unwrap();
+        let Command::Run(opts) = cmd else {
+            panic!("expected run")
+        };
+        assert_eq!(opts.ids, ["fig2", "table3"]);
+        assert_eq!(
+            warnings,
+            [
+                "warning: scenario \"fig2\" given more than once; running it once",
+                "warning: scenario \"fig2\" given more than once; running it once",
+            ]
+        );
+        // A repeated unknown id still hard-errors before deduplication.
+        assert!(parse(&argv(&["run", "fig2", "fig2", "fig99"]))
+            .unwrap_err()
+            .contains("unknown scenario"));
     }
 
     #[test]

@@ -103,14 +103,23 @@ pub fn fmt_e(v: f64) -> String {
 }
 
 /// One timed scenario of the `bench_sweep` performance record.
+///
+/// Two comparisons share the record: thread scaling (`serial_ms` vs
+/// `parallel_ms`, both on the default bitsliced netlist engine) and engine
+/// scaling (`scalar_ms` vs `serial_ms`, both single-threaded — the
+/// scalar-oracle-vs-bitsliced columns CI uploads per commit).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepTiming {
     /// Scenario identifier (e.g. `"fig3b"`).
     pub figure: String,
-    /// Serial (1-thread) wall time in milliseconds.
+    /// Serial (1-thread) wall time in milliseconds, bitsliced engine.
     pub serial_ms: f64,
     /// Parallel wall time in milliseconds at the configured worker count.
     pub parallel_ms: f64,
+    /// Serial (1-thread) wall time in milliseconds on the scalar netlist
+    /// engine — the reference oracle the bitsliced engine is timed against.
+    /// Scenarios without a gate-level component time close to `serial_ms`.
+    pub scalar_ms: f64,
 }
 
 impl SweepTiming {
@@ -119,6 +128,17 @@ impl SweepTiming {
     pub fn speedup(&self) -> f64 {
         if self.parallel_ms > 0.0 {
             self.serial_ms / self.parallel_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Scalar-over-bitsliced speedup at one thread (> 1 means the
+    /// bitsliced engine won).
+    #[must_use]
+    pub fn engine_speedup(&self) -> f64 {
+        if self.serial_ms > 0.0 {
+            self.scalar_ms / self.serial_ms
         } else {
             0.0
         }
@@ -133,9 +153,10 @@ pub fn time_ms<R>(f: impl FnOnce() -> R) -> f64 {
 }
 
 /// Renders the `BENCH_sweep.json` document: per-scenario serial vs
-/// parallel wall time, the measured thread count, and the host
-/// parallelism, so the workspace's performance trajectory is recorded per
-/// commit by CI.
+/// parallel wall time, scalar-engine vs bitsliced-engine wall time
+/// (`bitsliced_ms` repeats `serial_ms` so the engine columns read as a
+/// pair), the measured thread count, and the host parallelism, so the
+/// workspace's performance trajectory is recorded per commit by CI.
 #[must_use]
 pub fn bench_sweep_json(timings: &[SweepTiming], threads: usize, fast: bool) -> String {
     let rows: Vec<String> = timings
@@ -143,11 +164,15 @@ pub fn bench_sweep_json(timings: &[SweepTiming], threads: usize, fast: bool) -> 
         .map(|t| {
             format!(
                 "    {{\"figure\":\"{}\",\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\
-                 \"speedup\":{:.3}}}",
+                 \"speedup\":{:.3},\"scalar_ms\":{:.3},\"bitsliced_ms\":{:.3},\
+                 \"engine_speedup\":{:.3}}}",
                 t.figure,
                 t.serial_ms,
                 t.parallel_ms,
-                t.speedup()
+                t.speedup(),
+                t.scalar_ms,
+                t.serial_ms,
+                t.engine_speedup()
             )
         })
         .collect();
@@ -266,13 +291,17 @@ mod tests {
             figure: "fig3b".into(),
             serial_ms: 100.0,
             parallel_ms: 25.0,
+            scalar_ms: 800.0,
         };
         assert!((t.speedup() - 4.0).abs() < 1e-12);
+        assert!((t.engine_speedup() - 8.0).abs() < 1e-12);
         let zero = SweepTiming {
             parallel_ms: 0.0,
+            serial_ms: 0.0,
             ..t
         };
         assert_eq!(zero.speedup(), 0.0);
+        assert_eq!(zero.engine_speedup(), 0.0);
     }
 
     #[test]
@@ -282,6 +311,7 @@ mod tests {
                 figure: "fig2".into(),
                 serial_ms: 1.0,
                 parallel_ms: 0.5,
+                scalar_ms: 6.0,
             }],
             4,
             true,
@@ -289,6 +319,9 @@ mod tests {
         assert!(doc.contains("\"threads\": 4"));
         assert!(doc.contains("\"figure\":\"fig2\""));
         assert!(doc.contains("\"speedup\":2.000"));
+        assert!(doc.contains("\"scalar_ms\":6.000"));
+        assert!(doc.contains("\"bitsliced_ms\":1.000"));
+        assert!(doc.contains("\"engine_speedup\":6.000"));
         assert!(doc.ends_with("}\n"));
     }
 

@@ -16,7 +16,7 @@ use dvafs_arith::multiplier::dvafs::{
 };
 use dvafs_arith::multiplier::exact::{build_booth_wallace, build_booth_wallace_naive};
 use dvafs_arith::multiplier::DvafsMultiplier;
-use dvafs_arith::netlist::{to_bits, Netlist, Simulator};
+use dvafs_arith::netlist::{to_bits, Engine, Netlist};
 use dvafs_arith::subword::SubwordMode;
 use dvafs_tech::delay::DelayModel;
 use dvafs_tech::voltage::VoltageSolver;
@@ -25,27 +25,33 @@ use rand::{Rng, SeedableRng};
 /// The design-choice ablations scenario (`dvafs run ablations`).
 pub struct Ablations;
 
-fn drive_subword(netlist: &Netlist, mode: SubwordMode, pairs: &[(u16, u16)]) -> f64 {
-    let mut sim = Simulator::new(netlist.clone());
-    for &(a, b) in pairs {
-        sim.eval(&DvafsMultiplier::stimulus(a, b, mode))
-            .expect("stimulus fits");
-    }
-    sim.stats().weighted_toggles
+fn drive_subword(
+    engine: Engine,
+    netlist: &Netlist,
+    mode: SubwordMode,
+    pairs: &[(u16, u16)],
+) -> f64 {
+    engine
+        .simulate_stream(netlist, pairs.len(), |s| {
+            let (a, b) = pairs[s];
+            DvafsMultiplier::stimulus(a, b, mode)
+        })
+        .weighted_toggles
 }
 
-fn drive_booth(netlist: &Netlist, bits: u32, pairs: &[(u16, u16)]) -> f64 {
+fn drive_booth(engine: Engine, netlist: &Netlist, bits: u32, pairs: &[(u16, u16)]) -> f64 {
     let drop = 16 - bits;
-    let mut sim = Simulator::new(netlist.clone());
-    for &(a, b) in pairs {
-        // Gate LSBs as a DAS data path does (arithmetic truncation).
-        let aq = ((a as i16 >> drop) << drop) as u16;
-        let bq = ((b as i16 >> drop) << drop) as u16;
-        let mut inputs = to_bits(u64::from(aq), 16);
-        inputs.extend(to_bits(u64::from(bq), 16));
-        sim.eval(&inputs).expect("stimulus fits");
-    }
-    sim.stats().weighted_toggles
+    engine
+        .simulate_stream(netlist, pairs.len(), |s| {
+            // Gate LSBs as a DAS data path does (arithmetic truncation).
+            let (a, b) = pairs[s];
+            let aq = ((a as i16 >> drop) << drop) as u16;
+            let bq = ((b as i16 >> drop) << drop) as u16;
+            let mut inputs = to_bits(u64::from(aq), 16);
+            inputs.extend(to_bits(u64::from(bq), 16));
+            inputs
+        })
+        .weighted_toggles
 }
 
 impl Scenario for Ablations {
@@ -82,7 +88,9 @@ impl Scenario for Ablations {
             .into_iter()
             .flat_map(|n| modes.iter().map(move |&(m, _)| (n, m)))
             .collect();
-        let toggles = exec.par_map_indexed(&sub_grid, |_, &(n, m)| drive_subword(n, m, &pairs));
+        let toggles = exec.par_map_indexed(&sub_grid, |_, &(n, m)| {
+            drive_subword(ctx.engine, n, m, &pairs)
+        });
         let (base_iso, base_un) = (toggles[0], toggles[3]);
         let mut t = TextTable::new(vec!["mode", "isolated", "unisolated", "paper k3 target"]);
         let mut isolation = DataTable::new(
@@ -113,7 +121,9 @@ impl Scenario for Ablations {
             .into_iter()
             .flat_map(|n| [16u32, 12, 8, 4].into_iter().map(move |b| (n, b)))
             .collect();
-        let booth = exec.par_map_indexed(&booth_grid, |_, &(n, b)| drive_booth(n, b, &pairs));
+        let booth = exec.par_map_indexed(&booth_grid, |_, &(n, b)| {
+            drive_booth(ctx.engine, n, b, &pairs)
+        });
         // Both columns normalized to the OPTIMIZED design's 16-bit activity so
         // the absolute switched-capacitance cost of naive replication shows.
         let b_opt = booth[0];

@@ -1,13 +1,17 @@
 //! The `BENCH_sweep.json` emitter: wall time of **every registered
-//! scenario**, serial vs parallel, plus thread count and host parallelism
-//! — the per-commit performance record CI uploads as an artifact.
+//! scenario**, serial vs parallel *and* scalar-engine vs bitsliced-engine,
+//! plus thread count and host parallelism — the per-commit performance
+//! record CI uploads as an artifact.
 //!
 //! Since the registry refactor this scenario times the real experiments
 //! through [`super::registry`], so the perf trajectory covers every
 //! figure and table, not just the parallelized multiplier sweeps. While
-//! timing, it also *verifies* the determinism contract: each scenario's
-//! parallel [`ScenarioResult`] is asserted equal to the serial one before
-//! a timing is recorded.
+//! timing, it also *verifies* the determinism contract twice over: each
+//! scenario's parallel [`ScenarioResult`] is asserted equal to the serial
+//! one, and the scalar-oracle run is asserted equal to the bitsliced one,
+//! before a timing is recorded. The gate-level scenarios (fig2/fig3a/
+//! fig3b/table1/ablations) are where `engine_speedup` bites; scenarios
+//! without a netlist in the loop time near 1x.
 //!
 //! Timings go to the JSON artifact only — the presentation text stays
 //! byte-stable across thread counts and runs, so smoke tests can diff it
@@ -16,6 +20,7 @@
 
 use super::{registry, DataTable, Scenario, ScenarioCtx, ScenarioResult};
 use crate::report::{bench_sweep_json, time_ms, SweepTiming};
+use dvafs_arith::netlist::Engine;
 
 /// The performance-sweep scenario (`dvafs run bench_sweep`).
 pub struct BenchSweep;
@@ -39,8 +44,16 @@ impl Scenario for BenchSweep {
 
     fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
         let serial_ctx = ctx.serial();
+        // The scalar-oracle run: one thread, scalar netlist engine — the
+        // pre-bitslicing baseline every engine_speedup column is against.
+        let scalar_ctx = serial_ctx.clone().with_engine(Engine::Scalar);
         let mut timings = Vec::new();
         let mut r = ScenarioResult::new();
+
+        // Warm the process-wide memoized delay-model calibrations so the
+        // first timed run isn't charged their one-time grid searches.
+        let _ = dvafs_tech::technology::Technology::lp40();
+        let _ = dvafs_tech::technology::Technology::fdsoi28();
 
         for s in registry() {
             if s.id() == self.id() {
@@ -50,9 +63,16 @@ impl Scenario for BenchSweep {
             let serial_ms = time_ms(|| serial_result = Some(s.run(&serial_ctx)));
             let mut parallel_result = None;
             let parallel_ms = time_ms(|| parallel_result = Some(s.run(ctx)));
+            let mut scalar_result = None;
+            let scalar_ms = time_ms(|| scalar_result = Some(s.run(&scalar_ctx)));
             assert!(
                 serial_result == parallel_result,
                 "{}: parallel result diverged from serial",
+                s.id()
+            );
+            assert!(
+                scalar_result == serial_result,
+                "{}: scalar-engine result diverged from bitsliced",
                 s.id()
             );
             r.line(format_args!(
@@ -63,12 +83,20 @@ impl Scenario for BenchSweep {
                 figure: s.id().to_string(),
                 serial_ms,
                 parallel_ms,
+                scalar_ms,
             });
         }
 
         let mut data = DataTable::new(
             "timings",
-            vec!["scenario", "serial_ms", "parallel_ms", "speedup"],
+            vec![
+                "scenario",
+                "serial_ms",
+                "parallel_ms",
+                "speedup",
+                "scalar_ms",
+                "engine_speedup",
+            ],
         );
         for t in &timings {
             data.push_row(vec![
@@ -76,6 +104,8 @@ impl Scenario for BenchSweep {
                 t.serial_ms.into(),
                 t.parallel_ms.into(),
                 t.speedup().into(),
+                t.scalar_ms.into(),
+                t.engine_speedup().into(),
             ]);
         }
         r.push_table(data);

@@ -24,7 +24,9 @@ impl Scenario for Fig2 {
     }
 
     fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
-        let sweep = MultiplierSweep::new().with_executor(ctx.executor().clone());
+        let sweep = MultiplierSweep::new()
+            .with_engine(ctx.engine)
+            .with_executor(ctx.executor().clone());
         let points = sweep.fig2();
         let mut r = ScenarioResult::new();
 

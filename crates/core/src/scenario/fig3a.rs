@@ -24,7 +24,9 @@ impl Scenario for Fig3a {
     }
 
     fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
-        let sweep = MultiplierSweep::new().with_executor(ctx.executor().clone());
+        let sweep = MultiplierSweep::new()
+            .with_engine(ctx.engine)
+            .with_executor(ctx.executor().clone());
         let samples = sweep.fig3a();
         let mut r = ScenarioResult::new();
 

@@ -22,7 +22,9 @@ impl Scenario for Fig3b {
     }
 
     fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
-        let sweep = MultiplierSweep::new().with_executor(ctx.executor().clone());
+        let sweep = MultiplierSweep::new()
+            .with_engine(ctx.engine)
+            .with_executor(ctx.executor().clone());
         // Sweep order feeds the data table (and the golden fixture); the
         // presentation sorts a copy, as the original binary always did.
         let points = sweep.fig3b();

@@ -56,6 +56,7 @@ pub use table1::Table1;
 pub use table2::Table2;
 pub use table3::Table3;
 
+use dvafs_arith::netlist::Engine;
 use dvafs_executor::Executor;
 
 /// Shared root seed of every experiment (full determinism). The
@@ -73,17 +74,22 @@ pub struct ScenarioCtx {
     /// Reduced problem sizes for CI smoke runs (`--fast`). Scenarios that
     /// are already CI-sized ignore it — see [`Scenario::fast_note`].
     pub fast: bool,
+    /// Netlist evaluation engine for the gate-level scenarios (bitsliced
+    /// by default; scalar is the reference oracle `bench_sweep` times
+    /// against it). Never moves a number — only wall time.
+    pub engine: Engine,
     exec: Executor,
 }
 
 impl ScenarioCtx {
-    /// The default context: [`EXPERIMENT_SEED`], full problem sizes, and
-    /// the environment-configured executor.
+    /// The default context: [`EXPERIMENT_SEED`], full problem sizes, the
+    /// bitsliced netlist engine, and the environment-configured executor.
     #[must_use]
     pub fn new() -> Self {
         ScenarioCtx {
             seed: EXPERIMENT_SEED,
             fast: false,
+            engine: Engine::default(),
             exec: Executor::from_env(),
         }
     }
@@ -105,6 +111,13 @@ impl ScenarioCtx {
     #[must_use]
     pub fn with_fast(mut self, fast: bool) -> Self {
         self.fast = fast;
+        self
+    }
+
+    /// Replaces the netlist engine (see [`ScenarioCtx::engine`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -221,7 +234,12 @@ mod tests {
         assert_eq!(ctx.threads(), 3);
         assert!(ctx.fast);
         assert_eq!(ctx.seed, 7);
+        assert_eq!(ctx.engine, Engine::Bitsliced);
         assert_eq!(ctx.serial().threads(), 1);
         assert_eq!(ctx.serial().seed, 7);
+        // serial() preserves the engine; with_engine swaps it.
+        let scalar = ctx.with_engine(Engine::Scalar);
+        assert_eq!(scalar.engine, Engine::Scalar);
+        assert_eq!(scalar.serial().engine, Engine::Scalar);
     }
 }

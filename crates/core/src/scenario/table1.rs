@@ -23,7 +23,9 @@ impl Scenario for Table1 {
     }
 
     fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
-        let sweep = MultiplierSweep::new().with_executor(ctx.executor().clone());
+        let sweep = MultiplierSweep::new()
+            .with_engine(ctx.engine)
+            .with_executor(ctx.executor().clone());
         let ours = sweep.table1();
         let paper = paper_table1();
         let mut r = ScenarioResult::new();

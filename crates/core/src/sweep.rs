@@ -6,7 +6,9 @@
 //! are **bit-identical** for any thread count — `cargo test` enforces this
 //! with property tests over thread counts and seeds.
 
-use dvafs_arith::activity::{extract_das_profile, extract_dvafs_profile, ActivityProfile};
+use dvafs_arith::activity::{
+    extract_das_profile_with, extract_dvafs_profile_with, ActivityProfile,
+};
 use dvafs_arith::metrics::{
     operand_stream_chunked, precision_sum_squared_error, relative_rmse_from_partials,
     sum_squared_error,
@@ -14,11 +16,13 @@ use dvafs_arith::metrics::{
 use dvafs_arith::multiplier::{
     ApproximateMultiplier, KulkarniMultiplier, KyawMultiplier, LiuMultiplier, TruncatedMultiplier,
 };
+use dvafs_arith::netlist::Engine;
 use dvafs_executor::Executor;
 use dvafs_tech::power::{extract_k_params, EnergySample, KParams, MultiplierEnergyModel};
 use dvafs_tech::scaling::{OperatingPoint, ScalingMode};
 use dvafs_tech::technology::Technology;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// One point of a Fig. 3b energy-vs-RMSE curve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,11 +49,14 @@ pub struct RmsePoint {
 #[derive(Debug, Clone)]
 pub struct MultiplierSweep {
     tech: Technology,
-    das_profile: ActivityProfile,
-    dvafs_profile: ActivityProfile,
     samples: usize,
     seed: u64,
     exec: Executor,
+    engine: Engine,
+    /// Activity profiles (DAS, DVAFS), extracted lazily on first use so the
+    /// builder can finish configuring the engine and executor first. The
+    /// choice of either never moves a number — only wall time.
+    profiles: OnceLock<(ActivityProfile, ActivityProfile)>,
 }
 
 impl MultiplierSweep {
@@ -71,11 +78,11 @@ impl MultiplierSweep {
     pub fn with_seed(seed: u64) -> Self {
         MultiplierSweep {
             tech: Technology::lp40(),
-            das_profile: extract_das_profile(Self::PROFILE_SAMPLES, seed),
-            dvafs_profile: extract_dvafs_profile(Self::PROFILE_SAMPLES, seed),
             samples: 2000,
             seed,
             exec: Executor::from_env(),
+            engine: Engine::default(),
+            profiles: OnceLock::new(),
         }
     }
 
@@ -95,6 +102,19 @@ impl MultiplierSweep {
         self
     }
 
+    /// Runs the gate-level toggle simulations on an explicit netlist
+    /// engine. The default is the bitsliced engine; [`Engine::Scalar`] is
+    /// the reference oracle `bench_sweep` times against it. Results do not
+    /// depend on the choice (the equivalence suite enforces it); profiles
+    /// already extracted are discarded so the requested engine really does
+    /// the work.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self.profiles = OnceLock::new();
+        self
+    }
+
     /// The root seed of this sweep.
     #[must_use]
     pub fn seed(&self) -> u64 {
@@ -107,22 +127,46 @@ impl MultiplierSweep {
         &self.exec
     }
 
+    /// The netlist engine toggle simulations run on.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The (DAS, DVAFS) profiles, extracting them on first use: the seven
+    /// per-precision/per-mode streams are independent toggle simulations,
+    /// fanned out on the executor in 64-sample bitsliced words and merged
+    /// in sweep order.
+    fn profiles(&self) -> &(ActivityProfile, ActivityProfile) {
+        self.profiles.get_or_init(|| {
+            (
+                extract_das_profile_with(Self::PROFILE_SAMPLES, self.seed, self.engine, &self.exec),
+                extract_dvafs_profile_with(
+                    Self::PROFILE_SAMPLES,
+                    self.seed,
+                    self.engine,
+                    &self.exec,
+                ),
+            )
+        })
+    }
+
     /// The extracted DAS activity profile.
     #[must_use]
     pub fn das_profile(&self) -> &ActivityProfile {
-        &self.das_profile
+        &self.profiles().0
     }
 
     /// The extracted DVAFS activity profile.
     #[must_use]
     pub fn dvafs_profile(&self) -> &ActivityProfile {
-        &self.dvafs_profile
+        &self.profiles().1
     }
 
     /// Table I: the extracted k parameters.
     #[must_use]
     pub fn table1(&self) -> Vec<KParams> {
-        extract_k_params(&self.tech, &self.das_profile, &self.dvafs_profile)
+        extract_k_params(&self.tech, self.das_profile(), self.dvafs_profile())
     }
 
     /// Fig. 2: operating points (frequency, slack, voltage, activity) for
@@ -130,15 +174,11 @@ impl MultiplierSweep {
     /// merged in grid order.
     #[must_use]
     pub fn fig2(&self) -> Vec<OperatingPoint> {
+        // Extract the profiles up front, not lazily from inside a worker.
+        let (das, dvafs) = self.profiles();
         self.exec
             .par_map_indexed(&ScalingMode::precision_grid(), |_, &(mode, bits)| {
-                OperatingPoint::derive(
-                    &self.tech,
-                    mode,
-                    bits,
-                    &self.das_profile,
-                    &self.dvafs_profile,
-                )
+                OperatingPoint::derive(&self.tech, mode, bits, das, dvafs)
             })
     }
 
@@ -149,8 +189,8 @@ impl MultiplierSweep {
     pub fn fig3a(&self) -> Vec<EnergySample> {
         let model = MultiplierEnergyModel::new(
             self.tech.clone(),
-            self.das_profile.clone(),
-            self.dvafs_profile.clone(),
+            self.das_profile().clone(),
+            self.dvafs_profile().clone(),
         );
         self.exec
             .par_map_indexed(&ScalingMode::precision_grid(), |_, &(mode, bits)| {
@@ -161,130 +201,148 @@ impl MultiplierSweep {
     /// Fig. 3b: the DVAFS energy-vs-RMSE curve against the four baselines
     /// (\[3\], \[3\]+VS, \[4\], \[5\], \[8\]).
     ///
-    /// The Monte-Carlo RMSE integrals run as per-design × per-chunk tasks:
-    /// operand chunk `c` is seeded from the root seed and `c` alone (see
-    /// [`dvafs_arith::metrics::chunk_seed`]), and per-chunk squared-error
-    /// partials are folded in chunk order — so the curve is bit-identical
-    /// whether the task grid runs on one thread or many.
+    /// The Monte-Carlo RMSE integrals run as per-error-model × per-chunk
+    /// tasks: operand chunk `c` is seeded from the root seed and `c` alone
+    /// (see [`dvafs_arith::metrics::chunk_seed`]), and per-chunk
+    /// squared-error partials are folded in chunk order — so the curve is
+    /// bit-identical whether the task grid runs on one thread or many.
+    /// Design points that share an error model (`[3]+VS` computes the same
+    /// products as `[3]`, only at a scaled supply) share one integration:
+    /// its partials feed both rows, which is exactly the f64 fold each row
+    /// performed when it integrated separately.
     #[must_use]
     pub fn fig3b(&self) -> Vec<RmsePoint> {
         let chunks = operand_stream_chunked(self.samples, self.seed);
-        let jobs = self.fig3b_jobs();
+        let (models, jobs) = self.fig3b_models_and_jobs();
 
-        // One task per (design, chunk), job-major so job j's partials are
-        // the contiguous slice [j*chunks .. (j+1)*chunks], already in
-        // chunk order.
-        let tasks: Vec<(usize, usize)> = (0..jobs.len())
-            .flat_map(|j| (0..chunks.len()).map(move |c| (j, c)))
+        // One task per (error model, chunk), model-major so model m's
+        // partials are the contiguous slice [m*chunks .. (m+1)*chunks],
+        // already in chunk order.
+        let tasks: Vec<(usize, usize)> = (0..models.len())
+            .flat_map(|m| (0..chunks.len()).map(move |c| (m, c)))
             .collect();
         let partials = self
             .exec
-            .par_map_indexed(&tasks, |_, &(j, c)| jobs[j].sum_squared_error(&chunks[c]));
+            .par_map_indexed(&tasks, |_, &(m, c)| models[m].sum_squared_error(&chunks[c]));
 
         jobs.iter()
-            .enumerate()
-            .map(|(j, job)| RmsePoint {
-                design: job.design().to_string(),
+            .map(|job| RmsePoint {
+                design: job.design.to_string(),
                 rmse: relative_rmse_from_partials(
-                    &partials[j * chunks.len()..(j + 1) * chunks.len()],
+                    &partials[job.model * chunks.len()..(job.model + 1) * chunks.len()],
                     self.samples,
                 ),
-                energy: job.energy(),
+                energy: job.energy,
             })
             .collect()
     }
 
-    /// The Fig. 3b design points, in the figure's plotting order.
-    fn fig3b_jobs(&self) -> Vec<Fig3bJob> {
+    /// The Fig. 3b error models (each integrated once per chunk) and the
+    /// design points referencing them, in the figure's plotting order.
+    fn fig3b_models_and_jobs(&self) -> (Vec<Fig3bModel>, Vec<Fig3bJob>) {
         // DVAFS: precision maps to RMSE, energy from the Fig. 3a model
         // normalized to its own full-precision (reconfigurable) point.
         let model = MultiplierEnergyModel::new(
             self.tech.clone(),
-            self.das_profile.clone(),
-            self.dvafs_profile.clone(),
+            self.das_profile().clone(),
+            self.dvafs_profile().clone(),
         );
         let own_full = model.energy_per_word(ScalingMode::Dvafs, 16).relative;
-        let mut jobs: Vec<Fig3bJob> = [12u32, 8, 4]
-            .into_iter()
-            .map(|bits| Fig3bJob::Precision {
+        let mut models = Vec::new();
+        let mut jobs = Vec::new();
+        for bits in [12u32, 8, 4] {
+            models.push(Fig3bModel::Precision(bits));
+            jobs.push(Fig3bJob {
                 design: "DVAFS",
-                bits,
                 energy: model.energy_per_word(ScalingMode::Dvafs, bits).relative / own_full,
-            })
-            .collect();
+                model: models.len() - 1,
+            });
+        }
 
         // Liu [3] with and without voltage scaling, at several recovery
-        // depths.
+        // depths; the VS twin multiplies identically, so both rows share
+        // one error model.
         for k in [0u32, 2, 6, 12] {
-            jobs.push(Fig3bJob::baseline("Liu [3]", LiuMultiplier::new(k)));
-            jobs.push(Fig3bJob::baseline(
-                "Liu [3]+VS",
-                LiuMultiplier::new(k).with_voltage_scaling(),
-            ));
+            models.push(Fig3bModel::baseline(LiuMultiplier::new(k)));
+            jobs.push(Fig3bJob {
+                design: "Liu [3]",
+                energy: LiuMultiplier::new(k).relative_energy(),
+                model: models.len() - 1,
+            });
+            jobs.push(Fig3bJob {
+                design: "Liu [3]+VS",
+                energy: LiuMultiplier::new(k)
+                    .with_voltage_scaling()
+                    .relative_energy(),
+                model: models.len() - 1,
+            });
         }
         // Kulkarni [4] and Kyaw [5]: fixed design points.
-        jobs.push(Fig3bJob::baseline(
-            "Kulkarni [4]",
-            KulkarniMultiplier::new(),
-        ));
-        jobs.push(Fig3bJob::baseline("Kyaw [5]", KyawMultiplier::new(8)));
+        for (design, m) in [
+            (
+                "Kulkarni [4]",
+                Fig3bModel::baseline(KulkarniMultiplier::new()),
+            ),
+            ("Kyaw [5]", Fig3bModel::baseline(KyawMultiplier::new(8))),
+        ] {
+            let energy = m.relative_energy();
+            models.push(m);
+            jobs.push(Fig3bJob {
+                design,
+                energy,
+                model: models.len() - 1,
+            });
+        }
         // de la Guia Solaz [8]: the run-time truncated multiplier sweep.
         for t in [4u32, 8, 12, 16, 20] {
-            jobs.push(Fig3bJob::baseline("Trunc [8]", TruncatedMultiplier::new(t)));
+            let m = Fig3bModel::baseline(TruncatedMultiplier::new(t));
+            let energy = m.relative_energy();
+            models.push(m);
+            jobs.push(Fig3bJob {
+                design: "Trunc [8]",
+                energy,
+                model: models.len() - 1,
+            });
         }
-        jobs
+        (models, jobs)
     }
 }
 
-/// One Fig. 3b design point: how to integrate its squared error over an
-/// operand chunk and what energy it plots at.
-enum Fig3bJob {
-    /// DVAFS at a precision: RMSE from MSB truncation, energy precomputed
-    /// from the Fig. 3a model.
-    Precision {
-        design: &'static str,
-        bits: u32,
-        energy: f64,
-    },
-    /// A baseline approximate-multiplier design point.
-    Baseline {
-        design: &'static str,
-        multiplier: Box<dyn ApproximateMultiplier + Send + Sync>,
-        energy: f64,
-    },
+/// One Fig. 3b error integrand: how to sum a design's squared product
+/// error over an operand chunk.
+enum Fig3bModel {
+    /// DVAFS at a precision: squared error of MSB truncation.
+    Precision(u32),
+    /// A baseline approximate multiplier.
+    Baseline(Box<dyn ApproximateMultiplier + Send + Sync>),
 }
 
-impl Fig3bJob {
-    fn baseline<M: ApproximateMultiplier + Send + Sync + 'static>(
-        design: &'static str,
-        multiplier: M,
-    ) -> Self {
-        let energy = multiplier.relative_energy();
-        Fig3bJob::Baseline {
-            design,
-            multiplier: Box::new(multiplier),
-            energy,
-        }
+impl Fig3bModel {
+    fn baseline<M: ApproximateMultiplier + Send + Sync + 'static>(multiplier: M) -> Self {
+        Fig3bModel::Baseline(Box::new(multiplier))
     }
 
-    fn design(&self) -> &'static str {
+    fn relative_energy(&self) -> f64 {
         match self {
-            Fig3bJob::Precision { design, .. } | Fig3bJob::Baseline { design, .. } => design,
-        }
-    }
-
-    fn energy(&self) -> f64 {
-        match self {
-            Fig3bJob::Precision { energy, .. } | Fig3bJob::Baseline { energy, .. } => *energy,
+            Fig3bModel::Precision(_) => unreachable!("precision points precompute energy"),
+            Fig3bModel::Baseline(m) => m.relative_energy(),
         }
     }
 
     fn sum_squared_error(&self, chunk: &[(u16, u16)]) -> f64 {
         match self {
-            Fig3bJob::Precision { bits, .. } => precision_sum_squared_error(*bits, chunk),
-            Fig3bJob::Baseline { multiplier, .. } => sum_squared_error(multiplier.as_ref(), chunk),
+            Fig3bModel::Precision(bits) => precision_sum_squared_error(*bits, chunk),
+            Fig3bModel::Baseline(multiplier) => sum_squared_error(multiplier.as_ref(), chunk),
         }
     }
+}
+
+/// One plotted Fig. 3b design point: a label, the energy it plots at, and
+/// the index of the error model whose RMSE it shares.
+struct Fig3bJob {
+    design: &'static str,
+    energy: f64,
+    model: usize,
 }
 
 impl Default for MultiplierSweep {

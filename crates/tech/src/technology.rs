@@ -12,6 +12,7 @@
 use crate::delay::DelayModel;
 use crate::voltage::VoltageSolver;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A process-technology descriptor with its calibrated delay model.
 ///
@@ -40,16 +41,24 @@ impl Technology {
     /// the paper's (0.9 V, 2×) and (0.75 V, 8×) anchors.
     #[must_use]
     pub fn lp40() -> Self {
-        let delay = DelayModel::calibrate(1.1, &[(0.9, 2.0), (0.75, 8.0)])
-            .expect("paper anchors are well-formed");
-        Technology {
-            name: "40nm LP LVT".to_string(),
-            nominal_voltage: 1.1,
-            min_voltage: 0.70,
-            voltage_step: 0.01,
-            nominal_frequency_mhz: 500.0,
-            delay,
-        }
+        // Calibration is a deterministic (vth, alpha) grid search over the
+        // anchor points — a few milliseconds that every sweep and scenario
+        // used to pay per construction. Memoize the search once per
+        // process; the returned descriptor is bit-identical either way.
+        static LP40: OnceLock<Technology> = OnceLock::new();
+        LP40.get_or_init(|| {
+            let delay = DelayModel::calibrate(1.1, &[(0.9, 2.0), (0.75, 8.0)])
+                .expect("paper anchors are well-formed");
+            Technology {
+                name: "40nm LP LVT".to_string(),
+                nominal_voltage: 1.1,
+                min_voltage: 0.70,
+                voltage_step: 0.01,
+                nominal_frequency_mhz: 500.0,
+                delay,
+            }
+        })
+        .clone()
     }
 
     /// Envision's 28 nm FDSOI node: 1.05 V nominal rail, 200 MHz nominal
@@ -57,17 +66,23 @@ impl Technology {
     /// operating points.
     #[must_use]
     pub fn fdsoi28() -> Self {
-        let delay = DelayModel::calibrate(1.05, &[(0.80, 2.0), (0.65, 4.0)])
-            .expect("paper anchors are well-formed");
-        Technology {
-            name: "28nm FDSOI".to_string(),
-            nominal_voltage: 1.05,
-            // Envision's lowest measured operating rail (Table III).
-            min_voltage: 0.65,
-            voltage_step: 0.01,
-            nominal_frequency_mhz: 200.0,
-            delay,
-        }
+        // Memoized like lp40(): the grid search runs once per process.
+        static FDSOI28: OnceLock<Technology> = OnceLock::new();
+        FDSOI28
+            .get_or_init(|| {
+                let delay = DelayModel::calibrate(1.05, &[(0.80, 2.0), (0.65, 4.0)])
+                    .expect("paper anchors are well-formed");
+                Technology {
+                    name: "28nm FDSOI".to_string(),
+                    nominal_voltage: 1.05,
+                    // Envision's lowest measured operating rail (Table III).
+                    min_voltage: 0.65,
+                    voltage_step: 0.01,
+                    nominal_frequency_mhz: 200.0,
+                    delay,
+                }
+            })
+            .clone()
     }
 
     /// Technology name, e.g. `"40nm LP LVT"`.
