@@ -3,7 +3,8 @@
 //! ```text
 //! dvafs list
 //! dvafs run <id>... [--all] [--format text|json|csv] [--out DIR]
-//!                   [--threads N] [--fast]
+//!                   [--threads N] [--fast] [--kernel naive|gemm]
+//!                   [--repeats N]
 //! ```
 //!
 //! `list` prints every registered scenario (id, artefact, title, and what
@@ -17,6 +18,7 @@
 //! not recognize** and hard-errors when `--out`, `--format` or
 //! `--threads` is missing its value.
 
+use dvafs::nn::NnKernel;
 use dvafs::scenario::{self, Format, Scenario, ScenarioCtx};
 use dvafs::Executor;
 use std::path::Path;
@@ -35,6 +37,11 @@ pub struct RunOpts {
     pub threads: usize,
     /// Reduced problem sizes (`--fast`).
     pub fast: bool,
+    /// NN MAC kernel (`--kernel naive|gemm`, default gemm). Never changes
+    /// a number — only wall time.
+    pub kernel: NnKernel,
+    /// Timed repeats per `bench_sweep` measurement (`--repeats`, default 3).
+    pub repeats: usize,
 }
 
 /// A parsed top-level CLI command.
@@ -55,7 +62,9 @@ run options:\n  \
   --format text|json|csv     output format (default text)\n  \
   --out DIR                  write one file per scenario instead of stdout\n  \
   --threads N                worker count (default: DVAFS_THREADS or host)\n  \
-  --fast                     reduced problem sizes (see `dvafs list`)";
+  --fast                     reduced problem sizes (see `dvafs list`)\n  \
+  --kernel naive|gemm        NN MAC kernel (default gemm; results identical)\n  \
+  --repeats N                timed repeats per bench_sweep measurement (default 3)";
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
     *i += 1;
@@ -84,6 +93,8 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                 out: None,
                 threads: Executor::from_env().threads(),
                 fast: false,
+                kernel: NnKernel::default(),
+                repeats: 3,
             };
             let mut all = false;
             let mut warnings = Vec::new();
@@ -101,6 +112,16 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                         opts.threads =
                             v.parse::<usize>().ok().filter(|&t| t > 0).ok_or_else(|| {
                                 format!("--threads requires a positive integer, got {v:?}")
+                            })?;
+                    }
+                    "--kernel" => {
+                        opts.kernel = NnKernel::parse(&take_value(args, &mut i, "--kernel")?)?;
+                    }
+                    "--repeats" => {
+                        let v = take_value(args, &mut i, "--repeats")?;
+                        opts.repeats =
+                            v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                                format!("--repeats requires a positive integer, got {v:?}")
                             })?;
                     }
                     flag if flag.starts_with("--") => {
@@ -165,7 +186,9 @@ pub fn list_text() -> String {
 fn run_one(s: &'static dyn Scenario, opts: &RunOpts) -> Result<String, String> {
     let ctx = ScenarioCtx::new()
         .with_threads(opts.threads)
-        .with_fast(opts.fast);
+        .with_fast(opts.fast)
+        .with_kernel(opts.kernel)
+        .with_repeats(opts.repeats);
     let result = s.run(&ctx);
     let rendered = scenario::render(s.label(), s.title(), &result, opts.format);
     let mut stdout = String::new();
@@ -276,6 +299,10 @@ mod tests {
             "--threads",
             "2",
             "--fast",
+            "--kernel",
+            "naive",
+            "--repeats",
+            "5",
         ]))
         .unwrap();
         assert!(warnings.is_empty());
@@ -286,6 +313,17 @@ mod tests {
         assert_eq!(opts.format, Format::Csv);
         assert_eq!(opts.threads, 2);
         assert!(opts.fast && opts.out.is_none());
+        assert_eq!(opts.kernel, NnKernel::Naive);
+        assert_eq!(opts.repeats, 5);
+    }
+
+    #[test]
+    fn kernel_and_repeats_default_sensibly() {
+        let (Command::Run(opts), _) = parse(&argv(&["run", "fig2"])).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(opts.kernel, NnKernel::Gemm);
+        assert_eq!(opts.repeats, 3);
     }
 
     #[test]
@@ -342,6 +380,15 @@ mod tests {
         assert!(parse(&argv(&["run", "fig2", "--format", "yaml"]))
             .unwrap_err()
             .contains("unknown format"));
+        assert!(parse(&argv(&["run", "fig2", "--kernel", "fast"]))
+            .unwrap_err()
+            .contains("naive|gemm"));
+        assert!(parse(&argv(&["run", "fig2", "--kernel"]))
+            .unwrap_err()
+            .contains("--kernel requires a value"));
+        assert!(parse(&argv(&["run", "fig2", "--repeats", "0"]))
+            .unwrap_err()
+            .contains("positive integer"));
         assert!(parse(&argv(&["run"])).unwrap_err().contains("no scenarios"));
     }
 

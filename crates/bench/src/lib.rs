@@ -41,9 +41,10 @@
 pub mod cli;
 
 use dvafs::executor::Executor;
+use dvafs::nn::NnKernel;
 use dvafs::scenario::{self, ScenarioCtx};
 
-pub use dvafs::report::{bench_sweep_json, time_ms, SweepTiming};
+pub use dvafs::report::{bench_sweep_json, median_time_ms, time_ms, SweepTiming};
 pub use dvafs::scenario::EXPERIMENT_SEED;
 
 /// Prints the standard experiment banner.
@@ -61,6 +62,11 @@ pub struct BenchArgs {
     pub fast: bool,
     /// Output path override for artefact-writing binaries (`--out PATH`).
     pub out: Option<String>,
+    /// NN MAC kernel (`--kernel naive|gemm`, default gemm).
+    pub kernel: NnKernel,
+    /// Timed repeats per `bench_sweep` measurement (`--repeats N`,
+    /// default 3).
+    pub repeats: usize,
 }
 
 impl BenchArgs {
@@ -117,10 +123,29 @@ impl BenchArgs {
         } else {
             None
         };
+        let kernel = if args.iter().any(|a| a == "--kernel") {
+            let v = value_of("--kernel")
+                .unwrap_or_else(|| panic!("--kernel requires a value (naive|gemm)"));
+            NnKernel::parse(&v).unwrap_or_else(|e| panic!("{e}"))
+        } else {
+            NnKernel::default()
+        };
+        let repeats = if args.iter().any(|a| a == "--repeats") {
+            value_of("--repeats")
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    panic!("--repeats requires a positive integer value (e.g. --repeats 3)")
+                })
+        } else {
+            3
+        };
         BenchArgs {
             threads,
             fast: args.iter().any(|a| a == "--fast"),
             out,
+            kernel,
+            repeats,
         }
     }
 
@@ -136,6 +161,8 @@ impl BenchArgs {
         ScenarioCtx::new()
             .with_executor(self.executor())
             .with_fast(self.fast)
+            .with_kernel(self.kernel)
+            .with_repeats(self.repeats)
     }
 }
 
@@ -179,12 +206,27 @@ mod tests {
 
     #[test]
     fn from_slice_parses_known_flags() {
-        let a = BenchArgs::from_slice(&argv(&["--threads", "3", "--fast", "--out", "x.json"]));
+        let a = BenchArgs::from_slice(&argv(&[
+            "--threads",
+            "3",
+            "--fast",
+            "--out",
+            "x.json",
+            "--kernel",
+            "naive",
+            "--repeats",
+            "2",
+        ]));
         assert_eq!(a.threads, 3);
         assert!(a.fast);
         assert_eq!(a.out.as_deref(), Some("x.json"));
+        assert_eq!(a.kernel, NnKernel::Naive);
+        assert_eq!(a.repeats, 2);
         assert_eq!(a.executor().threads(), 3);
-        assert!(a.ctx().fast);
+        let ctx = a.ctx();
+        assert!(ctx.fast);
+        assert_eq!(ctx.kernel, NnKernel::Naive);
+        assert_eq!(ctx.repeats, 2);
     }
 
     #[test]
@@ -204,5 +246,17 @@ mod tests {
     #[should_panic(expected = "--out requires a path value")]
     fn missing_out_value_is_fatal() {
         let _ = BenchArgs::from_slice(&argv(&["--out", "--fast"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel")]
+    fn bad_kernel_value_is_fatal() {
+        let _ = BenchArgs::from_slice(&argv(&["--kernel", "turbo"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--repeats requires a positive integer")]
+    fn zero_repeats_is_fatal() {
+        let _ = BenchArgs::from_slice(&argv(&["--repeats", "0"]));
     }
 }

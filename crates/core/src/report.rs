@@ -104,15 +104,18 @@ pub fn fmt_e(v: f64) -> String {
 
 /// One timed scenario of the `bench_sweep` performance record.
 ///
-/// Two comparisons share the record: thread scaling (`serial_ms` vs
-/// `parallel_ms`, both on the default bitsliced netlist engine) and engine
-/// scaling (`scalar_ms` vs `serial_ms`, both single-threaded — the
-/// scalar-oracle-vs-bitsliced columns CI uploads per commit).
+/// Three comparisons share the record, all against `serial_ms` (one
+/// thread, bitsliced engine, GEMM kernel — the shipping configuration):
+/// thread scaling (`parallel_ms`), netlist-engine scaling (`scalar_ms`,
+/// the scalar-oracle engine) and NN-kernel scaling (`naive_ms`, the naive
+/// MAC-loop oracle). Every wall time is a median of N timed repeats after
+/// a warmup pass (N is `ScenarioCtx::repeats`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepTiming {
     /// Scenario identifier (e.g. `"fig3b"`).
     pub figure: String,
-    /// Serial (1-thread) wall time in milliseconds, bitsliced engine.
+    /// Serial (1-thread) wall time in milliseconds, bitsliced engine,
+    /// GEMM kernel.
     pub serial_ms: f64,
     /// Parallel wall time in milliseconds at the configured worker count.
     pub parallel_ms: f64,
@@ -120,6 +123,10 @@ pub struct SweepTiming {
     /// engine — the reference oracle the bitsliced engine is timed against.
     /// Scenarios without a gate-level component time close to `serial_ms`.
     pub scalar_ms: f64,
+    /// Serial (1-thread) wall time in milliseconds on the naive NN MAC
+    /// kernel — the reference oracle the blocked GEMM is timed against.
+    /// Scenarios without a CNN in the loop time close to `serial_ms`.
+    pub naive_ms: f64,
 }
 
 impl SweepTiming {
@@ -143,6 +150,17 @@ impl SweepTiming {
             0.0
         }
     }
+
+    /// Naive-over-GEMM NN-kernel speedup at one thread (> 1 means the
+    /// blocked GEMM won).
+    #[must_use]
+    pub fn kernel_speedup(&self) -> f64 {
+        if self.serial_ms > 0.0 {
+            self.naive_ms / self.serial_ms
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Times one closure in milliseconds, discarding its result.
@@ -152,36 +170,73 @@ pub fn time_ms<R>(f: impl FnOnce() -> R) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
+/// Runs `f` `repeats` times (clamped to ≥ 1) and returns the median wall
+/// time in milliseconds plus the last result — `bench_sweep`'s
+/// measurement primitive (the median is robust against the one-off stalls
+/// a mean would absorb; an even count averages the two middle samples).
+pub fn median_time_ms<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let repeats = repeats.max(1);
+    let mut times = Vec::with_capacity(repeats);
+    let mut result = None;
+    for _ in 0..repeats {
+        // Drop the previous repeat's result *before* starting the clock —
+        // deallocating a large result inside the timed closure would bias
+        // every repeat after the first.
+        result = None;
+        times.push(time_ms(|| result = Some(f())));
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let mid = times.len() / 2;
+    let median = if times.len() % 2 == 1 {
+        times[mid]
+    } else {
+        (times[mid - 1] + times[mid]) / 2.0
+    };
+    (median, result.expect("repeats >= 1"))
+}
+
 /// Renders the `BENCH_sweep.json` document: per-scenario serial vs
 /// parallel wall time, scalar-engine vs bitsliced-engine wall time
 /// (`bitsliced_ms` repeats `serial_ms` so the engine columns read as a
-/// pair), the measured thread count, and the host parallelism, so the
-/// workspace's performance trajectory is recorded per commit by CI.
+/// pair), naive-kernel vs GEMM-kernel wall time (`gemm_ms` likewise
+/// repeats `serial_ms`), the measured thread count, the host parallelism,
+/// and the per-measurement repeat count, so the workspace's performance
+/// trajectory is recorded per commit by CI.
 #[must_use]
-pub fn bench_sweep_json(timings: &[SweepTiming], threads: usize, fast: bool) -> String {
+pub fn bench_sweep_json(
+    timings: &[SweepTiming],
+    threads: usize,
+    fast: bool,
+    repeats: usize,
+) -> String {
     let rows: Vec<String> = timings
         .iter()
         .map(|t| {
             format!(
                 "    {{\"figure\":\"{}\",\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\
                  \"speedup\":{:.3},\"scalar_ms\":{:.3},\"bitsliced_ms\":{:.3},\
-                 \"engine_speedup\":{:.3}}}",
+                 \"engine_speedup\":{:.3},\"naive_ms\":{:.3},\"gemm_ms\":{:.3},\
+                 \"kernel_speedup\":{:.3}}}",
                 t.figure,
                 t.serial_ms,
                 t.parallel_ms,
                 t.speedup(),
                 t.scalar_ms,
                 t.serial_ms,
-                t.engine_speedup()
+                t.engine_speedup(),
+                t.naive_ms,
+                t.serial_ms,
+                t.kernel_speedup()
             )
         })
         .collect();
     format!
         (
-        "{{\n  \"threads\": {},\n  \"host_parallelism\": {},\n  \"fast\": {},\n  \"figures\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"threads\": {},\n  \"host_parallelism\": {},\n  \"fast\": {},\n  \"repeats\": {},\n  \"figures\": [\n{}\n  ]\n}}\n",
         threads,
         dvafs_executor::Executor::host_parallelism(),
         fast,
+        repeats,
         rows.join(",\n")
     )
 }
@@ -292,9 +347,11 @@ mod tests {
             serial_ms: 100.0,
             parallel_ms: 25.0,
             scalar_ms: 800.0,
+            naive_ms: 450.0,
         };
         assert!((t.speedup() - 4.0).abs() < 1e-12);
         assert!((t.engine_speedup() - 8.0).abs() < 1e-12);
+        assert!((t.kernel_speedup() - 4.5).abs() < 1e-12);
         let zero = SweepTiming {
             parallel_ms: 0.0,
             serial_ms: 0.0,
@@ -302,6 +359,7 @@ mod tests {
         };
         assert_eq!(zero.speedup(), 0.0);
         assert_eq!(zero.engine_speedup(), 0.0);
+        assert_eq!(zero.kernel_speedup(), 0.0);
     }
 
     #[test]
@@ -312,21 +370,42 @@ mod tests {
                 serial_ms: 1.0,
                 parallel_ms: 0.5,
                 scalar_ms: 6.0,
+                naive_ms: 4.5,
             }],
             4,
             true,
+            3,
         );
         assert!(doc.contains("\"threads\": 4"));
+        assert!(doc.contains("\"repeats\": 3"));
         assert!(doc.contains("\"figure\":\"fig2\""));
         assert!(doc.contains("\"speedup\":2.000"));
         assert!(doc.contains("\"scalar_ms\":6.000"));
         assert!(doc.contains("\"bitsliced_ms\":1.000"));
         assert!(doc.contains("\"engine_speedup\":6.000"));
+        assert!(doc.contains("\"naive_ms\":4.500"));
+        assert!(doc.contains("\"gemm_ms\":1.000"));
+        assert!(doc.contains("\"kernel_speedup\":4.500"));
         assert!(doc.ends_with("}\n"));
     }
 
     #[test]
     fn time_ms_is_nonnegative() {
         assert!(time_ms(|| 40 + 2) >= 0.0);
+    }
+
+    #[test]
+    fn median_time_returns_last_result_and_runs_n_times() {
+        let mut runs = 0;
+        let (ms, last) = median_time_ms(5, || {
+            runs += 1;
+            runs
+        });
+        assert_eq!(runs, 5);
+        assert_eq!(last, 5);
+        assert!(ms >= 0.0);
+        // Zero repeats clamps to one.
+        let (_, once) = median_time_ms(0, || 7);
+        assert_eq!(once, 7);
     }
 }

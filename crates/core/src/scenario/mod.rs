@@ -58,6 +58,7 @@ pub use table3::Table3;
 
 use dvafs_arith::netlist::Engine;
 use dvafs_executor::Executor;
+use dvafs_nn::NnKernel;
 
 /// Shared root seed of every experiment (full determinism). The
 /// multiplier-level sweeps additionally pin their own
@@ -78,6 +79,14 @@ pub struct ScenarioCtx {
     /// by default; scalar is the reference oracle `bench_sweep` times
     /// against it). Never moves a number — only wall time.
     pub engine: Engine,
+    /// MAC kernel for the NN scenarios (blocked GEMM by default; the naive
+    /// layer loops are the reference oracle `bench_sweep` times against
+    /// it). Like the engine, it never moves a number — only wall time.
+    pub kernel: NnKernel,
+    /// Timed repeats per measurement in `bench_sweep` (median-of-N after a
+    /// warmup pass; `--repeats`, default 3). Ignored by every other
+    /// scenario.
+    pub repeats: usize,
     exec: Executor,
 }
 
@@ -90,6 +99,8 @@ impl ScenarioCtx {
             seed: EXPERIMENT_SEED,
             fast: false,
             engine: Engine::default(),
+            kernel: NnKernel::default(),
+            repeats: 3,
             exec: Executor::from_env(),
         }
     }
@@ -118,6 +129,20 @@ impl ScenarioCtx {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Replaces the NN MAC kernel (see [`ScenarioCtx::kernel`]).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: NnKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Replaces the `bench_sweep` repeat count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats.max(1);
         self
     }
 
@@ -180,6 +205,21 @@ pub trait Scenario: Sync {
     fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult;
 }
 
+/// Checks the cycle-level SIMD machine's read-back outputs against the
+/// exact software reference selected by `nn_kernel` — the naive tap loop
+/// or the blocked GEMM (provably identical; this exercises whichever path
+/// the run selected). Shared by the fig4/table2 scenarios.
+pub(crate) fn simd_outputs_match(
+    report: &dvafs_simd::processor::KernelReport,
+    kernel: &dvafs_simd::kernels::ConvKernel,
+    nn_kernel: NnKernel,
+) -> bool {
+    match nn_kernel {
+        NnKernel::Naive => report.outputs_match(kernel),
+        NnKernel::Gemm => report.outputs_match_gemm(kernel),
+    }
+}
+
 /// The scenario registry, in paper order (figures, tables, then the
 /// repo-level ablations and the performance sweep).
 static REGISTRY: [&dyn Scenario; 11] = [
@@ -235,11 +275,17 @@ mod tests {
         assert!(ctx.fast);
         assert_eq!(ctx.seed, 7);
         assert_eq!(ctx.engine, Engine::Bitsliced);
+        assert_eq!(ctx.kernel, NnKernel::Gemm);
+        assert_eq!(ctx.repeats, 3);
         assert_eq!(ctx.serial().threads(), 1);
         assert_eq!(ctx.serial().seed, 7);
-        // serial() preserves the engine; with_engine swaps it.
-        let scalar = ctx.with_engine(Engine::Scalar);
+        // serial() preserves the engine and kernel; the builders swap them.
+        let scalar = ctx.clone().with_engine(Engine::Scalar);
         assert_eq!(scalar.engine, Engine::Scalar);
         assert_eq!(scalar.serial().engine, Engine::Scalar);
+        let naive = ctx.with_kernel(NnKernel::Naive).with_repeats(0);
+        assert_eq!(naive.kernel, NnKernel::Naive);
+        assert_eq!(naive.serial().kernel, NnKernel::Naive);
+        assert_eq!(naive.repeats, 1, "repeats clamps to >= 1");
     }
 }

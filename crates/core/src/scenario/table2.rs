@@ -74,9 +74,16 @@ impl Scenario for Table2 {
             .executor()
             .par_map_indexed(&grid, |_, &(sw, _, scaling, bits)| {
                 let cfg = ProcConfig::new(sw, scaling, bits).expect("valid config");
-                Processor::with_model(cfg, model.clone())
+                let r = Processor::with_model(cfg, model.clone())
                     .run_kernel(&kernel)
-                    .expect("kernel runs")
+                    .expect("kernel runs");
+                // Power numbers are only meaningful if the machine computed
+                // the right outputs.
+                assert!(
+                    super::simd_outputs_match(&r, &kernel, ctx.kernel),
+                    "outputs must stay bit-exact"
+                );
+                r
             });
 
         let mut data = DataTable::new(

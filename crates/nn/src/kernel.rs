@@ -1,0 +1,197 @@
+//! The MAC-kernel layer: how conv/dense layers execute their quantized
+//! multiply-accumulates.
+//!
+//! Mirroring the netlist engine selector of `dvafs-arith`
+//! (`netlist::Engine::{Scalar, Bitsliced}`), the NN hot path has two
+//! interchangeable kernels:
+//!
+//! * [`NnKernel::Naive`] — the original 7-deep convolution loop (and the
+//!   2-deep dense loop), retained verbatim as the **reference oracle**;
+//! * [`NnKernel::Gemm`] — the default: activations are packed into an
+//!   im2col panel and consumed by the blocked integer GEMM of
+//!   [`dvafs_simd::gemm`] (`i16 x i16` products, exact `i64`
+//!   accumulation), with per-`(layer, bits)` weight quantization memoized
+//!   in a [`WeightCache`] across a precision sweep.
+//!
+//! Accumulation is exact, so the kernel choice **never moves a number**:
+//! outputs are byte-identical and the `zero_weight`/`zero_act` guard-skip
+//! counters are reproduced exactly from the packed representation (the
+//! `Naive == Gemm` property tests pin both). Only wall time changes.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Selects the MAC kernel conv/dense layers execute on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum NnKernel {
+    /// The original scalar layer loops — the reference oracle.
+    Naive,
+    /// im2col packing + blocked integer GEMM — the default.
+    #[default]
+    Gemm,
+}
+
+impl NnKernel {
+    /// Both kernels, oracle first (test matrices iterate this).
+    pub const ALL: [NnKernel; 2] = [NnKernel::Naive, NnKernel::Gemm];
+
+    /// Parses a CLI spelling (`"naive"` / `"gemm"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "naive" => Ok(NnKernel::Naive),
+            "gemm" => Ok(NnKernel::Gemm),
+            other => Err(format!("unknown kernel {other:?} (expected naive|gemm)")),
+        }
+    }
+}
+
+impl fmt::Display for NnKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NnKernel::Naive => "naive",
+            NnKernel::Gemm => "gemm",
+        })
+    }
+}
+
+/// Reusable buffers of the GEMM path. One `Scratch` amortizes the im2col
+/// panel and accumulator allocations across layers of a forward pass —
+/// and, via the batch entry points of `Network`, across samples of a
+/// dataset sweep. Contents are fully overwritten before every use, so
+/// reuse never affects results.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// im2col panel: one packed patch per output position (`n x k`).
+    pub(crate) patches: Vec<i16>,
+    /// Quantized activation vector of a dense layer.
+    pub(crate) acts: Vec<i16>,
+    /// GEMM accumulators (`m x n`, exact `i64`).
+    pub(crate) acc: Vec<i64>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// One memoized weight quantization: the `i16` panel the GEMM consumes,
+/// its scale, and the zero-weight counts the guard-skip statistics are
+/// reproduced from.
+#[derive(Debug)]
+pub(crate) struct PackedWeights {
+    /// Quantized weights as the GEMM's left operand (row-major, one filter
+    /// or output neuron per row).
+    pub qi16: Vec<i16>,
+    /// Real value per grid step (`QuantizedTensor::scale`).
+    pub scale: f64,
+    /// Zero-weight count per spatial tap `ky*k + kx`, summed over filters
+    /// and input channels (convolution only; empty for dense layers).
+    /// Scaling each tap's count by the number of output positions where
+    /// that tap is in bounds reproduces the naive loop's `zero_weight`
+    /// counter exactly under padding.
+    pub zeros_per_tap: Vec<u64>,
+    /// Total zero weights (the dense layer's per-output-row zero count).
+    pub zeros_total: u64,
+}
+
+/// Per-layer cache of [`PackedWeights`] keyed by bit width.
+///
+/// A precision sweep re-runs the same layer at many widths and the same
+/// width across many samples; weight quantization is a pure function of
+/// `(weights, bits)`, so it is computed once per key. `weights_mut`
+/// (pruning, calibration) invalidates the cache. The cache is execution
+/// state, not model identity: it is skipped by serialization, compares
+/// equal regardless of contents, and clones empty.
+///
+/// Bit widths are bounded (`1..=16`), so the cache is one `OnceLock` slot
+/// per width: hits on the forward hot path are lock-free reads — parallel
+/// sample workers never contend — and a cold pack runs `get_or_init` (a
+/// racing duplicate pack is possible and harmless: packing is pure, one
+/// winner is kept).
+#[derive(Default)]
+pub(crate) struct WeightCache([OnceLock<Arc<PackedWeights>>; 16]);
+
+impl WeightCache {
+    /// The packed weights for `bits` (`1..=16`, validated by the caller),
+    /// packing on first use.
+    pub fn get_or_pack(
+        &self,
+        bits: u32,
+        pack: impl FnOnce() -> PackedWeights,
+    ) -> Arc<PackedWeights> {
+        self.0[bits as usize - 1]
+            .get_or_init(|| Arc::new(pack()))
+            .clone()
+    }
+
+    /// Drops every memoized quantization (weights changed). Requires
+    /// `&mut self` — exactly what `weights_mut` holds — so no reader can
+    /// observe a half-cleared cache.
+    pub fn invalidate(&mut self) {
+        for slot in &mut self.0 {
+            let _ = slot.take();
+        }
+    }
+
+    /// Number of memoized bit widths (test hook).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.0.iter().filter(|slot| slot.get().is_some()).count()
+    }
+}
+
+impl Clone for WeightCache {
+    fn clone(&self) -> Self {
+        // A clone may diverge (pruning) — start cold rather than share.
+        WeightCache::default()
+    }
+}
+
+impl fmt::Debug for WeightCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WeightCache(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_parse_and_display_roundtrip() {
+        for k in NnKernel::ALL {
+            assert_eq!(NnKernel::parse(&k.to_string()), Ok(k));
+        }
+        assert!(NnKernel::parse("fast").unwrap_err().contains("naive|gemm"));
+        assert_eq!(NnKernel::default(), NnKernel::Gemm);
+    }
+
+    #[test]
+    fn cache_packs_once_per_width_and_invalidates() {
+        let mut cache = WeightCache::default();
+        let mut packs = 0;
+        for bits in [8u32, 8, 4, 8] {
+            let _ = cache.get_or_pack(bits, || {
+                packs += 1;
+                PackedWeights {
+                    qi16: vec![],
+                    scale: 1.0,
+                    zeros_per_tap: vec![],
+                    zeros_total: 0,
+                }
+            });
+        }
+        assert_eq!(packs, 2, "one pack per distinct width");
+        assert_eq!(cache.len(), 2);
+        cache.invalidate();
+        assert_eq!(cache.len(), 0);
+        assert!(format!("{:?}", cache.clone()).contains("WeightCache"));
+    }
+}

@@ -6,12 +6,21 @@
 //! Convolution and dense layers execute on quantized integers with 64-bit
 //! accumulation — the arithmetic a DVAFS MAC array performs — and report
 //! the MAC/sparsity statistics that drive the Envision power model.
+//!
+//! Two interchangeable MAC kernels execute that arithmetic (see
+//! [`crate::kernel`]): the original scalar loops ([`NnKernel::Naive`], the
+//! reference oracle) and the default im2col + blocked-integer-GEMM path
+//! ([`NnKernel::Gemm`]). Accumulation is exact in `i64`, so both produce
+//! byte-identical outputs and statistics.
 
 use crate::error::NnError;
+use crate::kernel::{NnKernel, PackedWeights, Scratch, WeightCache};
 use crate::quant::QuantizedTensor;
 use crate::tensor::Tensor;
+use dvafs_simd::gemm;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Execution statistics of one layer forward pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,7 +57,7 @@ impl LayerStats {
 
 /// A 2-D convolution layer (`F` filters of `K x K x C`, stride `S`,
 /// symmetric zero padding), equation (4) of the paper.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Conv2d {
     weights: Vec<f32>,
     bias: Vec<f32>,
@@ -57,6 +66,22 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     padding: usize,
+    /// Memoized per-bit-width weight quantizations (execution state, not
+    /// model identity: ignored by `PartialEq`, cleared by `weights_mut`).
+    #[serde(skip)]
+    cache: WeightCache,
+}
+
+impl PartialEq for Conv2d {
+    fn eq(&self, other: &Self) -> bool {
+        self.weights == other.weights
+            && self.bias == other.bias
+            && self.in_channels == other.in_channels
+            && self.out_channels == other.out_channels
+            && self.kernel == other.kernel
+            && self.stride == other.stride
+            && self.padding == other.padding
+    }
 }
 
 impl Conv2d {
@@ -97,6 +122,7 @@ impl Conv2d {
             kernel,
             stride,
             padding,
+            cache: WeightCache::default(),
         }
     }
 
@@ -118,9 +144,11 @@ impl Conv2d {
         &self.weights
     }
 
-    /// Mutable weights (for pruning).
+    /// Mutable weights (for pruning). Invalidates the memoized weight
+    /// quantizations — the next forward pass re-packs.
     #[must_use]
     pub fn weights_mut(&mut self) -> &mut [f32] {
+        self.cache.invalidate();
         &mut self.weights
     }
 
@@ -136,11 +164,13 @@ impl Conv2d {
         (oh, ow)
     }
 
-    fn forward(
+    fn forward_with(
         &self,
         input: &Tensor,
         wbits: u32,
         abits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
     ) -> Result<(Tensor, LayerStats), NnError> {
         let (c, h, w) = input.shape();
         if c != self.in_channels
@@ -152,6 +182,21 @@ impl Conv2d {
                 actual: (c, h, w),
             });
         }
+        match kernel {
+            NnKernel::Naive => self.forward_naive(input, wbits, abits),
+            NnKernel::Gemm => self.forward_gemm(input, wbits, abits, scratch),
+        }
+    }
+
+    /// The original 7-deep scalar loop — the reference oracle the GEMM
+    /// path is property-tested against. Kept verbatim.
+    fn forward_naive(
+        &self,
+        input: &Tensor,
+        wbits: u32,
+        abits: u32,
+    ) -> Result<(Tensor, LayerStats), NnError> {
+        let (_, h, w) = input.shape();
         let qa = QuantizedTensor::quantize(input, abits)?;
         let qw = QuantizedTensor::quantize(&self.weights_tensor(), wbits)?;
         let (oh, ow) = self.out_hw(h, w);
@@ -201,23 +246,179 @@ impl Conv2d {
         Ok((out, stats))
     }
 
+    /// The memoized weight quantization for `wbits` (packed on first use;
+    /// `weights_mut` invalidates).
+    fn packed_weights(&self, wbits: u32) -> Result<Arc<PackedWeights>, NnError> {
+        if wbits == 0 || wbits > 16 {
+            return Err(NnError::InvalidBits { bits: wbits });
+        }
+        Ok(self.cache.get_or_pack(wbits, || {
+            let qw = QuantizedTensor::quantize(&self.weights_tensor(), wbits)
+                .expect("bit width validated above");
+            // Layout is [f][ci][ky][kx], so index % K² is the spatial tap.
+            let k2 = self.kernel * self.kernel;
+            let mut zeros_per_tap = vec![0u64; k2];
+            let mut zeros_total = 0u64;
+            let mut qi16 = Vec::with_capacity(qw.data.len());
+            for (i, &q) in qw.data.iter().enumerate() {
+                if q == 0 {
+                    zeros_per_tap[i % k2] += 1;
+                    zeros_total += 1;
+                }
+                qi16.push(q as i16);
+            }
+            PackedWeights {
+                qi16,
+                scale: qw.scale,
+                zeros_per_tap,
+                zeros_total,
+            }
+        }))
+    }
+
+    /// Per-tap in-bounds output counts along one spatial axis: entry `kk`
+    /// is the number of output positions `o` in `0..out_len` whose input
+    /// coordinate `o*stride + kk - padding` lands inside `0..dim`. These
+    /// counts are what the naive loop's per-MAC guards reduce to, so the
+    /// GEMM path (and the exact [`mac_count`](Self::mac_count)) rebuilds
+    /// the statistics from them without touching any data.
+    fn axis_tap_counts(&self, out_len: usize, dim: usize) -> Vec<u64> {
+        let pad = self.padding as isize;
+        (0..self.kernel)
+            .map(|kk| {
+                (0..out_len)
+                    .filter(|o| {
+                        let i = (o * self.stride + kk) as isize - pad;
+                        i >= 0 && (i as usize) < dim
+                    })
+                    .count() as u64
+            })
+            .collect()
+    }
+
+    /// The im2col + blocked-integer-GEMM path. Patches are packed at the
+    /// filters' own layout with structural zeros where a tap falls in the
+    /// padding; those zeros contribute nothing to the exact `i64` sums, so
+    /// outputs are byte-identical to [`forward_naive`](Self::forward_naive).
+    fn forward_gemm(
+        &self,
+        input: &Tensor,
+        wbits: u32,
+        abits: u32,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, LayerStats), NnError> {
+        let (_, h, w) = input.shape();
+        let qa = QuantizedTensor::quantize(input, abits)?;
+        let pw = self.packed_weights(wbits)?;
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let (c, f) = (self.in_channels, self.out_channels);
+        let klen = c * k * k;
+        let n = oh * ow;
+        let pad = self.padding as isize;
+
+        // Pack the panel, counting in-bounds zero activations as we go —
+        // a padding tap is a *skipped* MAC, not a zero-operand MAC, so
+        // structural zeros must not be counted.
+        scratch.patches.clear();
+        scratch.patches.resize(n * klen, 0);
+        let patches = &mut scratch.patches;
+        let mut zero_acts = 0u64;
+        for oy in 0..oh {
+            for ky in 0..k {
+                let iy = (oy * self.stride + ky) as isize - pad;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let iy = iy as usize;
+                for ox in 0..ow {
+                    let row = (oy * ow + ox) * klen;
+                    for kx in 0..k {
+                        let ix = (ox * self.stride + kx) as isize - pad;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let ix = ix as usize;
+                        for ci in 0..c {
+                            let q = qa.data[(ci * h + iy) * w + ix];
+                            zero_acts += u64::from(q == 0);
+                            patches[row + (ci * k + ky) * k + kx] = q as i16;
+                        }
+                    }
+                }
+            }
+        }
+
+        scratch.acc.clear();
+        scratch.acc.resize(f * n, 0);
+        gemm::gemm_i16(&pw.qi16, &scratch.patches, f, klen, n, &mut scratch.acc);
+
+        // Guard-skip statistics, reproduced exactly from the packed
+        // representation: tap (ky, kx) is in bounds at py[ky]*px[kx]
+        // output positions.
+        let py = self.axis_tap_counts(oh, h);
+        let px = self.axis_tap_counts(ow, w);
+        let spatial_taps: u64 = py.iter().sum::<u64>() * px.iter().sum::<u64>();
+        let mut zero_weight_macs = 0u64;
+        for (ky, &cy) in py.iter().enumerate() {
+            for (kx, &cx) in px.iter().enumerate() {
+                zero_weight_macs += pw.zeros_per_tap[ky * k + kx] * cy * cx;
+            }
+        }
+        let stats = LayerStats {
+            macs: (f * c) as u64 * spatial_taps,
+            zero_weight_macs,
+            zero_act_macs: f as u64 * zero_acts,
+        };
+
+        let scale = qa.scale * pw.scale;
+        let mut out = Tensor::zeros(f, oh, ow);
+        let data = out.as_mut_slice();
+        for fi in 0..f {
+            let bias = f64::from(self.bias[fi]);
+            for (dst, &acc) in data[fi * n..(fi + 1) * n]
+                .iter_mut()
+                .zip(&scratch.acc[fi * n..(fi + 1) * n])
+            {
+                *dst = (acc as f64 * scale + bias) as f32;
+            }
+        }
+        Ok((out, stats))
+    }
+
     /// MACs for one forward pass on an input of shape `(c, h, w)` —
-    /// zero-padding taps excluded, matching the executed count.
+    /// **exact**: zero-padding taps are excluded, matching the count the
+    /// forward pass executes (the former dense-interior approximation
+    /// over-counted padded convolutions by up to ~20 % on LeNet's conv1).
     #[must_use]
     pub fn mac_count(&self, h: usize, w: usize) -> u64 {
-        // Dense interior approximation: F * OH * OW * C * K * K.
         let (oh, ow) = self.out_hw(h, w);
-        (self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel) as u64
+        let py: u64 = self.axis_tap_counts(oh, h).iter().sum();
+        let px: u64 = self.axis_tap_counts(ow, w).iter().sum();
+        (self.out_channels * self.in_channels) as u64 * py * px
     }
 }
 
 /// A fully-connected classifier layer (`O[z] = Σ W[z,m] I[m] + B[z]`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
     weights: Vec<f32>,
     bias: Vec<f32>,
     inputs: usize,
     outputs: usize,
+    /// Memoized per-bit-width weight quantizations (execution state; see
+    /// [`Conv2d::cache`]).
+    #[serde(skip)]
+    cache: WeightCache,
+}
+
+impl PartialEq for Dense {
+    fn eq(&self, other: &Self) -> bool {
+        self.weights == other.weights
+            && self.bias == other.bias
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+    }
 }
 
 impl Dense {
@@ -242,6 +443,7 @@ impl Dense {
             bias: (0..outputs).map(|_| rng.gen_range(-0.05..0.05)).collect(),
             inputs,
             outputs,
+            cache: WeightCache::default(),
         }
     }
 
@@ -257,13 +459,16 @@ impl Dense {
         self.outputs
     }
 
-    /// Mutable weights (for pruning).
+    /// Mutable weights (for pruning). Invalidates the memoized weight
+    /// quantizations — the next forward pass re-packs.
     #[must_use]
     pub fn weights_mut(&mut self) -> &mut [f32] {
+        self.cache.invalidate();
         &mut self.weights
     }
 
-    /// Mutable biases (for logit calibration).
+    /// Mutable biases (for logit calibration). Biases are not quantized,
+    /// so the weight cache stays valid.
     #[must_use]
     pub fn bias_mut(&mut self) -> &mut [f32] {
         &mut self.bias
@@ -275,11 +480,13 @@ impl Dense {
         t
     }
 
-    fn forward(
+    fn forward_with(
         &self,
         input: &Tensor,
         wbits: u32,
         abits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
     ) -> Result<(Tensor, LayerStats), NnError> {
         if input.len() != self.inputs {
             return Err(NnError::ShapeMismatch {
@@ -287,6 +494,20 @@ impl Dense {
                 actual: input.shape(),
             });
         }
+        match kernel {
+            NnKernel::Naive => self.forward_naive(input, wbits, abits),
+            NnKernel::Gemm => self.forward_gemm(input, wbits, abits, scratch),
+        }
+    }
+
+    /// The original 2-deep scalar loop — the reference oracle. Kept
+    /// verbatim.
+    fn forward_naive(
+        &self,
+        input: &Tensor,
+        wbits: u32,
+        abits: u32,
+    ) -> Result<(Tensor, LayerStats), NnError> {
         let qa = QuantizedTensor::quantize(input, abits)?;
         let qw = QuantizedTensor::quantize(&self.weights_tensor(), wbits)?;
         let scale = qa.scale * qw.scale;
@@ -314,6 +535,58 @@ impl Dense {
                 (acc as f64 * scale + f64::from(self.bias[z])) as f32,
             );
         }
+        Ok((out, stats))
+    }
+
+    /// The memoized weight quantization for `wbits` (see
+    /// [`Conv2d::packed_weights`]).
+    fn packed_weights(&self, wbits: u32) -> Result<Arc<PackedWeights>, NnError> {
+        if wbits == 0 || wbits > 16 {
+            return Err(NnError::InvalidBits { bits: wbits });
+        }
+        Ok(self.cache.get_or_pack(wbits, || {
+            let qw = QuantizedTensor::quantize(&self.weights_tensor(), wbits)
+                .expect("bit width validated above");
+            let mut qi16 = Vec::new();
+            let zeros_total = qw.fill_i16(&mut qi16);
+            PackedWeights {
+                qi16,
+                scale: qw.scale,
+                zeros_per_tap: Vec::new(),
+                zeros_total,
+            }
+        }))
+    }
+
+    /// The dense GEMM path: one exact `i16`-panel dot product per output
+    /// neuron. Every weight is consumed exactly once and every activation
+    /// once per output row, so the guard-skip counters are the packed
+    /// zero counts directly.
+    fn forward_gemm(
+        &self,
+        input: &Tensor,
+        wbits: u32,
+        abits: u32,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, LayerStats), NnError> {
+        let qa = QuantizedTensor::quantize(input, abits)?;
+        let pw = self.packed_weights(wbits)?;
+        let zero_acts = qa.fill_i16(&mut scratch.acts);
+        let scale = qa.scale * pw.scale;
+        let mut out = Tensor::zeros(1, 1, self.outputs);
+        let data = out.as_mut_slice();
+        for (z, dst) in data.iter_mut().enumerate() {
+            let acc = gemm::dot_i16(
+                &pw.qi16[z * self.inputs..(z + 1) * self.inputs],
+                &scratch.acts,
+            );
+            *dst = (acc as f64 * scale + f64::from(self.bias[z])) as f32;
+        }
+        let stats = LayerStats {
+            macs: (self.outputs * self.inputs) as u64,
+            zero_weight_macs: pw.zeros_total,
+            zero_act_macs: self.outputs as u64 * zero_acts,
+        };
         Ok((out, stats))
     }
 }
@@ -357,6 +630,10 @@ impl Layer {
 
     /// Executes the layer; `wbits`/`abits` only affect parameterized layers.
     ///
+    /// Runs on the default MAC kernel with a throwaway scratch — hot paths
+    /// should use [`forward_with`](Self::forward_with) and reuse a
+    /// [`Scratch`] across layers and samples.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::ShapeMismatch`] when the input does not fit and
@@ -367,9 +644,33 @@ impl Layer {
         wbits: u32,
         abits: u32,
     ) -> Result<(Tensor, LayerStats), NnError> {
+        self.forward_with(
+            input,
+            wbits,
+            abits,
+            NnKernel::default(),
+            &mut Scratch::new(),
+        )
+    }
+
+    /// Executes the layer on an explicit MAC kernel with caller-provided
+    /// scratch buffers. The kernel choice never changes outputs or
+    /// statistics — only wall time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward`](Self::forward).
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        wbits: u32,
+        abits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, LayerStats), NnError> {
         match self {
-            Layer::Conv2d(c) => c.forward(input, wbits, abits),
-            Layer::Dense(d) => d.forward(input, wbits, abits),
+            Layer::Conv2d(c) => c.forward_with(input, wbits, abits, kernel, scratch),
+            Layer::Dense(d) => d.forward_with(input, wbits, abits, kernel, scratch),
             Layer::ReLU => {
                 let mut out = input.clone();
                 for v in out.as_mut_slice() {
@@ -417,7 +718,9 @@ mod tests {
         let mut conv = Conv2d::random(1, 1, 1, 1, 0, 1);
         conv.weights_mut()[0] = 1.0;
         let input = Tensor::from_fn(1, 3, 3, |_, y, x| (y * 3 + x) as f32 / 10.0);
-        let (out, stats) = conv.forward(&input, 16, 16).unwrap();
+        let (out, stats) = conv
+            .forward_with(&input, 16, 16, NnKernel::default(), &mut Scratch::new())
+            .unwrap();
         assert_eq!(out.shape(), (1, 3, 3));
         assert_eq!(stats.macs, 9);
         // out = in + bias: the offset must be the same everywhere.
@@ -434,7 +737,9 @@ mod tests {
     fn conv_shapes_follow_stride_and_padding() {
         let conv = Conv2d::random(3, 8, 3, 2, 1, 2);
         let input = Tensor::random(3, 9, 9, 3);
-        let (out, _) = conv.forward(&input, 8, 8).unwrap();
+        let (out, _) = conv
+            .forward_with(&input, 8, 8, NnKernel::default(), &mut Scratch::new())
+            .unwrap();
         // (9 + 2 - 3)/2 + 1 = 5.
         assert_eq!(out.shape(), (8, 5, 5));
     }
@@ -444,7 +749,7 @@ mod tests {
         let conv = Conv2d::random(3, 4, 3, 1, 0, 4);
         let input = Tensor::random(2, 8, 8, 5);
         assert!(matches!(
-            conv.forward(&input, 8, 8),
+            conv.forward_with(&input, 8, 8, NnKernel::default(), &mut Scratch::new()),
             Err(NnError::ShapeMismatch { .. })
         ));
     }
@@ -453,7 +758,9 @@ mod tests {
     fn conv_mac_count_matches_dense_interior() {
         let conv = Conv2d::random(2, 4, 3, 1, 0, 6);
         let input = Tensor::random(2, 6, 6, 7);
-        let (_, stats) = conv.forward(&input, 8, 8).unwrap();
+        let (_, stats) = conv
+            .forward_with(&input, 8, 8, NnKernel::default(), &mut Scratch::new())
+            .unwrap();
         // No padding: executed MACs equal the analytic count.
         assert_eq!(stats.macs, conv.mac_count(6, 6));
         assert_eq!(stats.macs, 4 * 4 * 4 * 2 * 9);
@@ -497,7 +804,9 @@ mod tests {
         let mut input = Tensor::zeros(1, 1, 2);
         input.set(0, 0, 0, 1.0);
         input.set(0, 0, 1, 1.0);
-        let (out, stats) = d.forward(&input, 16, 16).unwrap();
+        let (out, stats) = d
+            .forward_with(&input, 16, 16, NnKernel::default(), &mut Scratch::new())
+            .unwrap();
         assert_eq!(stats.macs, 2);
         let bias = out.get(0, 0, 0) - 0.25;
         assert!(bias.abs() < 0.06, "residual {bias}");
@@ -507,7 +816,9 @@ mod tests {
     fn dense_flattens_multi_channel_input() {
         let d = Dense::random(2 * 3 * 3, 5, 10);
         let input = Tensor::random(2, 3, 3, 11);
-        let (out, _) = d.forward(&input, 8, 8).unwrap();
+        let (out, _) = d
+            .forward_with(&input, 8, 8, NnKernel::default(), &mut Scratch::new())
+            .unwrap();
         assert_eq!(out.shape(), (1, 1, 5));
     }
 
@@ -515,8 +826,12 @@ mod tests {
     fn coarse_quantization_changes_conv_output() {
         let conv = Conv2d::random(1, 4, 3, 1, 0, 12);
         let input = Tensor::random(1, 8, 8, 13);
-        let (fine, _) = conv.forward(&input, 16, 16).unwrap();
-        let (coarse, _) = conv.forward(&input, 2, 2).unwrap();
+        let (fine, _) = conv
+            .forward_with(&input, 16, 16, NnKernel::default(), &mut Scratch::new())
+            .unwrap();
+        let (coarse, _) = conv
+            .forward_with(&input, 2, 2, NnKernel::default(), &mut Scratch::new())
+            .unwrap();
         let diff: f32 = fine
             .as_slice()
             .iter()
@@ -538,7 +853,9 @@ mod tests {
         for v in input.as_mut_slice().iter_mut().take(10) {
             *v = 0.0;
         }
-        let (_, stats) = conv.forward(&input, 8, 8).unwrap();
+        let (_, stats) = conv
+            .forward_with(&input, 8, 8, NnKernel::default(), &mut Scratch::new())
+            .unwrap();
         assert!(stats.weight_sparsity() > 0.3);
         assert!(stats.input_sparsity() > 0.1);
     }

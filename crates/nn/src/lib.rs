@@ -39,6 +39,7 @@
 
 pub mod dataset;
 pub mod error;
+pub mod kernel;
 pub mod layers;
 pub mod models;
 pub mod network;
@@ -48,5 +49,6 @@ pub mod sparsity;
 pub mod tensor;
 
 pub use error::NnError;
+pub use kernel::{NnKernel, Scratch};
 pub use network::{Network, QuantConfig};
 pub use tensor::Tensor;

@@ -8,10 +8,12 @@
 
 use crate::dataset::SyntheticDataset;
 use crate::error::NnError;
+use crate::kernel::{NnKernel, Scratch};
 use crate::layers::{Layer, LayerStats};
 use crate::tensor::Tensor;
 use dvafs_executor::Executor;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Bit widths for one layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,10 +103,21 @@ impl QuantConfig {
 }
 
 /// A sequential CNN.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Network {
     name: String,
     layers: Vec<Layer>,
+    /// The MAC kernel every forward pass executes on (execution strategy,
+    /// not model identity: ignored by `PartialEq` and serialization, and
+    /// guaranteed to never change a number — see [`crate::kernel`]).
+    #[serde(skip)]
+    kernel: NnKernel,
+}
+
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.layers == other.layers
+    }
 }
 
 impl Network {
@@ -119,7 +132,26 @@ impl Network {
         Network {
             name: name.into(),
             layers,
+            kernel: NnKernel::default(),
         }
+    }
+
+    /// This network with an explicit MAC kernel (builder form).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: NnKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Switches the MAC kernel every forward pass executes on.
+    pub fn set_kernel(&mut self, kernel: NnKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The MAC kernel forward passes execute on.
+    #[must_use]
+    pub fn kernel(&self) -> NnKernel {
+        self.kernel
     }
 
     /// The network's name (e.g. `"LeNet-5"`).
@@ -170,6 +202,22 @@ impl Network {
         input: &Tensor,
         config: &QuantConfig,
     ) -> Result<(Tensor, Vec<LayerStats>), NnError> {
+        self.forward_with(input, config, &mut Scratch::new())
+    }
+
+    /// Like [`forward`](Self::forward) with caller-provided scratch
+    /// buffers, so the GEMM kernel's im2col panels are amortized across
+    /// layers — and, when the caller loops, across samples.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward`](Self::forward).
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        config: &QuantConfig,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, Vec<LayerStats>), NnError> {
         if config.len() != self.layers.len() {
             return Err(NnError::ConfigLengthMismatch {
                 layers: self.layers.len(),
@@ -180,7 +228,8 @@ impl Network {
         let mut stats = Vec::with_capacity(self.layers.len());
         for (i, layer) in self.layers.iter().enumerate() {
             let p = config.layer(i);
-            let (out, st) = layer.forward(&x, p.weights, p.activations)?;
+            let (out, st) =
+                layer.forward_with(&x, p.weights, p.activations, self.kernel, scratch)?;
             stats.push(st);
             x = out;
         }
@@ -196,6 +245,41 @@ impl Network {
         Ok(self.forward(input, config)?.0.argmax())
     }
 
+    /// [`predict`](Self::predict) with caller-provided scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`forward`](Self::forward) errors.
+    pub fn predict_with(
+        &self,
+        input: &Tensor,
+        config: &QuantConfig,
+        scratch: &mut Scratch,
+    ) -> Result<usize, NnError> {
+        Ok(self.forward_with(input, config, scratch)?.0.argmax())
+    }
+
+    /// Batch evaluation: classifies every image with **one** scratch, so
+    /// the im2col buffers of the GEMM kernel are allocated once and reused
+    /// across all samples (the serial building block `predict_all` and the
+    /// per-worker loops of [`predict_all_with`](Self::predict_all_with)
+    /// stand on).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`forward`](Self::forward) errors.
+    pub fn evaluate_batch(
+        &self,
+        images: &[Tensor],
+        config: &QuantConfig,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<usize>, NnError> {
+        images
+            .iter()
+            .map(|img| self.predict_with(img, config, scratch))
+            .collect()
+    }
+
     /// Predictions over a whole dataset.
     ///
     /// # Errors
@@ -206,16 +290,16 @@ impl Network {
         data: &SyntheticDataset,
         config: &QuantConfig,
     ) -> Result<Vec<usize>, NnError> {
-        data.images()
-            .iter()
-            .map(|img| self.predict(img, config))
-            .collect()
+        self.evaluate_batch(data.images(), config, &mut Scratch::new())
     }
 
     /// Predictions over a whole dataset, with per-sample inference run in
     /// parallel on `exec`. Sample inferences are independent and results
     /// merge in sample order, so the output is bit-identical to
-    /// [`predict_all`](Self::predict_all) for any thread count.
+    /// [`predict_all`](Self::predict_all) for any thread count. Each
+    /// worker reuses one thread-local [`Scratch`] across every sample it
+    /// claims (buffer contents never outlive a single forward pass, so
+    /// reuse cannot affect results).
     ///
     /// # Errors
     ///
@@ -227,7 +311,12 @@ impl Network {
         config: &QuantConfig,
         exec: &Executor,
     ) -> Result<Vec<usize>, NnError> {
-        exec.try_par_map_indexed(data.images(), |_, img| self.predict(img, config))
+        thread_local! {
+            static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+        }
+        exec.try_par_map_indexed(data.images(), |_, img| {
+            SCRATCH.with(|s| self.predict_with(img, config, &mut s.borrow_mut()))
+        })
     }
 
     /// Centers the network's output logits on a calibration set: the mean
@@ -246,8 +335,11 @@ impl Network {
     pub fn calibrate_logits(&mut self, data: &SyntheticDataset) {
         let cfg = QuantConfig::uniform(self.layer_count(), 16, 16);
         let mut sums: Option<Vec<f64>> = None;
+        let mut scratch = Scratch::new();
         for img in data.images() {
-            let (out, _) = self.forward(img, &cfg).expect("calibration inference");
+            let (out, _) = self
+                .forward_with(img, &cfg, &mut scratch)
+                .expect("calibration inference");
             let sums = sums.get_or_insert_with(|| vec![0.0; out.len()]);
             for (s, &v) in sums.iter_mut().zip(out.as_slice()) {
                 *s += f64::from(v);

@@ -10,6 +10,12 @@
 //! The end-to-end experiment is the `fig6` scenario of the registry
 //! (`dvafs::scenario`): `dvafs run fig6` (add `--fast` for the CI-sized
 //! configuration) from `crates/bench`.
+//!
+//! The search's inference hot path runs on the network's MAC kernel
+//! ([`crate::kernel::NnKernel`], blocked GEMM by default with per-layer
+//! weight-quantization memoized across the scan; `Network::with_kernel`
+//! selects the naive oracle). The kernel never changes a search result —
+//! only wall time (`bench_sweep` asserts exactly that on fig6).
 
 use crate::dataset::SyntheticDataset;
 use crate::network::{Network, QuantConfig};

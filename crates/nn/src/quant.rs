@@ -79,6 +79,21 @@ impl QuantizedTensor {
         self.data.iter().filter(|q| **q == 0).count() as f64 / self.data.len() as f64
     }
 
+    /// Copies the grid indices into an `i16` panel for the blocked GEMM
+    /// (every index fits: `bits <= 16` means `|q| <= 32767`), returning
+    /// the number of zero indices — the operand-sparsity count the
+    /// guard-skip statistics are built from. `buf` is cleared first.
+    pub fn fill_i16(&self, buf: &mut Vec<i16>) -> u64 {
+        buf.clear();
+        buf.reserve(self.data.len());
+        let mut zeros = 0u64;
+        for &q in &self.data {
+            zeros += u64::from(q == 0);
+            buf.push(q as i16);
+        }
+        zeros
+    }
+
     /// Worst-case representable magnitude on this grid.
     #[must_use]
     pub fn qmax(&self) -> i32 {
@@ -158,6 +173,21 @@ mod tests {
             let q = QuantizedTensor::quantize(&t, bits).unwrap();
             let m = q.qmax();
             assert!(q.data.iter().all(|&v| v.abs() <= m), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn fill_i16_preserves_values_and_counts_zeros() {
+        let mut t = Tensor::zeros(1, 1, 5);
+        t.set(0, 0, 0, 1.0);
+        t.set(0, 0, 3, -1.0);
+        let q = QuantizedTensor::quantize(&t, 16).unwrap();
+        let mut buf = vec![7i16; 2]; // stale contents must be discarded
+        let zeros = q.fill_i16(&mut buf);
+        assert_eq!(zeros, 3);
+        assert_eq!(buf.len(), 5);
+        for (lane, &q32) in buf.iter().zip(&q.data) {
+            assert_eq!(i32::from(*lane), q32);
         }
     }
 

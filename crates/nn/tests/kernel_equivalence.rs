@@ -1,0 +1,202 @@
+//! The kernel-layer equivalence net: the blocked-GEMM MAC kernel must be
+//! **bit-identical** to the retained naive oracle — outputs *and* the
+//! `zero_weight`/`zero_act` guard-skip counters — over random layer
+//! geometries, including the degenerate ones (padding at or beyond the
+//! kernel size, stride larger than the kernel, 1x1 kernels). Plus the
+//! memoization contract: per-`(layer, bits)` weight packs are reused
+//! across a sweep and invalidated by `weights_mut` (pruning).
+
+use dvafs_executor::Executor;
+use dvafs_nn::dataset::SyntheticDataset;
+use dvafs_nn::kernel::{NnKernel, Scratch};
+use dvafs_nn::layers::{Conv2d, Dense, Layer};
+use dvafs_nn::models;
+use dvafs_nn::network::QuantConfig;
+use dvafs_nn::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Runs one layer on both kernels and asserts bitwise-equal outputs and
+/// equal statistics.
+fn assert_kernels_agree(layer: &Layer, input: &Tensor, wbits: u32, abits: u32) {
+    let mut scratch = Scratch::new();
+    let naive = layer.forward_with(input, wbits, abits, NnKernel::Naive, &mut scratch);
+    let gemm = layer.forward_with(input, wbits, abits, NnKernel::Gemm, &mut scratch);
+    match (naive, gemm) {
+        (Ok((out_n, st_n)), Ok((out_g, st_g))) => {
+            assert_eq!(st_n, st_g, "statistics diverged");
+            let nb: Vec<u32> = out_n.as_slice().iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u32> = out_g.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(out_n.shape(), out_g.shape(), "shape diverged");
+            assert_eq!(nb, gb, "outputs diverged bitwise");
+        }
+        (Err(_), Err(_)) => {} // both reject — also agreement
+        (n, g) => panic!("kernels disagree on fallibility: naive={n:?} gemm={g:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conv2d: Naive == Gemm over random channels x kernel x stride x
+    /// padding x precision, with the degenerate geometries explicitly in
+    /// range (padding >= kernel, stride > kernel, 1x1 kernels).
+    #[test]
+    fn conv_gemm_matches_naive(
+        seed in any::<u64>(),
+        in_c in 1usize..=3,
+        out_c in 1usize..=5,
+        k in 1usize..=4,
+        stride in 1usize..=5,
+        padding in 0usize..=5,
+        h in 4usize..=9,
+        w in 4usize..=9,
+        wbits in 1u32..=16,
+        abits in 1u32..=16,
+    ) {
+        let conv = Conv2d::random(in_c, out_c, k, stride, padding, seed);
+        let layer = Layer::Conv2d(conv);
+        let input = Tensor::random(in_c, h, w, seed ^ 0x5eed);
+        assert_kernels_agree(&layer, &input, wbits, abits);
+    }
+
+    /// Conv2d: the exact `mac_count` equals the MACs the forward pass
+    /// actually executes, padding included.
+    #[test]
+    fn conv_mac_count_is_exact_under_padding(
+        seed in any::<u64>(),
+        k in 1usize..=4,
+        stride in 1usize..=3,
+        padding in 0usize..=5,
+        h in 4usize..=9,
+    ) {
+        let conv = Conv2d::random(2, 3, k, stride, padding, seed);
+        let analytic = conv.mac_count(h, h);
+        let layer = Layer::Conv2d(conv);
+        let input = Tensor::random(2, h, h, seed ^ 1);
+        for kernel in NnKernel::ALL {
+            let (_, stats) = layer
+                .forward_with(&input, 8, 8, kernel, &mut Scratch::new())
+                .expect("geometry is valid");
+            prop_assert_eq!(stats.macs, analytic, "kernel {}", kernel);
+        }
+    }
+
+    /// Dense: Naive == Gemm over random widths and precisions.
+    #[test]
+    fn dense_gemm_matches_naive(
+        seed in any::<u64>(),
+        inputs in 1usize..=40,
+        outputs in 1usize..=12,
+        wbits in 1u32..=16,
+        abits in 1u32..=16,
+    ) {
+        let layer = Layer::Dense(Dense::random(inputs, outputs, seed));
+        let input = Tensor::random(1, 1, inputs, seed ^ 0xfeed);
+        assert_kernels_agree(&layer, &input, wbits, abits);
+    }
+
+    /// Whole-network agreement: same predictions and bitwise-equal logits
+    /// on both kernels, serial or parallel, batched or not.
+    #[test]
+    fn network_gemm_matches_naive_end_to_end(
+        seed in any::<u64>(),
+        bits in 2u32..=16,
+        threads in 1usize..=4,
+    ) {
+        let data = SyntheticDataset::digits(6, seed ^ 3);
+        let cfg_bits = bits;
+        let naive = models::lenet5(seed).with_kernel(NnKernel::Naive);
+        let gemm = models::lenet5(seed).with_kernel(NnKernel::Gemm);
+        let cfg = QuantConfig::uniform(naive.layer_count(), cfg_bits, cfg_bits);
+        let serial = naive.predict_all(&data, &cfg).expect("naive inference");
+        let batched = gemm
+            .evaluate_batch(data.images(), &cfg, &mut Scratch::new())
+            .expect("batched gemm inference");
+        let parallel = gemm
+            .predict_all_with(&data, &cfg, &Executor::new(threads))
+            .expect("parallel gemm inference");
+        prop_assert_eq!(&serial, &batched);
+        prop_assert_eq!(&serial, &parallel);
+    }
+}
+
+/// Degenerate geometries the random ranges may hit rarely, pinned
+/// explicitly: padding >= kernel, stride > kernel, and 1x1 kernels.
+#[test]
+fn degenerate_conv_geometries_agree() {
+    for (k, stride, padding) in [
+        (1usize, 1usize, 0usize), // 1x1, the im2col identity case
+        (1, 3, 2),                // stride > kernel
+        (2, 1, 2),                // padding == kernel
+        (3, 1, 4),                // padding > kernel: whole rows structural
+        (3, 5, 3),                // stride and padding both past the kernel
+    ] {
+        let conv = Conv2d::random(2, 3, k, stride, padding, 99);
+        let layer = Layer::Conv2d(conv);
+        let input = Tensor::random(2, 6, 5, 100);
+        for bits in [1u32, 4, 16] {
+            assert_kernels_agree(&layer, &input, bits, bits);
+        }
+    }
+}
+
+/// Pruning through `weights_mut` invalidates the memoized quantization:
+/// the next forward re-packs and the zero-weight counters move.
+#[test]
+fn pruning_invalidates_weight_memoization() {
+    // One layer instance throughout: cloning would reset the cache.
+    let mut layer = Layer::Conv2d(Conv2d::random(2, 4, 3, 1, 1, 7));
+    let input = Tensor::random(2, 8, 8, 8);
+    let fwd = |l: &Layer, kernel| {
+        l.forward_with(&input, 8, 8, kernel, &mut Scratch::new())
+            .expect("forward succeeds")
+            .1
+    };
+    // Warm the cache at 8 bits; the second pass is the memoized hit.
+    let before = fwd(&layer, NnKernel::Gemm);
+    let again = fwd(&layer, NnKernel::Gemm);
+    assert_eq!(before, again, "memoized pass must not move a number");
+
+    // Prune half the weights to zero; the counters must change.
+    let Layer::Conv2d(conv) = &mut layer else {
+        unreachable!("constructed as conv above")
+    };
+    let n = conv.weights_mut().len();
+    for w in conv.weights_mut().iter_mut().take(n / 2) {
+        *w = 0.0;
+    }
+    let after = fwd(&layer, NnKernel::Gemm);
+    assert!(
+        after.zero_weight_macs > before.zero_weight_macs,
+        "pruned weights must raise the zero-weight count ({} -> {})",
+        before.zero_weight_macs,
+        after.zero_weight_macs
+    );
+    // And the re-packed Gemm stats still match the never-cached oracle.
+    assert_eq!(after, fwd(&layer, NnKernel::Naive));
+}
+
+/// Dense memoization: same contract through the network-level API.
+#[test]
+fn dense_pruning_reflected_after_memoization() {
+    let mut net = models::lenet5(11);
+    let data = SyntheticDataset::digits(2, 12);
+    let cfg = QuantConfig::uniform(net.layer_count(), 8, 8);
+    // Two passes warm every layer's 8-bit pack.
+    let (_, stats_a) = net.forward(&data.images()[0], &cfg).expect("forward");
+    let (_, stats_b) = net.forward(&data.images()[0], &cfg).expect("forward");
+    assert_eq!(stats_a, stats_b);
+    // Prune the first dense layer and re-run: its zero counters move.
+    let dense_idx = 6; // LeNet-5 fc120
+    let Layer::Dense(d) = &mut net.layers_mut()[dense_idx] else {
+        panic!("layer 6 is the first dense layer of LeNet-5");
+    };
+    for w in d.weights_mut().iter_mut().take(100) {
+        *w = 0.0;
+    }
+    let (_, stats_c) = net.forward(&data.images()[0], &cfg).expect("forward");
+    assert!(
+        stats_c[dense_idx].zero_weight_macs > stats_a[dense_idx].zero_weight_macs,
+        "pruning must be visible through the memoized path"
+    );
+}

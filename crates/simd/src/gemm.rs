@@ -1,0 +1,187 @@
+//! Blocked integer GEMM primitives for quantized MAC workloads.
+//!
+//! The DVAFS claim is that reduced-precision MAC *arrays* are cheap; this
+//! module is the software mirror of that array: instead of issuing one
+//! guarded multiply-accumulate at a time (the naive 7-deep convolution
+//! loop), operands are packed into dense `i16` panels and consumed by a
+//! tiled matrix-matrix product with exact 64-bit accumulation.
+//!
+//! Exactness is the load-bearing property: every product of two `i16`
+//! operands fits `i32`, a *pair* of such products still fits `i32`
+//! (`2 * 32767^2 < 2^31`), and the pair sums are folded into `i64`
+//! accumulators. Integer addition is associative, so any tiling or
+//! unrolling order yields bit-identical results to the scalar reference
+//! loop — which is what lets `dvafs-nn` swap its naive layer loops for
+//! [`gemm_i16`] without moving a single output, and what the
+//! `Naive == Gemm` property tests assert.
+//!
+//! The layout convention is dot-product friendly: the left operand `A` is
+//! `m x k` row-major and the right operand is handed over **already
+//! transposed** (`Bᵗ`, `n x k` row-major — e.g. one im2col patch per row),
+//! so every inner product walks two contiguous slices.
+
+/// Output columns per tile of [`gemm_i16`]: one `Bᵗ` tile of
+/// `COL_TILE x k` operands stays cache-resident while every row of `A`
+/// streams against it.
+pub const COL_TILE: usize = 32;
+
+/// Exact dot product of two `i16` slices with 64-bit accumulation.
+///
+/// Every `i16 x i16` product fits `i32` (even `MIN x MIN = 2^30`); each
+/// product is widened to `i64` before summation — a *pair* of extreme
+/// products would overflow a pairwise `i32` sum by exactly one, the
+/// classic `pmaddwd` saturation corner — and folded into two independent
+/// `i64` accumulators. The result is the exact mathematical dot product
+/// regardless of length or unrolling.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+#[must_use]
+pub fn dot_i16(a: &[i16], b: &[i16]) -> i64 {
+    assert_eq!(a.len(), b.len(), "dot operands must have equal length");
+    let mut acc0 = 0i64;
+    let mut acc1 = 0i64;
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        let p0 = i64::from(i32::from(x[0]) * i32::from(y[0]))
+            + i64::from(i32::from(x[1]) * i32::from(y[1]));
+        let p1 = i64::from(i32::from(x[2]) * i32::from(y[2]))
+            + i64::from(i32::from(x[3]) * i32::from(y[3]));
+        let p2 = i64::from(i32::from(x[4]) * i32::from(y[4]))
+            + i64::from(i32::from(x[5]) * i32::from(y[5]));
+        let p3 = i64::from(i32::from(x[6]) * i32::from(y[6]))
+            + i64::from(i32::from(x[7]) * i32::from(y[7]));
+        acc0 += p0 + p1;
+        acc1 += p2 + p3;
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc0 += i64::from(x) * i64::from(y);
+    }
+    acc0 + acc1
+}
+
+/// Blocked integer GEMM: `out[i][j] = Σ_t a[i][t] * bt[j][t]`, exact in
+/// `i64`.
+///
+/// * `a` is `m x k` row-major (e.g. one quantized filter per row);
+/// * `bt` is the **transposed** right operand, `n x k` row-major (e.g. one
+///   im2col patch per row);
+/// * `out` is `m x n` row-major and is fully overwritten.
+///
+/// Columns are processed in [`COL_TILE`]-wide tiles so the active slice of
+/// `bt` stays cache-hot while all `m` rows of `a` stream against it. The
+/// accumulation is exact, so the tiling never changes a value.
+///
+/// # Panics
+///
+/// Panics if a slice length disagrees with the given dimensions.
+pub fn gemm_i16(a: &[i16], bt: &[i16], m: usize, k: usize, n: usize, out: &mut [i64]) {
+    assert_eq!(a.len(), m * k, "A must be m x k");
+    assert_eq!(bt.len(), n * k, "Bt must be n x k");
+    assert_eq!(out.len(), m * n, "out must be m x n");
+    if k == 0 {
+        out.fill(0);
+        return;
+    }
+    for (tile, bt_tile) in bt.chunks(COL_TILE * k).enumerate() {
+        let j0 = tile * COL_TILE;
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n + j0..];
+            for (jj, b_row) in bt_tile.chunks_exact(k).enumerate() {
+                out_row[jj] = dot_i16(a_row, b_row);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_gemm(a: &[i16], bt: &[i16], m: usize, k: usize, n: usize) -> Vec<i64> {
+        let mut out = vec![0i64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for t in 0..k {
+                    acc += i64::from(a[i * k + t]) * i64::from(bt[j * k + t]);
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn random_panel(len: usize, seed: u64) -> Vec<i16> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| rng.gen_range(-32768..=32767) as i16)
+            .collect()
+    }
+
+    #[test]
+    fn dot_matches_reference_for_every_remainder_length() {
+        for len in 0..40 {
+            let a = random_panel(len, 1 + len as u64);
+            let b = random_panel(len, 100 + len as u64);
+            let expected: i64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| i64::from(x) * i64::from(y))
+                .sum();
+            assert_eq!(dot_i16(&a, &b), expected, "len={len}");
+        }
+    }
+
+    #[test]
+    fn dot_extremes_do_not_overflow() {
+        // Worst case: every pair product is the maximal magnitude.
+        let a = vec![i16::MIN; 1024];
+        let b = vec![i16::MIN; 1024];
+        assert_eq!(dot_i16(&a, &b), 1024 * (i64::from(i16::MIN)).pow(2));
+        let c = vec![i16::MAX; 1024];
+        assert_eq!(
+            dot_i16(&c, &a),
+            1024 * i64::from(i16::MAX) * i64::from(i16::MIN)
+        );
+    }
+
+    #[test]
+    fn gemm_matches_naive_across_shapes() {
+        for (s, &(m, k, n)) in [
+            (1usize, 1usize, 1usize),
+            (3, 7, 5),
+            (8, 25, 33),  // n spills one past a COL_TILE boundary
+            (4, 9, 32),   // n exactly one tile
+            (2, 150, 70), // k longer than any unroll
+        ]
+        .iter()
+        .enumerate()
+        {
+            let a = random_panel(m * k, 7 + s as u64);
+            let bt = random_panel(n * k, 70 + s as u64);
+            let mut out = vec![i64::MIN; m * n]; // poisoned: must be overwritten
+            gemm_i16(&a, &bt, m, k, n, &mut out);
+            assert_eq!(out, naive_gemm(&a, &bt, m, k, n), "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn gemm_zero_k_clears_output() {
+        let mut out = vec![5i64; 6];
+        gemm_i16(&[], &[], 2, 0, 3, &mut out);
+        assert_eq!(out, vec![0i64; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A must be m x k")]
+    fn gemm_rejects_bad_dimensions() {
+        let mut out = vec![0i64; 4];
+        gemm_i16(&[0; 3], &[0; 4], 2, 2, 2, &mut out);
+    }
+}

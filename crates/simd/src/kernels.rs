@@ -115,6 +115,52 @@ impl ConvKernel {
             })
             .collect()
     }
+
+    /// An effective operand as the GEMM's `i16` lane value. The canonical
+    /// operands are 16-bit by construction ([`random`](Self::random)
+    /// draws from `-32768..=32767` and `effective` only narrows), so the
+    /// cast never wraps; the debug assertion pins that invariant for
+    /// hand-built kernels.
+    fn effective_i16(value: i32, bits: u32) -> i16 {
+        let e = Self::effective(value, bits);
+        debug_assert!(
+            i32::from(e as i16) == e,
+            "ConvKernel operands must be canonical 16-bit values (effective {e})"
+        );
+        e as i16
+    }
+
+    /// [`expected_outputs`](Self::expected_outputs) computed through the
+    /// blocked integer GEMM ([`crate::gemm`]) instead of the naive tap
+    /// loop: the sliding input windows are packed into an im2col panel
+    /// (one patch per row) and multiplied against the 1-row weight matrix.
+    /// Accumulation is exact in `i64`, so the result is bit-identical to
+    /// the naive reference — the `fig4`/`table2` scenarios assert the
+    /// cycle-level machine against whichever path the run selected.
+    #[must_use]
+    pub fn expected_outputs_gemm(&self, bits: u32, shift: u32, store_bits: u32) -> Vec<i32> {
+        let lo = -(1i64 << (store_bits - 1));
+        let hi = (1i64 << (store_bits - 1)) - 1;
+        let w: Vec<i16> = self
+            .weights
+            .iter()
+            .map(|&v| Self::effective_i16(v, bits))
+            .collect();
+        // im2col of the 1-D convolution: patch row o = inputs[o..o+taps].
+        let mut patches = Vec::with_capacity(self.outputs * self.taps);
+        for o in 0..self.outputs {
+            patches.extend(
+                self.inputs[o..o + self.taps]
+                    .iter()
+                    .map(|&v| Self::effective_i16(v, bits)),
+            );
+        }
+        let mut acc = vec![0i64; self.outputs];
+        crate::gemm::gemm_i16(&w, &patches, 1, self.taps, self.outputs, &mut acc);
+        acc.into_iter()
+            .map(|a| (a >> shift).clamp(lo, hi) as i32)
+            .collect()
+    }
 }
 
 /// A kernel lowered to a program and memory image for one configuration.
@@ -425,6 +471,22 @@ mod tests {
         // blocks = 64 / (8*2) = 4; image holds blocks*taps input words.
         assert_eq!(c.blocks, 4);
         assert_eq!(c.bank_images[0].len(), 16);
+    }
+
+    #[test]
+    fn gemm_reference_is_bit_identical_to_naive_reference() {
+        let k = ConvKernel::random(13, 96, 9);
+        for bits in [16u32, 12, 8, 4, 1] {
+            for shift in [0u32, 7, 20] {
+                for store_bits in [16u32, 8] {
+                    assert_eq!(
+                        k.expected_outputs(bits, shift, store_bits),
+                        k.expected_outputs_gemm(bits, shift, store_bits),
+                        "bits={bits} shift={shift} store={store_bits}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,10 @@ fn run_all_fast_single_threaded_succeeds() {
         "--fast",
         "--threads",
         "1",
+        // One timed repeat: this test checks the end-to-end path, not the
+        // medians — bench_sweep at the default 3 would triple its runtime.
+        "--repeats",
+        "1",
         "--format",
         "json",
         "--out",
