@@ -4,7 +4,7 @@
 //! dvafs list
 //! dvafs run <id>... [--all] [--format text|json|csv] [--out DIR]
 //!                   [--threads N] [--fast] [--kernel naive|gemm]
-//!                   [--repeats N]
+//!                   [--search rescan|incremental] [--repeats N]
 //! ```
 //!
 //! `list` prints every registered scenario (id, artefact, title, and what
@@ -18,7 +18,7 @@
 //! not recognize** and hard-errors when `--out`, `--format` or
 //! `--threads` is missing its value.
 
-use dvafs::nn::NnKernel;
+use dvafs::nn::{NnKernel, SearchStrategy};
 use dvafs::scenario::{self, Format, Scenario, ScenarioCtx};
 use dvafs::Executor;
 use std::path::Path;
@@ -40,6 +40,9 @@ pub struct RunOpts {
     /// NN MAC kernel (`--kernel naive|gemm`, default gemm). Never changes
     /// a number — only wall time.
     pub kernel: NnKernel,
+    /// Precision-search strategy (`--search rescan|incremental`, default
+    /// incremental). Never changes a number — only wall time.
+    pub search: SearchStrategy,
     /// Timed repeats per `bench_sweep` measurement (`--repeats`, default 3).
     pub repeats: usize,
 }
@@ -64,6 +67,7 @@ run options:\n  \
   --threads N                worker count (default: DVAFS_THREADS or host)\n  \
   --fast                     reduced problem sizes (see `dvafs list`)\n  \
   --kernel naive|gemm        NN MAC kernel (default gemm; results identical)\n  \
+  --search rescan|incremental  precision-search strategy (default incremental; results identical)\n  \
   --repeats N                timed repeats per bench_sweep measurement (default 3)";
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
@@ -94,6 +98,7 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                 threads: Executor::from_env().threads(),
                 fast: false,
                 kernel: NnKernel::default(),
+                search: SearchStrategy::default(),
                 repeats: 3,
             };
             let mut all = false;
@@ -117,6 +122,10 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                     "--kernel" => {
                         opts.kernel = NnKernel::parse(&take_value(args, &mut i, "--kernel")?)?;
                     }
+                    "--search" => {
+                        opts.search =
+                            SearchStrategy::parse(&take_value(args, &mut i, "--search")?)?;
+                    }
                     "--repeats" => {
                         let v = take_value(args, &mut i, "--repeats")?;
                         opts.repeats =
@@ -128,8 +137,14 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                         warnings.push(format!("warning: ignoring unrecognized flag {flag}"));
                     }
                     id => {
-                        scenario::find(id)
-                            .ok_or_else(|| format!("unknown scenario {id:?} — see `dvafs list`"))?;
+                        scenario::find(id).ok_or_else(|| {
+                            let known: Vec<&str> =
+                                scenario::registry().iter().map(|s| s.id()).collect();
+                            format!(
+                                "unknown scenario {id:?} — available: {} (see `dvafs list`)",
+                                known.join(", ")
+                            )
+                        })?;
                         // A repeated id runs once: rendering the same
                         // scenario twice in one invocation is never what
                         // the caller wanted (and doubles minutes of
@@ -188,6 +203,7 @@ fn run_one(s: &'static dyn Scenario, opts: &RunOpts) -> Result<String, String> {
         .with_threads(opts.threads)
         .with_fast(opts.fast)
         .with_kernel(opts.kernel)
+        .with_search(opts.search)
         .with_repeats(opts.repeats);
     let result = s.run(&ctx);
     let rendered = scenario::render(s.label(), s.title(), &result, opts.format);
@@ -301,6 +317,8 @@ mod tests {
             "--fast",
             "--kernel",
             "naive",
+            "--search",
+            "rescan",
             "--repeats",
             "5",
         ]))
@@ -314,6 +332,7 @@ mod tests {
         assert_eq!(opts.threads, 2);
         assert!(opts.fast && opts.out.is_none());
         assert_eq!(opts.kernel, NnKernel::Naive);
+        assert_eq!(opts.search, SearchStrategy::Rescan);
         assert_eq!(opts.repeats, 5);
     }
 
@@ -323,6 +342,7 @@ mod tests {
             panic!("expected run")
         };
         assert_eq!(opts.kernel, NnKernel::Gemm);
+        assert_eq!(opts.search, SearchStrategy::Incremental);
         assert_eq!(opts.repeats, 3);
     }
 
@@ -331,7 +351,7 @@ mod tests {
         let (Command::Run(opts), _) = parse(&argv(&["run", "--all"])).unwrap() else {
             panic!("expected run")
         };
-        assert_eq!(opts.ids.len(), 11);
+        assert_eq!(opts.ids.len(), 12);
         assert_eq!(opts.ids[0], "fig2");
         assert_eq!(opts.ids.last().unwrap(), "bench_sweep");
     }
@@ -386,10 +406,27 @@ mod tests {
         assert!(parse(&argv(&["run", "fig2", "--kernel"]))
             .unwrap_err()
             .contains("--kernel requires a value"));
+        assert!(parse(&argv(&["run", "fig2", "--search", "magic"]))
+            .unwrap_err()
+            .contains("rescan|incremental"));
+        assert!(parse(&argv(&["run", "fig2", "--search"]))
+            .unwrap_err()
+            .contains("--search requires a value"));
         assert!(parse(&argv(&["run", "fig2", "--repeats", "0"]))
             .unwrap_err()
             .contains("positive integer"));
         assert!(parse(&argv(&["run"])).unwrap_err().contains("no scenarios"));
+    }
+
+    #[test]
+    fn unknown_scenario_error_lists_available_ids() {
+        // Satellite fix: the error names every registered id, not just the
+        // bad one — `fig99` typos become self-correcting.
+        let err = parse(&argv(&["run", "fig99"])).unwrap_err();
+        assert!(err.contains("unknown scenario \"fig99\""), "{err}");
+        for s in scenario::registry() {
+            assert!(err.contains(s.id()), "error omits {}: {err}", s.id());
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `fig4` | Fig. 4 (SIMD energy/word, SW=8/64) | `--bin fig4` |
 //! | `table2` | Table II (SIMD power split) | `--bin table2` |
 //! | `fig6` | Fig. 6 (per-layer bits, LeNet-5/AlexNet) | `--bin fig6` |
+//! | `fig6_vgg` | Fig. 6 at VGG16 scale (16-layer search) | — (registry-only) |
 //! | `fig8` | Fig. 8a/8b (Envision energy/word) | `--bin fig8` |
 //! | `table3` | Table III (per-layer power on Envision) | `--bin table3` |
 //! | `ablations` | design-choice ablation studies | `--bin ablations` |
@@ -41,7 +42,7 @@
 pub mod cli;
 
 use dvafs::executor::Executor;
-use dvafs::nn::NnKernel;
+use dvafs::nn::{NnKernel, SearchStrategy};
 use dvafs::scenario::{self, ScenarioCtx};
 
 pub use dvafs::report::{bench_sweep_json, median_time_ms, time_ms, SweepTiming};
@@ -64,6 +65,9 @@ pub struct BenchArgs {
     pub out: Option<String>,
     /// NN MAC kernel (`--kernel naive|gemm`, default gemm).
     pub kernel: NnKernel,
+    /// Precision-search strategy (`--search rescan|incremental`, default
+    /// incremental).
+    pub search: SearchStrategy,
     /// Timed repeats per `bench_sweep` measurement (`--repeats N`,
     /// default 3).
     pub repeats: usize,
@@ -130,6 +134,13 @@ impl BenchArgs {
         } else {
             NnKernel::default()
         };
+        let search = if args.iter().any(|a| a == "--search") {
+            let v = value_of("--search")
+                .unwrap_or_else(|| panic!("--search requires a value (rescan|incremental)"));
+            SearchStrategy::parse(&v).unwrap_or_else(|e| panic!("{e}"))
+        } else {
+            SearchStrategy::default()
+        };
         let repeats = if args.iter().any(|a| a == "--repeats") {
             value_of("--repeats")
                 .and_then(|v| v.parse::<usize>().ok())
@@ -145,6 +156,7 @@ impl BenchArgs {
             fast: args.iter().any(|a| a == "--fast"),
             out,
             kernel,
+            search,
             repeats,
         }
     }
@@ -162,6 +174,7 @@ impl BenchArgs {
             .with_executor(self.executor())
             .with_fast(self.fast)
             .with_kernel(self.kernel)
+            .with_search(self.search)
             .with_repeats(self.repeats)
     }
 }
@@ -214,6 +227,8 @@ mod tests {
             "x.json",
             "--kernel",
             "naive",
+            "--search",
+            "rescan",
             "--repeats",
             "2",
         ]));
@@ -221,11 +236,13 @@ mod tests {
         assert!(a.fast);
         assert_eq!(a.out.as_deref(), Some("x.json"));
         assert_eq!(a.kernel, NnKernel::Naive);
+        assert_eq!(a.search, SearchStrategy::Rescan);
         assert_eq!(a.repeats, 2);
         assert_eq!(a.executor().threads(), 3);
         let ctx = a.ctx();
         assert!(ctx.fast);
         assert_eq!(ctx.kernel, NnKernel::Naive);
+        assert_eq!(ctx.search, SearchStrategy::Rescan);
         assert_eq!(ctx.repeats, 2);
     }
 
@@ -252,6 +269,12 @@ mod tests {
     #[should_panic(expected = "unknown kernel")]
     fn bad_kernel_value_is_fatal() {
         let _ = BenchArgs::from_slice(&argv(&["--kernel", "turbo"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown search strategy")]
+    fn bad_search_value_is_fatal() {
+        let _ = BenchArgs::from_slice(&argv(&["--search", "magic"]));
     }
 
     #[test]

@@ -127,6 +127,10 @@ pub struct SweepTiming {
     /// kernel — the reference oracle the blocked GEMM is timed against.
     /// Scenarios without a CNN in the loop time close to `serial_ms`.
     pub naive_ms: f64,
+    /// Serial wall time with the rescan precision-search oracle (the
+    /// pre-incremental full-forward scan). Scenarios without a precision
+    /// search in the loop time close to `serial_ms`.
+    pub rescan_ms: f64,
 }
 
 impl SweepTiming {
@@ -157,6 +161,17 @@ impl SweepTiming {
     pub fn kernel_speedup(&self) -> f64 {
         if self.serial_ms > 0.0 {
             self.naive_ms / self.serial_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Rescan-over-incremental precision-search speedup at one thread
+    /// (> 1 means the prefix-cached incremental search won).
+    #[must_use]
+    pub fn search_speedup(&self) -> f64 {
+        if self.serial_ms > 0.0 {
+            self.rescan_ms / self.serial_ms
         } else {
             0.0
         }
@@ -216,7 +231,8 @@ pub fn bench_sweep_json(
                 "    {{\"figure\":\"{}\",\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\
                  \"speedup\":{:.3},\"scalar_ms\":{:.3},\"bitsliced_ms\":{:.3},\
                  \"engine_speedup\":{:.3},\"naive_ms\":{:.3},\"gemm_ms\":{:.3},\
-                 \"kernel_speedup\":{:.3}}}",
+                 \"kernel_speedup\":{:.3},\"rescan_ms\":{:.3},\
+                 \"incremental_ms\":{:.3},\"search_speedup\":{:.3}}}",
                 t.figure,
                 t.serial_ms,
                 t.parallel_ms,
@@ -226,7 +242,10 @@ pub fn bench_sweep_json(
                 t.engine_speedup(),
                 t.naive_ms,
                 t.serial_ms,
-                t.kernel_speedup()
+                t.kernel_speedup(),
+                t.rescan_ms,
+                t.serial_ms,
+                t.search_speedup()
             )
         })
         .collect();
@@ -348,10 +367,12 @@ mod tests {
             parallel_ms: 25.0,
             scalar_ms: 800.0,
             naive_ms: 450.0,
+            rescan_ms: 350.0,
         };
         assert!((t.speedup() - 4.0).abs() < 1e-12);
         assert!((t.engine_speedup() - 8.0).abs() < 1e-12);
         assert!((t.kernel_speedup() - 4.5).abs() < 1e-12);
+        assert!((t.search_speedup() - 3.5).abs() < 1e-12);
         let zero = SweepTiming {
             parallel_ms: 0.0,
             serial_ms: 0.0,
@@ -360,6 +381,7 @@ mod tests {
         assert_eq!(zero.speedup(), 0.0);
         assert_eq!(zero.engine_speedup(), 0.0);
         assert_eq!(zero.kernel_speedup(), 0.0);
+        assert_eq!(zero.search_speedup(), 0.0);
     }
 
     #[test]
@@ -371,6 +393,7 @@ mod tests {
                 parallel_ms: 0.5,
                 scalar_ms: 6.0,
                 naive_ms: 4.5,
+                rescan_ms: 3.0,
             }],
             4,
             true,
@@ -386,6 +409,9 @@ mod tests {
         assert!(doc.contains("\"naive_ms\":4.500"));
         assert!(doc.contains("\"gemm_ms\":1.000"));
         assert!(doc.contains("\"kernel_speedup\":4.500"));
+        assert!(doc.contains("\"rescan_ms\":3.000"));
+        assert!(doc.contains("\"incremental_ms\":1.000"));
+        assert!(doc.contains("\"search_speedup\":3.000"));
         assert!(doc.ends_with("}\n"));
     }
 

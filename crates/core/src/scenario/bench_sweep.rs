@@ -7,14 +7,16 @@
 //! Since the registry refactor this scenario times the real experiments
 //! through [`super::registry`], so the perf trajectory covers every
 //! figure and table, not just the parallelized multiplier sweeps. While
-//! timing, it also *verifies* the determinism contract three times over:
+//! timing, it also *verifies* the determinism contract four times over:
 //! each scenario's parallel [`ScenarioResult`] is asserted equal to the
 //! serial one, the scalar-netlist-oracle run is asserted equal to the
-//! bitsliced one, and the naive-MAC-kernel-oracle run is asserted equal
-//! to the GEMM one, before a timing is recorded. The gate-level scenarios
-//! (fig2/fig3a/fig3b/table1/ablations) are where `engine_speedup` bites;
-//! `kernel_speedup` bites on the CNN scenario (fig6); scenarios without
-//! either in the loop time near 1x.
+//! bitsliced one, the naive-MAC-kernel-oracle run is asserted equal to
+//! the GEMM one, and the rescan-search-oracle run is asserted equal to
+//! the incremental one, before a timing is recorded. The gate-level
+//! scenarios (fig2/fig3a/fig3b/table1/ablations) are where
+//! `engine_speedup` bites; `kernel_speedup` and `search_speedup` bite on
+//! the CNN scenarios (fig6/fig6_vgg); scenarios without any of them in
+//! the loop time near 1x.
 //!
 //! Timing hygiene: one untimed serial warmup pass per scenario warms the
 //! process-wide state (page cache, allocator, memoized calibrations)
@@ -40,7 +42,7 @@ use super::{registry, DataTable, Scenario, ScenarioCtx, ScenarioResult};
 use crate::report::{bench_sweep_json, median_time_ms, SweepTiming};
 use dvafs_arith::netlist::Engine;
 use dvafs_executor::Executor;
-use dvafs_nn::NnKernel;
+use dvafs_nn::{NnKernel, SearchStrategy};
 
 /// The performance-sweep scenario (`dvafs run bench_sweep`).
 pub struct BenchSweep;
@@ -71,13 +73,18 @@ impl Scenario for BenchSweep {
         let serial_ctx = ctx
             .serial()
             .with_engine(Engine::Bitsliced)
-            .with_kernel(NnKernel::Gemm);
+            .with_kernel(NnKernel::Gemm)
+            .with_search(SearchStrategy::Incremental);
         // The scalar-oracle run: one thread, scalar netlist engine — the
         // pre-bitslicing baseline every engine_speedup column is against.
         let scalar_ctx = serial_ctx.clone().with_engine(Engine::Scalar);
         // The naive-oracle run: one thread, naive NN MAC kernel — the
         // pre-GEMM baseline every kernel_speedup column is against.
         let naive_ctx = serial_ctx.clone().with_kernel(NnKernel::Naive);
+        // The rescan-oracle run: one thread, full-forward precision-search
+        // rescan — the pre-incremental baseline every search_speedup
+        // column is against.
+        let rescan_ctx = serial_ctx.clone().with_search(SearchStrategy::Rescan);
         // The parallel run: the shipping configuration on the invoking
         // context's executor when it is actually parallel, otherwise on
         // the host parallelism (never a hardcoded count — a serial
@@ -89,7 +96,8 @@ impl Scenario for BenchSweep {
             ctx.clone().with_threads(Executor::host_parallelism())
         }
         .with_engine(Engine::Bitsliced)
-        .with_kernel(NnKernel::Gemm);
+        .with_kernel(NnKernel::Gemm)
+        .with_search(SearchStrategy::Incremental);
         let mut timings = Vec::new();
         let mut r = ScenarioResult::new();
 
@@ -109,6 +117,7 @@ impl Scenario for BenchSweep {
             let (parallel_ms, parallel_result) = median_time_ms(repeats, || s.run(&parallel_ctx));
             let (scalar_ms, scalar_result) = median_time_ms(repeats, || s.run(&scalar_ctx));
             let (naive_ms, naive_result) = median_time_ms(repeats, || s.run(&naive_ctx));
+            let (rescan_ms, rescan_result) = median_time_ms(repeats, || s.run(&rescan_ctx));
             assert!(
                 serial_result == parallel_result,
                 "{}: parallel result diverged from serial",
@@ -124,6 +133,11 @@ impl Scenario for BenchSweep {
                 "{}: naive-kernel result diverged from GEMM",
                 s.id()
             );
+            assert!(
+                rescan_result == serial_result,
+                "{}: rescan-search result diverged from incremental",
+                s.id()
+            );
             r.line(format_args!(
                 "measured {}: serial and parallel runs bit-identical",
                 s.id()
@@ -134,6 +148,7 @@ impl Scenario for BenchSweep {
                 parallel_ms,
                 scalar_ms,
                 naive_ms,
+                rescan_ms,
             });
         }
 
@@ -148,6 +163,8 @@ impl Scenario for BenchSweep {
                 "engine_speedup",
                 "naive_ms",
                 "kernel_speedup",
+                "rescan_ms",
+                "search_speedup",
             ],
         );
         for t in &timings {
@@ -160,6 +177,8 @@ impl Scenario for BenchSweep {
                 t.engine_speedup().into(),
                 t.naive_ms.into(),
                 t.kernel_speedup().into(),
+                t.rescan_ms.into(),
+                t.search_speedup().into(),
             ]);
         }
         r.push_table(data);

@@ -35,7 +35,10 @@ impl Scenario for Fig6 {
 
     fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
         let exec = ctx.executor();
-        let search = PrecisionSearch::new();
+        // The scan strategy comes from the context (prefix-cached
+        // incremental by default, the rescan oracle when bench_sweep times
+        // the search speedup); like the kernel, it never moves a number.
+        let search = PrecisionSearch::new().with_strategy(ctx.search);
         let mut r = ScenarioResult::new();
 
         // `--fast` shrinks datasets and the AlexNet stand-in so CI smoke

@@ -35,6 +35,7 @@ mod fig3a;
 mod fig3b;
 mod fig4;
 mod fig6;
+mod fig6_vgg;
 mod fig8;
 pub mod render;
 pub mod result;
@@ -49,6 +50,7 @@ pub use fig3a::Fig3a;
 pub use fig3b::Fig3b;
 pub use fig4::Fig4;
 pub use fig6::Fig6;
+pub use fig6_vgg::Fig6Vgg;
 pub use fig8::Fig8;
 pub use render::{banner_text, render, Format};
 pub use result::{Artifact, DataTable, ScenarioResult, Value};
@@ -58,7 +60,7 @@ pub use table3::Table3;
 
 use dvafs_arith::netlist::Engine;
 use dvafs_executor::Executor;
-use dvafs_nn::NnKernel;
+use dvafs_nn::{NnKernel, SearchStrategy};
 
 /// Shared root seed of every experiment (full determinism). The
 /// multiplier-level sweeps additionally pin their own
@@ -87,6 +89,11 @@ pub struct ScenarioCtx {
     /// warmup pass; `--repeats`, default 3). Ignored by every other
     /// scenario.
     pub repeats: usize,
+    /// Precision-search strategy for the fig6-family scenarios
+    /// (prefix-cached incremental by default; the full-forward rescan is
+    /// the reference oracle `bench_sweep` times against it). Like the
+    /// engine and kernel, it never moves a number — only wall time.
+    pub search: SearchStrategy,
     exec: Executor,
 }
 
@@ -101,6 +108,7 @@ impl ScenarioCtx {
             engine: Engine::default(),
             kernel: NnKernel::default(),
             repeats: 3,
+            search: SearchStrategy::default(),
             exec: Executor::from_env(),
         }
     }
@@ -136,6 +144,13 @@ impl ScenarioCtx {
     #[must_use]
     pub fn with_kernel(mut self, kernel: NnKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Replaces the precision-search strategy (see [`ScenarioCtx::search`]).
+    #[must_use]
+    pub fn with_search(mut self, search: SearchStrategy) -> Self {
+        self.search = search;
         self
     }
 
@@ -222,12 +237,13 @@ pub(crate) fn simd_outputs_match(
 
 /// The scenario registry, in paper order (figures, tables, then the
 /// repo-level ablations and the performance sweep).
-static REGISTRY: [&dyn Scenario; 11] = [
+static REGISTRY: [&dyn Scenario; 12] = [
     &Fig2,
     &Fig3a,
     &Fig3b,
     &Fig4,
     &Fig6,
+    &Fig6Vgg,
     &Fig8,
     &Table1,
     &Table2,
@@ -255,13 +271,13 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_findable() {
         let mut ids: Vec<&str> = registry().iter().map(|s| s.id()).collect();
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 12);
         for id in &ids {
             assert!(find(id).is_some(), "find({id})");
         }
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 11, "duplicate scenario ids");
+        assert_eq!(ids.len(), 12, "duplicate scenario ids");
         assert!(find("nope").is_none());
     }
 
@@ -277,6 +293,7 @@ mod tests {
         assert_eq!(ctx.engine, Engine::Bitsliced);
         assert_eq!(ctx.kernel, NnKernel::Gemm);
         assert_eq!(ctx.repeats, 3);
+        assert_eq!(ctx.search, SearchStrategy::Incremental);
         assert_eq!(ctx.serial().threads(), 1);
         assert_eq!(ctx.serial().seed, 7);
         // serial() preserves the engine and kernel; the builders swap them.
@@ -287,5 +304,8 @@ mod tests {
         assert_eq!(naive.kernel, NnKernel::Naive);
         assert_eq!(naive.serial().kernel, NnKernel::Naive);
         assert_eq!(naive.repeats, 1, "repeats clamps to >= 1");
+        let rescan = naive.with_search(SearchStrategy::Rescan);
+        assert_eq!(rescan.search, SearchStrategy::Rescan);
+        assert_eq!(rescan.serial().search, SearchStrategy::Rescan);
     }
 }

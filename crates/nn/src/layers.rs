@@ -182,22 +182,47 @@ impl Conv2d {
                 actual: (c, h, w),
             });
         }
+        let qa = QuantizedTensor::quantize(input, abits)?;
+        self.forward_quant(&qa, wbits, kernel, scratch)
+    }
+
+    /// Executes the convolution on an already-quantized input activation —
+    /// the entry point the incremental precision search drives through its
+    /// per-`(sample, layer, abits)` [`crate::kernel::ActivationCache`]
+    /// memo. Quantization is a pure function of `(input, bits)`, so this
+    /// is bit-identical to quantizing inline.
+    pub(crate) fn forward_quant(
+        &self,
+        qa: &QuantizedTensor,
+        wbits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, LayerStats), NnError> {
+        let (c, h, w) = qa.shape;
+        if c != self.in_channels
+            || h + 2 * self.padding < self.kernel
+            || w + 2 * self.padding < self.kernel
+        {
+            return Err(NnError::ShapeMismatch {
+                expected: (self.in_channels, self.kernel, self.kernel),
+                actual: (c, h, w),
+            });
+        }
         match kernel {
-            NnKernel::Naive => self.forward_naive(input, wbits, abits),
-            NnKernel::Gemm => self.forward_gemm(input, wbits, abits, scratch),
+            NnKernel::Naive => self.forward_naive(qa, wbits),
+            NnKernel::Gemm => self.forward_gemm(qa, wbits, scratch),
         }
     }
 
     /// The original 7-deep scalar loop — the reference oracle the GEMM
-    /// path is property-tested against. Kept verbatim.
+    /// path is property-tested against. Kept verbatim (the input
+    /// quantization moved to the callers; the MAC loop is untouched).
     fn forward_naive(
         &self,
-        input: &Tensor,
+        qa: &QuantizedTensor,
         wbits: u32,
-        abits: u32,
     ) -> Result<(Tensor, LayerStats), NnError> {
-        let (_, h, w) = input.shape();
-        let qa = QuantizedTensor::quantize(input, abits)?;
+        let (_, h, w) = qa.shape;
         let qw = QuantizedTensor::quantize(&self.weights_tensor(), wbits)?;
         let (oh, ow) = self.out_hw(h, w);
         let mut out = Tensor::zeros(self.out_channels, oh, ow);
@@ -302,13 +327,11 @@ impl Conv2d {
     /// outputs are byte-identical to [`forward_naive`](Self::forward_naive).
     fn forward_gemm(
         &self,
-        input: &Tensor,
+        qa: &QuantizedTensor,
         wbits: u32,
-        abits: u32,
         scratch: &mut Scratch,
     ) -> Result<(Tensor, LayerStats), NnError> {
-        let (_, h, w) = input.shape();
-        let qa = QuantizedTensor::quantize(input, abits)?;
+        let (_, h, w) = qa.shape;
         let pw = self.packed_weights(wbits)?;
         let (oh, ow) = self.out_hw(h, w);
         let k = self.kernel;
@@ -494,21 +517,40 @@ impl Dense {
                 actual: input.shape(),
             });
         }
+        let qa = QuantizedTensor::quantize(input, abits)?;
+        self.forward_quant(&qa, wbits, kernel, scratch)
+    }
+
+    /// Executes the layer on an already-quantized input activation (see
+    /// [`Conv2d::forward_quant`]).
+    pub(crate) fn forward_quant(
+        &self,
+        qa: &QuantizedTensor,
+        wbits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, LayerStats), NnError> {
+        let (c, h, w) = qa.shape;
+        if c * h * w != self.inputs {
+            return Err(NnError::ShapeMismatch {
+                expected: (1, 1, self.inputs),
+                actual: (c, h, w),
+            });
+        }
         match kernel {
-            NnKernel::Naive => self.forward_naive(input, wbits, abits),
-            NnKernel::Gemm => self.forward_gemm(input, wbits, abits, scratch),
+            NnKernel::Naive => self.forward_naive(qa, wbits),
+            NnKernel::Gemm => self.forward_gemm(qa, wbits, scratch),
         }
     }
 
     /// The original 2-deep scalar loop — the reference oracle. Kept
-    /// verbatim.
+    /// verbatim (the input quantization moved to the callers; the MAC
+    /// loop is untouched).
     fn forward_naive(
         &self,
-        input: &Tensor,
+        qa: &QuantizedTensor,
         wbits: u32,
-        abits: u32,
     ) -> Result<(Tensor, LayerStats), NnError> {
-        let qa = QuantizedTensor::quantize(input, abits)?;
         let qw = QuantizedTensor::quantize(&self.weights_tensor(), wbits)?;
         let scale = qa.scale * qw.scale;
         let mut out = Tensor::zeros(1, 1, self.outputs);
@@ -564,12 +606,10 @@ impl Dense {
     /// zero counts directly.
     fn forward_gemm(
         &self,
-        input: &Tensor,
+        qa: &QuantizedTensor,
         wbits: u32,
-        abits: u32,
         scratch: &mut Scratch,
     ) -> Result<(Tensor, LayerStats), NnError> {
-        let qa = QuantizedTensor::quantize(input, abits)?;
         let pw = self.packed_weights(wbits)?;
         let zero_acts = qa.fill_i16(&mut scratch.acts);
         let scale = qa.scale * pw.scale;
@@ -704,6 +744,35 @@ impl Layer {
                 }
                 Ok((out, LayerStats::default()))
             }
+        }
+    }
+
+    /// Executes a **parameterized** layer on an already-quantized input
+    /// activation — the incremental-search fast path, fed from the
+    /// per-`(sample, layer, abits)` [`crate::kernel::ActivationCache`].
+    /// Bit-identical to [`forward_with`](Self::forward_with) because
+    /// quantization is a pure function of `(input, abits)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the input does not fit or
+    /// when called on a non-parameterized layer (ReLU / pooling layers
+    /// take no quantized operands — callers route them through
+    /// [`forward_with`](Self::forward_with)).
+    pub(crate) fn forward_prequantized(
+        &self,
+        qa: &QuantizedTensor,
+        wbits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, LayerStats), NnError> {
+        match self {
+            Layer::Conv2d(c) => c.forward_quant(qa, wbits, kernel, scratch),
+            Layer::Dense(d) => d.forward_quant(qa, wbits, kernel, scratch),
+            Layer::ReLU | Layer::MaxPool2d { .. } => Err(NnError::ShapeMismatch {
+                expected: (0, 0, 0),
+                actual: qa.shape,
+            }),
         }
     }
 }

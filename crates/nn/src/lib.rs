@@ -49,6 +49,7 @@ pub mod sparsity;
 pub mod tensor;
 
 pub use error::NnError;
-pub use kernel::{NnKernel, Scratch};
+pub use kernel::{ActivationCache, NnKernel, Scratch};
 pub use network::{Network, QuantConfig};
+pub use precision::SearchStrategy;
 pub use tensor::Tensor;

@@ -236,6 +236,54 @@ impl Network {
         Ok((x, stats))
     }
 
+    /// Resumes the cascade at layer `start` from a cached intermediate
+    /// activation — the suffix entry point of the incremental precision
+    /// search. `input` must be the tensor that entered layer `start` in a
+    /// full run; since layers are a pure function of their input and
+    /// precision, the suffix output is bit-identical to the tail of
+    /// [`forward_with`](Self::forward_with) under the same `config`.
+    ///
+    /// `start == layer_count()` is allowed and returns the input unchanged
+    /// (the cached prefix already covers the whole cascade).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ConfigLengthMismatch`] when `config` does not
+    /// have one entry per layer, and propagates layer errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start > layer_count()`.
+    pub fn forward_from(
+        &self,
+        start: usize,
+        input: &Tensor,
+        config: &QuantConfig,
+        scratch: &mut Scratch,
+    ) -> Result<(Tensor, Vec<LayerStats>), NnError> {
+        assert!(
+            start <= self.layers.len(),
+            "suffix start {start} beyond layer count {}",
+            self.layers.len()
+        );
+        if config.len() != self.layers.len() {
+            return Err(NnError::ConfigLengthMismatch {
+                layers: self.layers.len(),
+                entries: config.len(),
+            });
+        }
+        let mut x = input.clone();
+        let mut stats = Vec::with_capacity(self.layers.len() - start);
+        for (i, layer) in self.layers.iter().enumerate().skip(start) {
+            let p = config.layer(i);
+            let (out, st) =
+                layer.forward_with(&x, p.weights, p.activations, self.kernel, scratch)?;
+            stats.push(st);
+            x = out;
+        }
+        Ok((x, stats))
+    }
+
     /// Classifies one input (argmax of the final layer).
     ///
     /// # Errors

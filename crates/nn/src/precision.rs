@@ -18,9 +18,65 @@
 //! only wall time (`bench_sweep` asserts exactly that on fig6).
 
 use crate::dataset::SyntheticDataset;
+use crate::kernel::{ActivationCache, Scratch};
 use crate::network::{Network, QuantConfig};
+use crate::quant::QuantizedTensor;
+use crate::tensor::Tensor;
 use dvafs_executor::Executor;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt;
+
+/// Selects how the per-layer scan evaluates candidate bit widths.
+///
+/// Mirroring [`crate::kernel::NnKernel`] (and `netlist::Engine` in
+/// `dvafs-arith`), the strategy is an execution choice, never a semantic
+/// one: both strategies produce bit-identical [`LayerRequirement`]s for
+/// every network, operand, target and thread count (property-tested in
+/// `tests/search_equivalence.rs`), so only wall time changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SearchStrategy {
+    /// The original full-forward rescan — every candidate width re-runs
+    /// the whole cascade. Retained verbatim as the **reference oracle**.
+    Rescan,
+    /// The default: the full-precision prefix of each scanned layer is
+    /// computed once per `(sample, layer)` and reused across all candidate
+    /// widths, and activation quantization is memoized per
+    /// `(sample, layer, abits)` in an [`ActivationCache`] — turning the
+    /// search from O(layers x widths x full-forward) into
+    /// O(layers x widths x suffix-forward).
+    #[default]
+    Incremental,
+}
+
+impl SearchStrategy {
+    /// Both strategies, oracle first (test matrices iterate this).
+    pub const ALL: [SearchStrategy; 2] = [SearchStrategy::Rescan, SearchStrategy::Incremental];
+
+    /// Parses a CLI spelling (`"rescan"` / `"incremental"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "rescan" => Ok(SearchStrategy::Rescan),
+            "incremental" => Ok(SearchStrategy::Incremental),
+            other => Err(format!(
+                "unknown search strategy {other:?} (expected rescan|incremental)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SearchStrategy::Rescan => "rescan",
+            SearchStrategy::Incremental => "incremental",
+        })
+    }
+}
 
 /// Which operand of a layer is being scaled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -68,6 +124,11 @@ pub fn prediction_diversity(net: &Network, data: &SyntheticDataset) -> usize {
 pub struct PrecisionSearch {
     target: f64,
     full_bits: u32,
+    /// Execution strategy, not search identity: guaranteed to never change
+    /// a [`LayerRequirement`], so it is skipped by serialization like
+    /// `Network`'s kernel field.
+    #[serde(skip)]
+    strategy: SearchStrategy,
 }
 
 impl PrecisionSearch {
@@ -77,7 +138,21 @@ impl PrecisionSearch {
         PrecisionSearch {
             target: 0.99,
             full_bits: 16,
+            strategy: SearchStrategy::default(),
         }
+    }
+
+    /// Overrides the scan strategy (builder form).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The scan strategy candidate widths are evaluated on.
+    #[must_use]
+    pub fn strategy(&self) -> SearchStrategy {
+        self.strategy
     }
 
     /// Overrides the relative-accuracy target (`0 < target <= 1`).
@@ -129,6 +204,21 @@ impl PrecisionSearch {
         operand: Operand,
         exec: &Executor,
     ) -> Vec<LayerRequirement> {
+        match self.strategy {
+            SearchStrategy::Rescan => self.search_rescan(net, data, operand, exec),
+            SearchStrategy::Incremental => self.search_incremental(net, data, operand, exec),
+        }
+    }
+
+    /// The original full-forward scan, retained verbatim as the reference
+    /// oracle [`SearchStrategy::Incremental`] is proven against.
+    fn search_rescan(
+        &self,
+        net: &Network,
+        data: &SyntheticDataset,
+        operand: Operand,
+        exec: &Executor,
+    ) -> Vec<LayerRequirement> {
         let full = QuantConfig::uniform(net.layer_count(), self.full_bits, self.full_bits);
         let reference = net
             .predict_all_with(data, &full, exec)
@@ -151,6 +241,109 @@ impl PrecisionSearch {
                     Operand::Activations => cfg.set_layer(li, self.full_bits, bits),
                 }
                 let acc = net.relative_accuracy_vs_with(data, &cfg, &reference, &inner);
+                if acc >= self.target {
+                    best_bits = bits;
+                    best_acc = acc;
+                } else {
+                    break;
+                }
+            }
+            LayerRequirement {
+                layer_index: li,
+                layer_name: net.layers()[li].name(),
+                bits: best_bits,
+                relative_accuracy: best_acc,
+            }
+        })
+    }
+
+    /// The prefix-cached scan behind [`SearchStrategy::Incremental`].
+    ///
+    /// The scan only ever perturbs one layer, so for every sample the
+    /// full-precision cascade through layers `0..li` is **identical**
+    /// across all candidate widths of layer `li`. One full-precision pass
+    /// per sample records (a) the tensor entering every parameterized
+    /// layer and (b) the final argmax — which doubles as the reference
+    /// prediction the rescan oracle computes via `predict_all_with`, on
+    /// the same per-layer code path and therefore bit-identical. Each
+    /// candidate width then costs one prequantized layer execution plus a
+    /// suffix forward from `li + 1`.
+    ///
+    /// Within one layer's scan the quantized input activation only depends
+    /// on `(sample, abits)`, so it is memoized in a per-layer
+    /// [`ActivationCache`] (quantization is a pure function of
+    /// `(input, bits)` — property-tested in `crate::quant`); cache hits on
+    /// the inner parallel path are lock-free reads.
+    fn search_incremental(
+        &self,
+        net: &Network,
+        data: &SyntheticDataset,
+        operand: Operand,
+        exec: &Executor,
+    ) -> Vec<LayerRequirement> {
+        thread_local! {
+            static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+        }
+        let full = QuantConfig::uniform(net.layer_count(), self.full_bits, self.full_bits);
+        // Prefix pass: one full-precision forward per sample, walking the
+        // same `Layer::forward_with` calls `Network::forward_with` makes,
+        // keeping each parameterized layer's input instead of dropping it.
+        let prefix: Vec<(Vec<Tensor>, usize)> = exec.par_map_indexed(data.images(), |_, img| {
+            SCRATCH.with(|s| {
+                let scratch = &mut *s.borrow_mut();
+                let mut x = img.clone();
+                let mut inputs = Vec::new();
+                for (i, layer) in net.layers().iter().enumerate() {
+                    let p = full.layer(i);
+                    let (out, _) = layer
+                        .forward_with(&x, p.weights, p.activations, net.kernel(), scratch)
+                        .expect("full-precision inference must succeed");
+                    let consumed = std::mem::replace(&mut x, out);
+                    if layer.is_parameterized() {
+                        inputs.push(consumed);
+                    }
+                }
+                (inputs, x.argmax())
+            })
+        });
+        let layers = net.parameterized_layers();
+        // Same nested-executor split as the rescan oracle (see
+        // `search_rescan`): outer over layers, inner over samples.
+        let outer_workers = exec.threads().min(layers.len()).max(1);
+        let inner = Executor::new(exec.threads() / outer_workers);
+        exec.par_map_indexed(&layers, |rank, &li| {
+            // One memo per scanned layer: slot = sample, width = abits —
+            // the `(sample, layer, abits)` key of the tentpole.
+            let acts = ActivationCache::new(prefix.len());
+            let mut best_bits = self.full_bits;
+            let mut best_acc = 1.0;
+            for bits in (1..self.full_bits).rev() {
+                let mut cfg = full.clone();
+                let (wbits, abits) = match operand {
+                    Operand::Weights => (bits, self.full_bits),
+                    Operand::Activations => (self.full_bits, bits),
+                };
+                cfg.set_layer(li, wbits, abits);
+                let agree: usize = inner
+                    .par_map_indexed(&prefix, |si, (inputs, reference)| {
+                        SCRATCH.with(|s| {
+                            let scratch = &mut *s.borrow_mut();
+                            let qa = acts.get_or_quantize(si, abits, || {
+                                QuantizedTensor::quantize(&inputs[rank], abits)
+                                    .expect("bit widths validated by the scan")
+                            });
+                            let (out, _) = net.layers()[li]
+                                .forward_prequantized(&qa, wbits, net.kernel(), scratch)
+                                .expect("scan inference must succeed");
+                            let (logits, _) = net
+                                .forward_from(li + 1, &out, &cfg, scratch)
+                                .expect("suffix inference must succeed");
+                            usize::from(logits.argmax() == *reference)
+                        })
+                    })
+                    .into_iter()
+                    .sum();
+                let acc = agree as f64 / prefix.len() as f64;
                 if acc >= self.target {
                     best_bits = bits;
                     best_acc = acc;
@@ -300,5 +493,35 @@ mod tests {
     #[should_panic(expected = "target must be in")]
     fn invalid_target_rejected() {
         let _ = PrecisionSearch::new().with_target(0.0);
+    }
+
+    #[test]
+    fn strategy_parses_and_displays() {
+        for s in SearchStrategy::ALL {
+            assert_eq!(SearchStrategy::parse(&s.to_string()), Ok(s));
+        }
+        assert_eq!(SearchStrategy::default(), SearchStrategy::Incremental);
+        assert!(SearchStrategy::parse("bogus")
+            .unwrap_err()
+            .contains("rescan|incremental"));
+    }
+
+    #[test]
+    fn incremental_matches_rescan_on_the_tiny_net() {
+        // The full equivalence net lives in tests/search_equivalence.rs;
+        // this is the in-module smoke check.
+        let net = tiny_net();
+        let d = data();
+        for op in [Operand::Weights, Operand::Activations] {
+            let rescan = PrecisionSearch::new()
+                .with_target(0.9)
+                .with_strategy(SearchStrategy::Rescan)
+                .search(&net, &d, op);
+            let incremental = PrecisionSearch::new()
+                .with_target(0.9)
+                .with_strategy(SearchStrategy::Incremental)
+                .search(&net, &d, op);
+            assert_eq!(rescan, incremental);
+        }
     }
 }

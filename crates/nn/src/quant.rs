@@ -197,4 +197,42 @@ mod tests {
         assert!(QuantizedTensor::quantize(&t, 0).is_err());
         assert!(QuantizedTensor::quantize(&t, 17).is_err());
     }
+
+    mod purity {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Quantization is a **pure function** of `(input, bits)` —
+            /// the assumption the per-`(sample, layer, abits)` activation
+            /// memo of the incremental precision search rests on: two
+            /// calls on the same input produce bitwise-equal grids,
+            /// bit-identical scales, and equal shapes, independent of
+            /// call order or repetition.
+            #[test]
+            fn quantize_is_pure_in_input_and_bits(
+                seed in any::<u64>(),
+                c in 1usize..=3,
+                h in 1usize..=6,
+                w in 1usize..=6,
+                bits in 1u32..=16,
+            ) {
+                let t = Tensor::random(c, h, w, seed);
+                let a = QuantizedTensor::quantize(&t, bits).unwrap();
+                // Interleave a different-width call: no hidden state may
+                // leak between quantizations.
+                let _ = QuantizedTensor::quantize(&t, (bits % 16) + 1).unwrap();
+                let b = QuantizedTensor::quantize(&t, bits).unwrap();
+                let c2 = QuantizedTensor::quantize(&t.clone(), bits).unwrap();
+                for q in [&b, &c2] {
+                    prop_assert_eq!(&a.data, &q.data);
+                    prop_assert_eq!(a.scale.to_bits(), q.scale.to_bits());
+                    prop_assert_eq!(a.bits, q.bits);
+                    prop_assert_eq!(a.shape, q.shape);
+                }
+            }
+        }
+    }
 }

@@ -19,6 +19,7 @@
 //! pipeline (`cargo build --release && cargo test -q`) leaves a warm
 //! release cache. Output is captured and only shown on failure.
 
+use dvafs::nn::SearchStrategy;
 use dvafs::scenario::{self, Format, ScenarioCtx};
 use std::path::Path;
 use std::process::Command;
@@ -137,6 +138,35 @@ smoke!(
     ablations,
     bench_sweep
 );
+
+#[test]
+fn fig6_stdout_unchanged_by_search_strategy() {
+    // The incremental precision search is the new default; it must never
+    // move a byte of presentation text. In-process: both strategies render
+    // identically for the fig6-family scenarios...
+    for id in ["fig6", "fig6_vgg"] {
+        let s = scenario::find(id).expect("registered");
+        let ctx = ScenarioCtx::new().with_threads(1).with_fast(true);
+        let incremental = s.run(&ctx.clone().with_search(SearchStrategy::Incremental));
+        let rescan = s.run(&ctx.with_search(SearchStrategy::Rescan));
+        assert_eq!(
+            scenario::render(s.label(), s.title(), &incremental, Format::Text),
+            scenario::render(s.label(), s.title(), &rescan, Format::Text),
+            "{id}: search strategy moved the rendered text"
+        );
+    }
+    // ...and the legacy fig6 shim pinned to the old rescan path prints
+    // stdout byte-identical to the in-process rendering under the new
+    // default (at a different thread count, like every shim smoke).
+    let stdout = run_bin("fig6", &["--fast", "--threads", "2", "--search", "rescan"]);
+    let s = scenario::find("fig6").expect("registered");
+    let result = s.run(&ScenarioCtx::new().with_threads(1).with_fast(true));
+    assert_eq!(
+        stdout,
+        scenario::render(s.label(), s.title(), &result, Format::Text),
+        "fig6 shim stdout changed under the default incremental strategy"
+    );
+}
 
 #[test]
 fn dvafs_cli_lists_every_scenario() {

@@ -82,3 +82,11 @@ fn fig3b_matches_golden() {
 fn table3_matches_golden() {
     assert_matches_golden("table3");
 }
+
+#[test]
+fn fig6_vgg_matches_golden() {
+    // The VGG16-scale search the incremental strategy unlocks; the search
+    // strategy never moves a number, so this fixture also pins the
+    // rescan oracle (see the equivalence net in crates/nn).
+    assert_matches_golden("fig6_vgg");
+}
