@@ -70,14 +70,22 @@ impl SubwordMode {
         Precision::new(self.lane_bits()).expect("lane width is always 4, 8 or 16")
     }
 
-    /// Picks the widest mode whose lanes still hold `bits`-wide operands —
-    /// the mode a DVAFS controller selects for a precision requirement.
+    /// Picks the *narrowest-lane, most-parallel* mode whose lanes still
+    /// hold `bits`-wide operands — the mode a DVAFS controller selects for
+    /// a precision requirement, since more lanes per cycle is the entire
+    /// point of subword reconfiguration. This is the mode-selection
+    /// authority for the subword-packed GEMM kernel (`dvafs-simd`): a
+    /// 4-bit operand goes four-to-a-word ([`X4`](SubwordMode::X4)), never
+    /// one-to-a-word.
     ///
     /// # Example
     ///
     /// ```
     /// use dvafs_arith::{Precision, SubwordMode};
     ///
+    /// // 4-bit operands select the most-parallel X4 mode, not X1 —
+    /// // even though a 16-bit lane would also hold them.
+    /// assert_eq!(SubwordMode::for_precision(Precision::new(4)?), SubwordMode::X4);
     /// assert_eq!(SubwordMode::for_precision(Precision::new(3)?), SubwordMode::X4);
     /// assert_eq!(SubwordMode::for_precision(Precision::new(5)?), SubwordMode::X2);
     /// assert_eq!(SubwordMode::for_precision(Precision::new(9)?), SubwordMode::X1);
@@ -190,6 +198,21 @@ mod tests {
     }
 
     #[test]
+    fn mode_for_precision_is_most_parallel() {
+        // The contract is narrowest-lane/most-parallel, not merely
+        // "fits": every narrower mode must be too small for the bits.
+        for b in 1..=16 {
+            let p = Precision::new(b).unwrap();
+            let m = SubwordMode::for_precision(p);
+            for other in SubwordMode::ALL {
+                if other.lane_bits() < m.lane_bits() {
+                    assert!(other.lane_bits() < b, "{b} bits should have picked {other}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn pack_unpack_roundtrip_x4() {
         let lanes = [-8, 7, -1, 3];
         let w = pack_lanes(&lanes, SubwordMode::X4).unwrap();
@@ -235,6 +258,29 @@ mod tests {
         for v in -8..=7 {
             let w = pack_lanes(&[v, 0, 0, 0], SubwordMode::X4).unwrap();
             assert_eq!(unpack_lanes(w, SubwordMode::X4)[0], v);
+        }
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_every_word_every_mode() {
+        // Every u16 word is a valid packed operand in every mode (all
+        // two's-complement field patterns are reachable), so
+        // unpack -> pack must reproduce each of the 65536 words exactly,
+        // and the unpacked lanes must sit inside the mode's signed range.
+        for mode in SubwordMode::ALL {
+            let w = mode.lane_bits();
+            let lo = -(1i32 << (w - 1));
+            let hi = (1i32 << (w - 1)) - 1;
+            for word in 0..=u16::MAX {
+                let lanes = unpack_lanes(word, mode);
+                assert_eq!(lanes.len(), mode.lanes());
+                for &v in &lanes {
+                    assert!((lo..=hi).contains(&v), "{mode}: lane {v} out of range");
+                }
+                let repacked = pack_lanes(&lanes, mode)
+                    .unwrap_or_else(|e| panic!("{mode}: word {word:#06x} failed: {e}"));
+                assert_eq!(repacked, word, "{mode}: word {word:#06x} did not roundtrip");
+            }
         }
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! dvafs list
 //! dvafs run <id>... [--all] [--format text|json|csv] [--out DIR]
-//!                   [--threads N] [--fast] [--kernel naive|gemm]
+//!                   [--threads N] [--fast] [--kernel naive|gemm|packed]
 //!                   [--search rescan|incremental] [--repeats N]
 //! ```
 //!
@@ -37,8 +37,8 @@ pub struct RunOpts {
     pub threads: usize,
     /// Reduced problem sizes (`--fast`).
     pub fast: bool,
-    /// NN MAC kernel (`--kernel naive|gemm`, default gemm). Never changes
-    /// a number — only wall time.
+    /// NN MAC kernel (`--kernel naive|gemm|packed`, default packed).
+    /// Never changes a number — only wall time.
     pub kernel: NnKernel,
     /// Precision-search strategy (`--search rescan|incremental`, default
     /// incremental). Never changes a number — only wall time.
@@ -66,7 +66,7 @@ run options:\n  \
   --out DIR                  write one file per scenario instead of stdout\n  \
   --threads N                worker count (default: DVAFS_THREADS or host)\n  \
   --fast                     reduced problem sizes (see `dvafs list`)\n  \
-  --kernel naive|gemm        NN MAC kernel (default gemm; results identical)\n  \
+  --kernel naive|gemm|packed NN MAC kernel (default packed; results identical)\n  \
   --search rescan|incremental  precision-search strategy (default incremental; results identical)\n  \
   --repeats N                timed repeats per bench_sweep measurement (default 3)";
 
@@ -341,9 +341,15 @@ mod tests {
         let (Command::Run(opts), _) = parse(&argv(&["run", "fig2"])).unwrap() else {
             panic!("expected run")
         };
-        assert_eq!(opts.kernel, NnKernel::Gemm);
+        assert_eq!(opts.kernel, NnKernel::GemmPacked);
         assert_eq!(opts.search, SearchStrategy::Incremental);
         assert_eq!(opts.repeats, 3);
+        // And the explicit spelling round-trips.
+        let (Command::Run(opts), _) = parse(&argv(&["run", "fig2", "--kernel", "packed"])).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert_eq!(opts.kernel, NnKernel::GemmPacked);
     }
 
     #[test]
@@ -402,7 +408,7 @@ mod tests {
             .contains("unknown format"));
         assert!(parse(&argv(&["run", "fig2", "--kernel", "fast"]))
             .unwrap_err()
-            .contains("naive|gemm"));
+            .contains("naive|gemm|packed"));
         assert!(parse(&argv(&["run", "fig2", "--kernel"]))
             .unwrap_err()
             .contains("--kernel requires a value"));

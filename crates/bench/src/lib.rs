@@ -63,7 +63,7 @@ pub struct BenchArgs {
     pub fast: bool,
     /// Output path override for artefact-writing binaries (`--out PATH`).
     pub out: Option<String>,
-    /// NN MAC kernel (`--kernel naive|gemm`, default gemm).
+    /// NN MAC kernel (`--kernel naive|gemm|packed`, default packed).
     pub kernel: NnKernel,
     /// Precision-search strategy (`--search rescan|incremental`, default
     /// incremental).
@@ -129,7 +129,7 @@ impl BenchArgs {
         };
         let kernel = if args.iter().any(|a| a == "--kernel") {
             let v = value_of("--kernel")
-                .unwrap_or_else(|| panic!("--kernel requires a value (naive|gemm)"));
+                .unwrap_or_else(|| panic!("--kernel requires a value (naive|gemm|packed)"));
             NnKernel::parse(&v).unwrap_or_else(|e| panic!("{e}"))
         } else {
             NnKernel::default()

@@ -104,18 +104,20 @@ pub fn fmt_e(v: f64) -> String {
 
 /// One timed scenario of the `bench_sweep` performance record.
 ///
-/// Three comparisons share the record, all against `serial_ms` (one
-/// thread, bitsliced engine, GEMM kernel — the shipping configuration):
-/// thread scaling (`parallel_ms`), netlist-engine scaling (`scalar_ms`,
-/// the scalar-oracle engine) and NN-kernel scaling (`naive_ms`, the naive
-/// MAC-loop oracle). Every wall time is a median of N timed repeats after
-/// a warmup pass (N is `ScenarioCtx::repeats`).
+/// Four comparisons share the record, all against `serial_ms` (one
+/// thread, bitsliced engine, subword-packed GEMM kernel — the shipping
+/// configuration): thread scaling (`parallel_ms`), netlist-engine scaling
+/// (`scalar_ms`, the scalar-oracle engine), NN-kernel scaling against
+/// both retained oracles (`naive_ms`, the naive MAC loops, and `gemm_ms`,
+/// the plain blocked GEMM) and precision-search scaling (`rescan_ms`).
+/// Every wall time is a median of N timed repeats after a warmup pass
+/// (N is `ScenarioCtx::repeats`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepTiming {
     /// Scenario identifier (e.g. `"fig3b"`).
     pub figure: String,
     /// Serial (1-thread) wall time in milliseconds, bitsliced engine,
-    /// GEMM kernel.
+    /// subword-packed GEMM kernel.
     pub serial_ms: f64,
     /// Parallel wall time in milliseconds at the configured worker count.
     pub parallel_ms: f64,
@@ -124,9 +126,13 @@ pub struct SweepTiming {
     /// Scenarios without a gate-level component time close to `serial_ms`.
     pub scalar_ms: f64,
     /// Serial (1-thread) wall time in milliseconds on the naive NN MAC
-    /// kernel — the reference oracle the blocked GEMM is timed against.
-    /// Scenarios without a CNN in the loop time close to `serial_ms`.
+    /// kernel — the original reference oracle. Scenarios without a CNN in
+    /// the loop time close to `serial_ms`.
     pub naive_ms: f64,
+    /// Serial (1-thread) wall time in milliseconds on the plain blocked
+    /// GEMM kernel — the oracle the subword-packed GEMM is timed against.
+    /// Scenarios without a CNN in the loop time close to `serial_ms`.
+    pub gemm_ms: f64,
     /// Serial wall time with the rescan precision-search oracle (the
     /// pre-incremental full-forward scan). Scenarios without a precision
     /// search in the loop time close to `serial_ms`.
@@ -155,12 +161,23 @@ impl SweepTiming {
         }
     }
 
-    /// Naive-over-GEMM NN-kernel speedup at one thread (> 1 means the
-    /// blocked GEMM won).
+    /// Naive-over-packed NN-kernel speedup at one thread (> 1 means the
+    /// shipping packed GEMM beat the naive loops).
     #[must_use]
     pub fn kernel_speedup(&self) -> f64 {
         if self.serial_ms > 0.0 {
             self.naive_ms / self.serial_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Gemm-over-packed NN-kernel speedup at one thread (> 1 means the
+    /// subword-packed GEMM beat the plain blocked GEMM).
+    #[must_use]
+    pub fn packed_speedup(&self) -> f64 {
+        if self.serial_ms > 0.0 {
+            self.gemm_ms / self.serial_ms
         } else {
             0.0
         }
@@ -213,10 +230,12 @@ pub fn median_time_ms<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
 /// Renders the `BENCH_sweep.json` document: per-scenario serial vs
 /// parallel wall time, scalar-engine vs bitsliced-engine wall time
 /// (`bitsliced_ms` repeats `serial_ms` so the engine columns read as a
-/// pair), naive-kernel vs GEMM-kernel wall time (`gemm_ms` likewise
-/// repeats `serial_ms`), the measured thread count, the host parallelism,
-/// and the per-measurement repeat count, so the workspace's performance
-/// trajectory is recorded per commit by CI.
+/// pair), naive-kernel and plain-GEMM-kernel wall time against the
+/// shipping subword-packed kernel (`packed_ms` likewise repeats
+/// `serial_ms`; `gemm_ms` is the *measured* plain-GEMM oracle time), the
+/// measured thread count, the host parallelism, and the per-measurement
+/// repeat count, so the workspace's performance trajectory is recorded
+/// per commit by CI.
 #[must_use]
 pub fn bench_sweep_json(
     timings: &[SweepTiming],
@@ -231,7 +250,8 @@ pub fn bench_sweep_json(
                 "    {{\"figure\":\"{}\",\"serial_ms\":{:.3},\"parallel_ms\":{:.3},\
                  \"speedup\":{:.3},\"scalar_ms\":{:.3},\"bitsliced_ms\":{:.3},\
                  \"engine_speedup\":{:.3},\"naive_ms\":{:.3},\"gemm_ms\":{:.3},\
-                 \"kernel_speedup\":{:.3},\"rescan_ms\":{:.3},\
+                 \"packed_ms\":{:.3},\"kernel_speedup\":{:.3},\
+                 \"packed_speedup\":{:.3},\"rescan_ms\":{:.3},\
                  \"incremental_ms\":{:.3},\"search_speedup\":{:.3}}}",
                 t.figure,
                 t.serial_ms,
@@ -241,8 +261,10 @@ pub fn bench_sweep_json(
                 t.serial_ms,
                 t.engine_speedup(),
                 t.naive_ms,
+                t.gemm_ms,
                 t.serial_ms,
                 t.kernel_speedup(),
+                t.packed_speedup(),
                 t.rescan_ms,
                 t.serial_ms,
                 t.search_speedup()
@@ -367,11 +389,13 @@ mod tests {
             parallel_ms: 25.0,
             scalar_ms: 800.0,
             naive_ms: 450.0,
+            gemm_ms: 250.0,
             rescan_ms: 350.0,
         };
         assert!((t.speedup() - 4.0).abs() < 1e-12);
         assert!((t.engine_speedup() - 8.0).abs() < 1e-12);
         assert!((t.kernel_speedup() - 4.5).abs() < 1e-12);
+        assert!((t.packed_speedup() - 2.5).abs() < 1e-12);
         assert!((t.search_speedup() - 3.5).abs() < 1e-12);
         let zero = SweepTiming {
             parallel_ms: 0.0,
@@ -381,6 +405,7 @@ mod tests {
         assert_eq!(zero.speedup(), 0.0);
         assert_eq!(zero.engine_speedup(), 0.0);
         assert_eq!(zero.kernel_speedup(), 0.0);
+        assert_eq!(zero.packed_speedup(), 0.0);
         assert_eq!(zero.search_speedup(), 0.0);
     }
 
@@ -393,6 +418,7 @@ mod tests {
                 parallel_ms: 0.5,
                 scalar_ms: 6.0,
                 naive_ms: 4.5,
+                gemm_ms: 2.0,
                 rescan_ms: 3.0,
             }],
             4,
@@ -407,8 +433,10 @@ mod tests {
         assert!(doc.contains("\"bitsliced_ms\":1.000"));
         assert!(doc.contains("\"engine_speedup\":6.000"));
         assert!(doc.contains("\"naive_ms\":4.500"));
-        assert!(doc.contains("\"gemm_ms\":1.000"));
+        assert!(doc.contains("\"gemm_ms\":2.000"));
+        assert!(doc.contains("\"packed_ms\":1.000"));
         assert!(doc.contains("\"kernel_speedup\":4.500"));
+        assert!(doc.contains("\"packed_speedup\":2.000"));
         assert!(doc.contains("\"rescan_ms\":3.000"));
         assert!(doc.contains("\"incremental_ms\":1.000"));
         assert!(doc.contains("\"search_speedup\":3.000"));

@@ -1,22 +1,23 @@
 //! The `BENCH_sweep.json` emitter: wall time of **every registered
 //! scenario**, serial vs parallel, scalar-engine vs bitsliced-engine *and*
-//! naive-kernel vs GEMM-kernel, plus thread count, host parallelism and
-//! the repeat count — the per-commit performance record CI uploads as an
-//! artifact.
+//! naive-/plain-GEMM-kernel vs subword-packed-kernel, plus thread count,
+//! host parallelism and the repeat count — the per-commit performance
+//! record CI uploads as an artifact.
 //!
 //! Since the registry refactor this scenario times the real experiments
 //! through [`super::registry`], so the perf trajectory covers every
 //! figure and table, not just the parallelized multiplier sweeps. While
-//! timing, it also *verifies* the determinism contract four times over:
+//! timing, it also *verifies* the determinism contract five times over:
 //! each scenario's parallel [`ScenarioResult`] is asserted equal to the
 //! serial one, the scalar-netlist-oracle run is asserted equal to the
-//! bitsliced one, the naive-MAC-kernel-oracle run is asserted equal to
-//! the GEMM one, and the rescan-search-oracle run is asserted equal to
-//! the incremental one, before a timing is recorded. The gate-level
-//! scenarios (fig2/fig3a/fig3b/table1/ablations) are where
-//! `engine_speedup` bites; `kernel_speedup` and `search_speedup` bite on
-//! the CNN scenarios (fig6/fig6_vgg); scenarios without any of them in
-//! the loop time near 1x.
+//! bitsliced one, the naive-MAC-kernel-oracle and plain-GEMM-oracle runs
+//! are asserted equal to the subword-packed one, and the
+//! rescan-search-oracle run is asserted equal to the incremental one,
+//! before a timing is recorded. The gate-level scenarios
+//! (fig2/fig3a/fig3b/table1/ablations) are where `engine_speedup` bites;
+//! `kernel_speedup`, `packed_speedup` and `search_speedup` bite on the
+//! CNN scenarios (fig6/fig6_vgg); scenarios without any of them in the
+//! loop time near 1x.
 //!
 //! Timing hygiene: one untimed serial warmup pass per scenario warms the
 //! process-wide state (page cache, allocator, memoized calibrations)
@@ -67,13 +68,14 @@ impl Scenario for BenchSweep {
     fn run(&self, ctx: &ScenarioCtx) -> ScenarioResult {
         let repeats = ctx.repeats.max(1);
         // The baseline is always the *shipping* configuration — bitsliced
-        // engine, GEMM kernel — regardless of what the invoking context
-        // selected (a `--kernel naive` run must not silently relabel the
-        // serial_ms/gemm_ms columns as naive and flatten kernel_speedup).
+        // engine, subword-packed GEMM kernel — regardless of what the
+        // invoking context selected (a `--kernel naive` run must not
+        // silently relabel the serial_ms/packed_ms columns as naive and
+        // flatten kernel_speedup).
         let serial_ctx = ctx
             .serial()
             .with_engine(Engine::Bitsliced)
-            .with_kernel(NnKernel::Gemm)
+            .with_kernel(NnKernel::GemmPacked)
             .with_search(SearchStrategy::Incremental);
         // The scalar-oracle run: one thread, scalar netlist engine — the
         // pre-bitslicing baseline every engine_speedup column is against.
@@ -81,6 +83,11 @@ impl Scenario for BenchSweep {
         // The naive-oracle run: one thread, naive NN MAC kernel — the
         // pre-GEMM baseline every kernel_speedup column is against.
         let naive_ctx = serial_ctx.clone().with_kernel(NnKernel::Naive);
+        // The plain-GEMM-oracle run: one thread, unpacked blocked GEMM —
+        // the pre-subword-packing baseline every packed_speedup column is
+        // against (and a bit-identity check of the packed kernel on every
+        // scenario, every run).
+        let gemm_ctx = serial_ctx.clone().with_kernel(NnKernel::Gemm);
         // The rescan-oracle run: one thread, full-forward precision-search
         // rescan — the pre-incremental baseline every search_speedup
         // column is against.
@@ -96,7 +103,7 @@ impl Scenario for BenchSweep {
             ctx.clone().with_threads(Executor::host_parallelism())
         }
         .with_engine(Engine::Bitsliced)
-        .with_kernel(NnKernel::Gemm)
+        .with_kernel(NnKernel::GemmPacked)
         .with_search(SearchStrategy::Incremental);
         let mut timings = Vec::new();
         let mut r = ScenarioResult::new();
@@ -117,6 +124,7 @@ impl Scenario for BenchSweep {
             let (parallel_ms, parallel_result) = median_time_ms(repeats, || s.run(&parallel_ctx));
             let (scalar_ms, scalar_result) = median_time_ms(repeats, || s.run(&scalar_ctx));
             let (naive_ms, naive_result) = median_time_ms(repeats, || s.run(&naive_ctx));
+            let (gemm_ms, gemm_result) = median_time_ms(repeats, || s.run(&gemm_ctx));
             let (rescan_ms, rescan_result) = median_time_ms(repeats, || s.run(&rescan_ctx));
             assert!(
                 serial_result == parallel_result,
@@ -130,7 +138,12 @@ impl Scenario for BenchSweep {
             );
             assert!(
                 naive_result == serial_result,
-                "{}: naive-kernel result diverged from GEMM",
+                "{}: naive-kernel result diverged from packed GEMM",
+                s.id()
+            );
+            assert!(
+                gemm_result == serial_result,
+                "{}: plain-GEMM result diverged from packed GEMM",
                 s.id()
             );
             assert!(
@@ -148,6 +161,7 @@ impl Scenario for BenchSweep {
                 parallel_ms,
                 scalar_ms,
                 naive_ms,
+                gemm_ms,
                 rescan_ms,
             });
         }
@@ -163,6 +177,8 @@ impl Scenario for BenchSweep {
                 "engine_speedup",
                 "naive_ms",
                 "kernel_speedup",
+                "gemm_ms",
+                "packed_speedup",
                 "rescan_ms",
                 "search_speedup",
             ],
@@ -177,6 +193,8 @@ impl Scenario for BenchSweep {
                 t.engine_speedup().into(),
                 t.naive_ms.into(),
                 t.kernel_speedup().into(),
+                t.gemm_ms.into(),
+                t.packed_speedup().into(),
                 t.rescan_ms.into(),
                 t.search_speedup().into(),
             ]);

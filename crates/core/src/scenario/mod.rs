@@ -81,9 +81,10 @@ pub struct ScenarioCtx {
     /// by default; scalar is the reference oracle `bench_sweep` times
     /// against it). Never moves a number — only wall time.
     pub engine: Engine,
-    /// MAC kernel for the NN scenarios (blocked GEMM by default; the naive
-    /// layer loops are the reference oracle `bench_sweep` times against
-    /// it). Like the engine, it never moves a number — only wall time.
+    /// MAC kernel for the NN scenarios (subword-packed GEMM by default;
+    /// the naive layer loops and the plain blocked GEMM are the reference
+    /// oracles `bench_sweep` times against it). Like the engine, it never
+    /// moves a number — only wall time.
     pub kernel: NnKernel,
     /// Timed repeats per measurement in `bench_sweep` (median-of-N after a
     /// warmup pass; `--repeats`, default 3). Ignored by every other
@@ -221,9 +222,10 @@ pub trait Scenario: Sync {
 }
 
 /// Checks the cycle-level SIMD machine's read-back outputs against the
-/// exact software reference selected by `nn_kernel` — the naive tap loop
-/// or the blocked GEMM (provably identical; this exercises whichever path
-/// the run selected). Shared by the fig4/table2 scenarios.
+/// exact software reference selected by `nn_kernel` — the naive tap loop,
+/// the blocked GEMM, or the subword-packed GEMM (all provably identical;
+/// this exercises whichever path the run selected). Shared by the
+/// fig4/table2 scenarios.
 pub(crate) fn simd_outputs_match(
     report: &dvafs_simd::processor::KernelReport,
     kernel: &dvafs_simd::kernels::ConvKernel,
@@ -232,6 +234,7 @@ pub(crate) fn simd_outputs_match(
     match nn_kernel {
         NnKernel::Naive => report.outputs_match(kernel),
         NnKernel::Gemm => report.outputs_match_gemm(kernel),
+        NnKernel::GemmPacked => report.outputs_match_packed(kernel),
     }
 }
 
@@ -291,7 +294,7 @@ mod tests {
         assert!(ctx.fast);
         assert_eq!(ctx.seed, 7);
         assert_eq!(ctx.engine, Engine::Bitsliced);
-        assert_eq!(ctx.kernel, NnKernel::Gemm);
+        assert_eq!(ctx.kernel, NnKernel::GemmPacked);
         assert_eq!(ctx.repeats, 3);
         assert_eq!(ctx.search, SearchStrategy::Incremental);
         assert_eq!(ctx.serial().threads(), 1);

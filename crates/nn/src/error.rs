@@ -24,6 +24,10 @@ pub enum NnError {
         /// The offending width.
         bits: u32,
     },
+    /// A tensor handed to the quantizer contained a non-finite value
+    /// (NaN or ±inf). Quantizing such a tensor would silently produce an
+    /// all-zero grid with a NaN scale, so it is rejected instead.
+    NonFiniteInput,
 }
 
 impl fmt::Display for NnError {
@@ -39,6 +43,9 @@ impl fmt::Display for NnError {
             ),
             NnError::InvalidBits { bits } => {
                 write!(f, "bit width {bits} outside the supported 1..=16 range")
+            }
+            NnError::NonFiniteInput => {
+                write!(f, "tensor contains a non-finite value (NaN or infinity)")
             }
         }
     }

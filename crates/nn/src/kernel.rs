@@ -2,23 +2,34 @@
 //! multiply-accumulates.
 //!
 //! Mirroring the netlist engine selector of `dvafs-arith`
-//! (`netlist::Engine::{Scalar, Bitsliced}`), the NN hot path has two
+//! (`netlist::Engine::{Scalar, Bitsliced}`), the NN hot path has three
 //! interchangeable kernels:
 //!
 //! * [`NnKernel::Naive`] — the original 7-deep convolution loop (and the
 //!   2-deep dense loop), retained verbatim as the **reference oracle**;
-//! * [`NnKernel::Gemm`] — the default: activations are packed into an
-//!   im2col panel and consumed by the blocked integer GEMM of
-//!   [`dvafs_simd::gemm`] (`i16 x i16` products, exact `i64`
-//!   accumulation), with per-`(layer, bits)` weight quantization memoized
-//!   in a [`WeightCache`] across a precision sweep.
+//! * [`NnKernel::Gemm`] — activations are packed into an im2col panel and
+//!   consumed by the blocked integer GEMM of [`dvafs_simd::gemm`]
+//!   (`i16 x i16` products, exact `i64` accumulation), with
+//!   per-`(layer, bits)` weight quantization memoized in a [`WeightCache`]
+//!   across a precision sweep;
+//! * [`NnKernel::GemmPacked`] — the default: the GEMM operands are
+//!   additionally *subword-packed* (the paper's Section II-C move in
+//!   software): each side independently selects the most-parallel
+//!   [`SubwordMode`] its bit width allows via
+//!   [`SubwordMode::for_precision`] — see [`mode_for_bits`] — so an
+//!   8-bit layer carries 2 operands per 16-bit lane word and a 4-bit
+//!   layer 4, and the packed GEMM of `dvafs_simd::gemm` consumes them
+//!   with exact accumulation.
 //!
-//! Accumulation is exact, so the kernel choice **never moves a number**:
-//! outputs are byte-identical and the `zero_weight`/`zero_act` guard-skip
-//! counters are reproduced exactly from the packed representation (the
-//! `Naive == Gemm` property tests pin both). Only wall time changes.
+//! Accumulation is exact in every kernel, so the choice **never moves a
+//! number**: outputs are byte-identical and the `zero_weight`/`zero_act`
+//! guard-skip counters are reproduced exactly from the packed
+//! representation (the `Naive == Gemm == GemmPacked` property tests pin
+//! all three). Only wall time changes.
 
 use crate::quant::QuantizedTensor;
+use dvafs_arith::{Precision, SubwordMode};
+use dvafs_simd::gemm::PackedPanel;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
 
@@ -27,16 +38,19 @@ use std::sync::{Arc, OnceLock};
 pub enum NnKernel {
     /// The original scalar layer loops — the reference oracle.
     Naive,
-    /// im2col packing + blocked integer GEMM — the default.
-    #[default]
+    /// im2col packing + blocked integer GEMM.
     Gemm,
+    /// Subword-packed GEMM: reduced-precision operands share lane words
+    /// at the [`SubwordMode`] geometry — the default.
+    #[default]
+    GemmPacked,
 }
 
 impl NnKernel {
-    /// Both kernels, oracle first (test matrices iterate this).
-    pub const ALL: [NnKernel; 2] = [NnKernel::Naive, NnKernel::Gemm];
+    /// All kernels, oracle first (test matrices iterate this).
+    pub const ALL: [NnKernel; 3] = [NnKernel::Naive, NnKernel::Gemm, NnKernel::GemmPacked];
 
-    /// Parses a CLI spelling (`"naive"` / `"gemm"`).
+    /// Parses a CLI spelling (`"naive"` / `"gemm"` / `"packed"`).
     ///
     /// # Errors
     ///
@@ -45,7 +59,10 @@ impl NnKernel {
         match s {
             "naive" => Ok(NnKernel::Naive),
             "gemm" => Ok(NnKernel::Gemm),
-            other => Err(format!("unknown kernel {other:?} (expected naive|gemm)")),
+            "packed" => Ok(NnKernel::GemmPacked),
+            other => Err(format!(
+                "unknown kernel {other:?} (expected naive|gemm|packed)"
+            )),
         }
     }
 }
@@ -55,8 +72,22 @@ impl fmt::Display for NnKernel {
         f.write_str(match self {
             NnKernel::Naive => "naive",
             NnKernel::Gemm => "gemm",
+            NnKernel::GemmPacked => "packed",
         })
     }
+}
+
+/// The [`SubwordMode`] the packed kernel selects for a `bits`-wide
+/// operand — [`SubwordMode::for_precision`] is the mode-selection
+/// authority: the narrowest-lane, most-parallel mode that still holds
+/// the operands (4-bit → `X4`, 8-bit → `X2`, wider → `X1`).
+///
+/// # Panics
+///
+/// Panics when `bits` is outside `1..=16` (callers validate first).
+#[must_use]
+pub(crate) fn mode_for_bits(bits: u32) -> SubwordMode {
+    SubwordMode::for_precision(Precision::new(bits).expect("bits validated to 1..=16"))
 }
 
 /// Reusable buffers of the GEMM path. One `Scratch` amortizes the im2col
@@ -72,6 +103,9 @@ pub struct Scratch {
     pub(crate) acts: Vec<i16>,
     /// GEMM accumulators (`m x n`, exact `i64`).
     pub(crate) acc: Vec<i64>,
+    /// Subword-packed activation panel of the `GemmPacked` kernel
+    /// (repacked per layer from `patches`/`acts`; the buffer is reused).
+    pub(crate) packed: PackedPanel,
 }
 
 impl Scratch {
@@ -100,6 +134,11 @@ pub(crate) struct PackedWeights {
     pub zeros_per_tap: Vec<u64>,
     /// Total zero weights (the dense layer's per-output-row zero count).
     pub zeros_total: u64,
+    /// The same weights subword-packed at
+    /// [`mode_for_bits`]`(bits)` — one filter/output neuron per panel
+    /// row — pre-built at pack time so the `GemmPacked` hot path never
+    /// re-packs weights.
+    pub panel: PackedPanel,
 }
 
 /// Per-layer cache of [`PackedWeights`] keyed by bit width.
@@ -259,8 +298,25 @@ mod tests {
         for k in NnKernel::ALL {
             assert_eq!(NnKernel::parse(&k.to_string()), Ok(k));
         }
-        assert!(NnKernel::parse("fast").unwrap_err().contains("naive|gemm"));
-        assert_eq!(NnKernel::default(), NnKernel::Gemm);
+        assert!(NnKernel::parse("fast")
+            .unwrap_err()
+            .contains("naive|gemm|packed"));
+        assert_eq!(NnKernel::default(), NnKernel::GemmPacked);
+    }
+
+    #[test]
+    fn mode_selection_follows_subword_authority() {
+        for bits in 1u32..=16 {
+            let mode = mode_for_bits(bits);
+            assert_eq!(
+                mode,
+                SubwordMode::for_precision(Precision::new(bits).unwrap())
+            );
+            assert!(mode.lane_bits() >= bits, "{bits} bits must fit {mode}");
+        }
+        assert_eq!(mode_for_bits(4), SubwordMode::X4);
+        assert_eq!(mode_for_bits(8), SubwordMode::X2);
+        assert_eq!(mode_for_bits(16), SubwordMode::X1);
     }
 
     #[test]
@@ -332,6 +388,7 @@ mod tests {
                     scale: 1.0,
                     zeros_per_tap: vec![],
                     zeros_total: 0,
+                    panel: PackedPanel::default(),
                 }
             });
         }

@@ -7,14 +7,17 @@
 //! accumulation — the arithmetic a DVAFS MAC array performs — and report
 //! the MAC/sparsity statistics that drive the Envision power model.
 //!
-//! Two interchangeable MAC kernels execute that arithmetic (see
+//! Three interchangeable MAC kernels execute that arithmetic (see
 //! [`crate::kernel`]): the original scalar loops ([`NnKernel::Naive`], the
-//! reference oracle) and the default im2col + blocked-integer-GEMM path
-//! ([`NnKernel::Gemm`]). Accumulation is exact in `i64`, so both produce
-//! byte-identical outputs and statistics.
+//! reference oracle), the im2col + blocked-integer-GEMM path
+//! ([`NnKernel::Gemm`]), and the default subword-packed GEMM
+//! ([`NnKernel::GemmPacked`]) that shares the im2col packing and all
+//! statistics bookkeeping with the `Gemm` path and only swaps the inner
+//! product for the lane-packed one. Accumulation is exact in `i64`, so
+//! all three produce byte-identical outputs and statistics.
 
 use crate::error::NnError;
-use crate::kernel::{NnKernel, PackedWeights, Scratch, WeightCache};
+use crate::kernel::{mode_for_bits, NnKernel, PackedWeights, Scratch, WeightCache};
 use crate::quant::QuantizedTensor;
 use crate::tensor::Tensor;
 use dvafs_simd::gemm;
@@ -210,7 +213,8 @@ impl Conv2d {
         }
         match kernel {
             NnKernel::Naive => self.forward_naive(qa, wbits),
-            NnKernel::Gemm => self.forward_gemm(qa, wbits, scratch),
+            NnKernel::Gemm => self.forward_gemm(qa, wbits, scratch, false),
+            NnKernel::GemmPacked => self.forward_gemm(qa, wbits, scratch, true),
         }
     }
 
@@ -292,11 +296,21 @@ impl Conv2d {
                 }
                 qi16.push(q as i16);
             }
+            // Pre-pack the subword panel at the width's own mode (one
+            // filter per row): the GemmPacked hot path then only packs
+            // activations.
+            let panel = gemm::PackedPanel::pack(
+                &qi16,
+                self.out_channels,
+                self.in_channels * k2,
+                mode_for_bits(wbits),
+            );
             PackedWeights {
                 qi16,
                 scale: qw.scale,
                 zeros_per_tap,
                 zeros_total,
+                panel,
             }
         }))
     }
@@ -325,11 +339,18 @@ impl Conv2d {
     /// filters' own layout with structural zeros where a tap falls in the
     /// padding; those zeros contribute nothing to the exact `i64` sums, so
     /// outputs are byte-identical to [`forward_naive`](Self::forward_naive).
+    ///
+    /// With `packed` set this is the `GemmPacked` kernel: the identical
+    /// im2col panel (and therefore the identical statistics bookkeeping)
+    /// is subword-packed at the activation width's [`mode_for_bits`] and
+    /// multiplied against the pre-packed weight panel by the exact packed
+    /// GEMM — same numbers, fewer lane words.
     fn forward_gemm(
         &self,
         qa: &QuantizedTensor,
         wbits: u32,
         scratch: &mut Scratch,
+        packed: bool,
     ) -> Result<(Tensor, LayerStats), NnError> {
         let (_, h, w) = qa.shape;
         let pw = self.packed_weights(wbits)?;
@@ -356,16 +377,25 @@ impl Conv2d {
                 let iy = iy as usize;
                 for ox in 0..ow {
                     let row = (oy * ow + ox) * klen;
-                    for kx in 0..k {
-                        let ix = (ox * self.stride + kx) as isize - pad;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        let ix = ix as usize;
-                        for ci in 0..c {
-                            let q = qa.data[(ci * h + iy) * w + ix];
+                    // Hoist the per-tap ix bounds check: tap kx is in
+                    // bounds iff 0 <= ox*stride + kx - pad < w, so the
+                    // in-bounds taps form one contiguous kx range and the
+                    // two innermost loops run over contiguous reads
+                    // (src[ix0..]) and contiguous writes (dst[kx_lo..]).
+                    let base = (ox * self.stride) as isize - pad;
+                    let kx_lo = usize::try_from(-base).unwrap_or(0).min(k);
+                    let kx_hi = usize::try_from(w as isize - base).unwrap_or(0).min(k);
+                    if kx_lo >= kx_hi {
+                        continue;
+                    }
+                    let ix0 = (base + kx_lo as isize) as usize;
+                    for ci in 0..c {
+                        let src = &qa.data[(ci * h + iy) * w + ix0..][..kx_hi - kx_lo];
+                        let dst_at = row + (ci * k + ky) * k + kx_lo;
+                        let dst = &mut patches[dst_at..][..kx_hi - kx_lo];
+                        for (d, &q) in dst.iter_mut().zip(src) {
                             zero_acts += u64::from(q == 0);
-                            patches[row + (ci * k + ky) * k + kx] = q as i16;
+                            *d = q as i16;
                         }
                     }
                 }
@@ -374,7 +404,14 @@ impl Conv2d {
 
         scratch.acc.clear();
         scratch.acc.resize(f * n, 0);
-        gemm::gemm_i16(&pw.qi16, &scratch.patches, f, klen, n, &mut scratch.acc);
+        if packed {
+            scratch
+                .packed
+                .repack(&scratch.patches, n, klen, mode_for_bits(qa.bits));
+            gemm::gemm_packed(&pw.panel, &scratch.packed, &mut scratch.acc);
+        } else {
+            gemm::gemm_i16(&pw.qi16, &scratch.patches, f, klen, n, &mut scratch.acc);
+        }
 
         // Guard-skip statistics, reproduced exactly from the packed
         // representation: tap (ky, kx) is in bounds at py[ky]*px[kx]
@@ -539,7 +576,8 @@ impl Dense {
         }
         match kernel {
             NnKernel::Naive => self.forward_naive(qa, wbits),
-            NnKernel::Gemm => self.forward_gemm(qa, wbits, scratch),
+            NnKernel::Gemm => self.forward_gemm(qa, wbits, scratch, false),
+            NnKernel::GemmPacked => self.forward_gemm(qa, wbits, scratch, true),
         }
     }
 
@@ -591,11 +629,14 @@ impl Dense {
                 .expect("bit width validated above");
             let mut qi16 = Vec::new();
             let zeros_total = qw.fill_i16(&mut qi16);
+            let panel =
+                gemm::PackedPanel::pack(&qi16, self.outputs, self.inputs, mode_for_bits(wbits));
             PackedWeights {
                 qi16,
                 scale: qw.scale,
                 zeros_per_tap: Vec::new(),
                 zeros_total,
+                panel,
             }
         }))
     }
@@ -604,22 +645,37 @@ impl Dense {
     /// neuron. Every weight is consumed exactly once and every activation
     /// once per output row, so the guard-skip counters are the packed
     /// zero counts directly.
+    ///
+    /// With `packed` set this is the `GemmPacked` kernel: the identical
+    /// activation vector (and zero count) is subword-packed into a
+    /// one-row panel and dotted against the pre-packed weight rows by the
+    /// exact packed dot — same numbers, fewer lane words.
     fn forward_gemm(
         &self,
         qa: &QuantizedTensor,
         wbits: u32,
         scratch: &mut Scratch,
+        packed: bool,
     ) -> Result<(Tensor, LayerStats), NnError> {
         let pw = self.packed_weights(wbits)?;
         let zero_acts = qa.fill_i16(&mut scratch.acts);
+        if packed {
+            scratch
+                .packed
+                .repack(&scratch.acts, 1, self.inputs, mode_for_bits(qa.bits));
+        }
         let scale = qa.scale * pw.scale;
         let mut out = Tensor::zeros(1, 1, self.outputs);
         let data = out.as_mut_slice();
         for (z, dst) in data.iter_mut().enumerate() {
-            let acc = gemm::dot_i16(
-                &pw.qi16[z * self.inputs..(z + 1) * self.inputs],
-                &scratch.acts,
-            );
+            let acc = if packed {
+                gemm::dot_packed(&pw.panel, z, &scratch.packed, 0)
+            } else {
+                gemm::dot_i16(
+                    &pw.qi16[z * self.inputs..(z + 1) * self.inputs],
+                    &scratch.acts,
+                )
+            };
             *dst = (acc as f64 * scale + f64::from(self.bias[z])) as f32;
         }
         let stats = LayerStats {

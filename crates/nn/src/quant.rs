@@ -27,10 +27,16 @@ impl QuantizedTensor {
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::InvalidBits`] when `bits` is outside `1..=16`.
+    /// Returns [`NnError::InvalidBits`] when `bits` is outside `1..=16`,
+    /// and [`NnError::NonFiniteInput`] when any element is NaN or ±inf —
+    /// a non-finite element would poison `max_abs`, make the scale NaN,
+    /// and silently collapse the whole grid to zero.
     pub fn quantize(t: &Tensor, bits: u32) -> Result<Self, NnError> {
         if bits == 0 || bits > 16 {
             return Err(NnError::InvalidBits { bits });
+        }
+        if t.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(NnError::NonFiniteInput);
         }
         let qmax = if bits == 1 {
             1
@@ -196,6 +202,30 @@ mod tests {
         let t = Tensor::zeros(1, 1, 1);
         assert!(QuantizedTensor::quantize(&t, 0).is_err());
         assert!(QuantizedTensor::quantize(&t, 17).is_err());
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected() {
+        // A single NaN/±inf element used to slip through: `max_abs`
+        // became NaN, the scale became NaN, and every grid index
+        // clamped to 0 — a silently wrong all-zero tensor. It must be a
+        // hard error instead.
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut t = Tensor::zeros(1, 2, 2);
+            t.set(0, 0, 0, 1.0);
+            t.set(0, 1, 1, poison);
+            assert_eq!(
+                QuantizedTensor::quantize(&t, 8),
+                Err(NnError::NonFiniteInput),
+                "poison={poison}"
+            );
+            assert_eq!(quantization_rmse(&t, 8), Err(NnError::NonFiniteInput));
+        }
+        // Finite extremes are still fine.
+        let mut t = Tensor::zeros(1, 1, 2);
+        t.set(0, 0, 0, f32::MAX);
+        t.set(0, 0, 1, f32::MIN);
+        assert!(QuantizedTensor::quantize(&t, 8).is_ok());
     }
 
     mod purity {

@@ -1,10 +1,13 @@
-//! The kernel-layer equivalence net: the blocked-GEMM MAC kernel must be
-//! **bit-identical** to the retained naive oracle — outputs *and* the
-//! `zero_weight`/`zero_act` guard-skip counters — over random layer
-//! geometries, including the degenerate ones (padding at or beyond the
-//! kernel size, stride larger than the kernel, 1x1 kernels). Plus the
-//! memoization contract: per-`(layer, bits)` weight packs are reused
-//! across a sweep and invalidated by `weights_mut` (pruning).
+//! The kernel-layer equivalence net: the blocked-GEMM MAC kernel *and*
+//! the subword-packed GEMM kernel must be **bit-identical** to the
+//! retained naive oracle — outputs *and* the `zero_weight`/`zero_act`
+//! guard-skip counters — over random layer geometries, including the
+//! degenerate ones (padding at or beyond the kernel size, stride larger
+//! than the kernel, 1x1 kernels), across mixed 1..=16-bit operand widths
+//! (which drive the packed kernel through every subword mode pair) and
+//! thread counts. Plus the memoization contract: per-`(layer, bits)`
+//! weight packs are reused across a sweep and invalidated by
+//! `weights_mut` (pruning).
 
 use dvafs_executor::Executor;
 use dvafs_nn::dataset::SyntheticDataset;
@@ -15,31 +18,36 @@ use dvafs_nn::network::QuantConfig;
 use dvafs_nn::tensor::Tensor;
 use proptest::prelude::*;
 
-/// Runs one layer on both kernels and asserts bitwise-equal outputs and
-/// equal statistics.
+/// Runs one layer on every kernel and asserts bitwise-equal outputs and
+/// equal statistics against the naive oracle.
 fn assert_kernels_agree(layer: &Layer, input: &Tensor, wbits: u32, abits: u32) {
     let mut scratch = Scratch::new();
     let naive = layer.forward_with(input, wbits, abits, NnKernel::Naive, &mut scratch);
-    let gemm = layer.forward_with(input, wbits, abits, NnKernel::Gemm, &mut scratch);
-    match (naive, gemm) {
-        (Ok((out_n, st_n)), Ok((out_g, st_g))) => {
-            assert_eq!(st_n, st_g, "statistics diverged");
-            let nb: Vec<u32> = out_n.as_slice().iter().map(|v| v.to_bits()).collect();
-            let gb: Vec<u32> = out_g.as_slice().iter().map(|v| v.to_bits()).collect();
-            assert_eq!(out_n.shape(), out_g.shape(), "shape diverged");
-            assert_eq!(nb, gb, "outputs diverged bitwise");
+    for kernel in [NnKernel::Gemm, NnKernel::GemmPacked] {
+        let other = layer.forward_with(input, wbits, abits, kernel, &mut scratch);
+        match (&naive, other) {
+            (Ok((out_n, st_n)), Ok((out_g, st_g))) => {
+                assert_eq!(*st_n, st_g, "{kernel}: statistics diverged");
+                let nb: Vec<u32> = out_n.as_slice().iter().map(|v| v.to_bits()).collect();
+                let gb: Vec<u32> = out_g.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(out_n.shape(), out_g.shape(), "{kernel}: shape diverged");
+                assert_eq!(nb, gb, "{kernel}: outputs diverged bitwise");
+            }
+            (Err(_), Err(_)) => {} // both reject — also agreement
+            (n, g) => panic!("kernels disagree on fallibility: naive={n:?} {kernel}={g:?}"),
         }
-        (Err(_), Err(_)) => {} // both reject — also agreement
-        (n, g) => panic!("kernels disagree on fallibility: naive={n:?} gemm={g:?}"),
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Conv2d: Naive == Gemm over random channels x kernel x stride x
-    /// padding x precision, with the degenerate geometries explicitly in
-    /// range (padding >= kernel, stride > kernel, 1x1 kernels).
+    /// Conv2d: Naive == Gemm == GemmPacked over random channels x kernel
+    /// x stride x padding x precision, with the degenerate geometries
+    /// explicitly in range (padding >= kernel, stride > kernel, 1x1
+    /// kernels). Independent 1..=16-bit weight/activation widths drive
+    /// the packed kernel through every subword mode pair (X1/X2/X4 on
+    /// either side), ragged k included.
     #[test]
     fn conv_gemm_matches_naive(
         seed in any::<u64>(),
@@ -81,7 +89,8 @@ proptest! {
         }
     }
 
-    /// Dense: Naive == Gemm over random widths and precisions.
+    /// Dense: Naive == Gemm == GemmPacked over random widths and
+    /// precisions.
     #[test]
     fn dense_gemm_matches_naive(
         seed in any::<u64>(),
@@ -96,7 +105,7 @@ proptest! {
     }
 
     /// Whole-network agreement: same predictions and bitwise-equal logits
-    /// on both kernels, serial or parallel, batched or not.
+    /// on all three kernels, serial or parallel, batched or not.
     #[test]
     fn network_gemm_matches_naive_end_to_end(
         seed in any::<u64>(),
@@ -107,6 +116,7 @@ proptest! {
         let cfg_bits = bits;
         let naive = models::lenet5(seed).with_kernel(NnKernel::Naive);
         let gemm = models::lenet5(seed).with_kernel(NnKernel::Gemm);
+        let packed = models::lenet5(seed).with_kernel(NnKernel::GemmPacked);
         let cfg = QuantConfig::uniform(naive.layer_count(), cfg_bits, cfg_bits);
         let serial = naive.predict_all(&data, &cfg).expect("naive inference");
         let batched = gemm
@@ -115,8 +125,37 @@ proptest! {
         let parallel = gemm
             .predict_all_with(&data, &cfg, &Executor::new(threads))
             .expect("parallel gemm inference");
+        let packed_batched = packed
+            .evaluate_batch(data.images(), &cfg, &mut Scratch::new())
+            .expect("batched packed inference");
+        let packed_parallel = packed
+            .predict_all_with(&data, &cfg, &Executor::new(threads))
+            .expect("parallel packed inference");
         prop_assert_eq!(&serial, &batched);
         prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(&serial, &packed_batched);
+        prop_assert_eq!(&serial, &packed_parallel);
+    }
+
+    /// Mixed per-layer widths (the fig6 scan shape: one layer reduced,
+    /// the rest at full precision) keep all three kernels bit-identical —
+    /// this is precisely the asymmetric X2/X4-against-X1 panel pairing of
+    /// the packed kernel.
+    #[test]
+    fn network_with_mixed_layer_widths_agrees(
+        seed in any::<u64>(),
+        wbits in 1u32..=16,
+        abits in 1u32..=16,
+        layer in 0usize..=10,
+    ) {
+        let data = SyntheticDataset::digits(2, seed ^ 9);
+        let naive = models::lenet5(seed).with_kernel(NnKernel::Naive);
+        let packed = models::lenet5(seed).with_kernel(NnKernel::GemmPacked);
+        let mut cfg = QuantConfig::uniform(naive.layer_count(), 16, 16);
+        cfg.set_layer(layer, wbits, abits);
+        let oracle = naive.predict_all(&data, &cfg).expect("naive inference");
+        let got = packed.predict_all(&data, &cfg).expect("packed inference");
+        prop_assert_eq!(&oracle, &got);
     }
 }
 

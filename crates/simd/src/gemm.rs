@@ -19,6 +19,40 @@
 //! `m x k` row-major and the right operand is handed over **already
 //! transposed** (`Bᵗ`, `n x k` row-major — e.g. one im2col patch per row),
 //! so every inner product walks two contiguous slices.
+//!
+//! ## Subword-packed panels
+//!
+//! [`PackedPanel`]/[`gemm_packed`] are the software edition of the paper's
+//! Section II-C subword reconfiguration: when a panel's operands fit 8
+//! (or 4) bits, each 16-bit lane word carries 2 (or 4) of them, following
+//! **exactly** the field rules of `dvafs_arith::subword::pack_lanes`
+//! (lane 0 at the LSBs, two's-complement fields of
+//! [`SubwordMode::lane_bits`] each — the correspondence is pinned by
+//! test). The packed dot kernels re-expand lanes on the fly and keep the
+//! accumulation exact:
+//!
+//! * every 16-lane step forms pairwise `i32` sums of products (the
+//!   `pmaddwd` shape);
+//! * narrow modes bound the pair sums (`2·2^(wa-1)·2^(wb-1)`), so whole
+//!   blocks accumulate in `i32` before being widened to `i64` — the
+//!   block length per mode pair is chosen so the `i32` partial can never
+//!   wrap;
+//! * the one full-width corner — both pairs of a step summing
+//!   `MIN·MIN + MIN·MIN = 2^31` — is corrected explicitly: panels record
+//!   at pack time whether they contain `-2^(w-1)`, and only when *both*
+//!   operands do does the kernel count the overflowing cross-terms and
+//!   add back `2^32` per occurrence.
+//!
+//! The result is bit-identical to [`dot_i16`]/[`gemm_i16`] for every
+//! input `pack_lanes` accepts, which is what lets the `GemmPacked` NN
+//! kernel join the `Naive == Gemm` equivalence net without moving a
+//! number. On x86-64 hosts with AVX2 the packed kernels dispatch to
+//! `vpmaddwd`-based inner loops at run time (the workspace targets
+//! baseline x86-64, so this is a run-time feature check, not a compile
+//! flag); everywhere else a scalar decode loop computes the same exact
+//! sums.
+
+use dvafs_arith::SubwordMode;
 
 /// Output columns per tile of [`gemm_i16`]: one `Bᵗ` tile of
 /// `COL_TILE x k` operands stays cache-resident while every row of `A`
@@ -98,9 +132,570 @@ pub fn gemm_i16(a: &[i16], bt: &[i16], m: usize, k: usize, n: usize, out: &mut [
     }
 }
 
+/// Logical lanes one packed dot step consumes (and the lane count panel
+/// rows are zero-padded to): 16 lanes per step means one full 256-bit
+/// vector of re-expanded `i16` operands on the AVX2 path, and one decode
+/// buffer on the scalar path. Padding lanes are zero, so they never move
+/// a sum.
+pub const PACK_STEP_LANES: usize = 16;
+
+/// A row-major operand panel packed at a [`SubwordMode`]'s lane geometry —
+/// the DVAFS subword move applied to GEMM storage.
+///
+/// Each row holds `k` logical operands as 16-bit lane words following the
+/// field rules of `dvafs_arith::subword::pack_lanes`: `mode.lanes()`
+/// two's-complement fields of `mode.lane_bits()` each, lane 0 at the
+/// LSBs. `X1` stores one operand per word (the [`gemm_i16`] layout bit
+/// for bit), `X2` two, `X4` four. Rows are padded with zero lanes to a
+/// multiple of [`PACK_STEP_LANES`], so two panels of equal `k` always
+/// walk the same step count regardless of their (possibly different)
+/// modes — which is how a 4-bit weight panel dots against a 16-bit
+/// activation panel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedPanel {
+    mode: SubwordMode,
+    rows: usize,
+    k: usize,
+    words_per_row: usize,
+    /// Whether any lane holds the mode's most negative value `-2^(w-1)`.
+    /// Only the `X1 x X1` kernel cares: a step of two `MIN x MIN`
+    /// products is the single pair sum that overflows `i32`, and the
+    /// explicit cross-term correction is engaged only when both operand
+    /// panels can produce it.
+    has_min: bool,
+    words: Vec<u16>,
+}
+
+impl PackedPanel {
+    /// Packs `values` (`rows x k`, row-major) at `mode`'s lane geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len() != rows * k` or a value does not fit the
+    /// mode's lane width as a signed two's-complement field (the
+    /// `pack_lanes` range `-2^(w-1) ..= 2^(w-1)-1`).
+    #[must_use]
+    pub fn pack(values: &[i16], rows: usize, k: usize, mode: SubwordMode) -> Self {
+        let mut panel = PackedPanel::default();
+        panel.repack(values, rows, k, mode);
+        panel
+    }
+
+    /// Re-packs this panel in place (same contract as
+    /// [`pack`](Self::pack)), reusing the word buffer's capacity — the
+    /// per-forward activation panels of the NN kernel go through this so
+    /// a sweep allocates once.
+    pub fn repack(&mut self, values: &[i16], rows: usize, k: usize, mode: SubwordMode) {
+        assert_eq!(values.len(), rows * k, "panel must be rows x k");
+        let lanes = mode.lanes();
+        let wbits = mode.lane_bits();
+        let lo = -(1i32 << (wbits - 1));
+        let hi = (1i32 << (wbits - 1)) - 1;
+        let mask = (1u32 << wbits) - 1;
+        let padded_k = k.next_multiple_of(PACK_STEP_LANES);
+        let words_per_row = padded_k / lanes;
+        self.mode = mode;
+        self.rows = rows;
+        self.k = k;
+        self.words_per_row = words_per_row;
+        self.has_min = false;
+        self.words.clear();
+        self.words.reserve(rows * words_per_row);
+        let mut has_min = false;
+        let check = |v: i16| {
+            let v = i32::from(v);
+            assert!(
+                (lo..=hi).contains(&v),
+                "operand {v} does not fit a {wbits}-bit lane"
+            );
+        };
+        // The pack_lanes field rule: lane l of word w is row lane
+        // `w*lanes + l`, stored at bits `l*wbits..`, masked to its
+        // two's-complement field. Padding lanes are zero. Each mode gets
+        // its own tight loop over the full words (the repack runs on the
+        // per-forward hot path); the ragged tail word falls back to the
+        // lane-at-a-time rule.
+        let full_words = k / lanes;
+        for row in values
+            .chunks_exact(k.max(1))
+            .take(if k == 0 { 0 } else { rows })
+        {
+            match mode {
+                SubwordMode::X1 => {
+                    for &v in &row[..full_words] {
+                        has_min |= v == i16::MIN;
+                        self.words.push(v as u16);
+                    }
+                }
+                SubwordMode::X2 => {
+                    for pair in row[..full_words * 2].chunks_exact(2) {
+                        check(pair[0]);
+                        check(pair[1]);
+                        has_min |= pair[0] == -128 || pair[1] == -128;
+                        self.words
+                            .push(u16::from(pair[0] as u8) | (u16::from(pair[1] as u8) << 8));
+                    }
+                }
+                SubwordMode::X4 => {
+                    for quad in row[..full_words * 4].chunks_exact(4) {
+                        let mut packed = 0u16;
+                        for (l, &v) in quad.iter().enumerate() {
+                            check(v);
+                            has_min |= v == -8;
+                            packed |= ((v as u16) & 0xF) << (4 * l);
+                        }
+                        self.words.push(packed);
+                    }
+                }
+            }
+            for word_idx in full_words..words_per_row {
+                let mut packed = 0u32;
+                for l in 0..lanes {
+                    let idx = word_idx * lanes + l;
+                    let v = if idx < k { i32::from(row[idx]) } else { 0 };
+                    assert!(
+                        (lo..=hi).contains(&v),
+                        "operand {v} does not fit a {wbits}-bit lane"
+                    );
+                    has_min |= v == lo;
+                    packed |= ((v as u32) & mask) << (l as u32 * wbits);
+                }
+                self.words.push(packed as u16);
+            }
+        }
+        self.has_min = has_min;
+    }
+
+    /// The subword mode the panel is packed at.
+    #[must_use]
+    pub fn mode(&self) -> SubwordMode {
+        self.mode
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical operands per row (excluding zero padding).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Lane words per row (including the zero padding to
+    /// [`PACK_STEP_LANES`] lanes).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed lane words of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn row_words(&self, i: usize) -> &[u16] {
+        &self.words[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Re-expands row `i` into its `k` logical operands (test/debug
+    /// helper; the dot kernels decode lanes on the fly).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn unpack_row(&self, i: usize) -> Vec<i16> {
+        let words = self.row_words(i);
+        let mut out = Vec::with_capacity(self.k);
+        let mut buf = [0i16; PACK_STEP_LANES];
+        for step in 0..self.words_per_row * self.mode.lanes() / PACK_STEP_LANES {
+            decode_step(words, step, self.mode, &mut buf);
+            out.extend_from_slice(&buf);
+        }
+        out.truncate(self.k);
+        out
+    }
+
+    /// Dot steps per row (each step consumes [`PACK_STEP_LANES`] lanes).
+    fn steps(&self) -> usize {
+        self.k.div_ceil(PACK_STEP_LANES)
+    }
+}
+
+/// Decodes step `step` (16 lanes) of a packed row into `i16` operands —
+/// the scalar mirror of the AVX2 lane expanders, and the inverse of the
+/// `pack_lanes` field rule.
+#[inline]
+fn decode_step(words: &[u16], step: usize, mode: SubwordMode, out: &mut [i16; PACK_STEP_LANES]) {
+    match mode {
+        SubwordMode::X1 => {
+            for (o, &w) in out.iter_mut().zip(&words[step * 16..step * 16 + 16]) {
+                *o = w as i16;
+            }
+        }
+        SubwordMode::X2 => {
+            for (i, &w) in words[step * 8..step * 8 + 8].iter().enumerate() {
+                out[2 * i] = i16::from(w as u8 as i8);
+                out[2 * i + 1] = i16::from((w >> 8) as u8 as i8);
+            }
+        }
+        SubwordMode::X4 => {
+            for (i, &w) in words[step * 4..step * 4 + 4].iter().enumerate() {
+                for l in 0..4 {
+                    let nib = ((w >> (4 * l)) & 0xF) as i16;
+                    // Sign-extend the 4-bit field: 0..=7 stay, 8..=15 wrap
+                    // to -8..=-1.
+                    out[4 * i + l] = (nib ^ 8) - 8;
+                }
+            }
+        }
+    }
+}
+
+/// The portable packed dot inner loop: decode 16 lanes per side per step,
+/// widen every product to `i64`. Exact for the full `pack_lanes` range;
+/// used when the AVX2 path is unavailable (and as the oracle the AVX2
+/// kernels are tested against).
+fn dot_rows_scalar(a: &[u16], ma: SubwordMode, b: &[u16], mb: SubwordMode, steps: usize) -> i64 {
+    let mut acc = 0i64;
+    let mut ba = [0i16; PACK_STEP_LANES];
+    let mut bb = [0i16; PACK_STEP_LANES];
+    for s in 0..steps {
+        decode_step(a, s, ma, &mut ba);
+        decode_step(b, s, mb, &mut bb);
+        for (&x, &y) in ba.iter().zip(&bb) {
+            acc += i64::from(x) * i64::from(y);
+        }
+    }
+    acc
+}
+
+/// AVX2 packed dot kernels, dispatched at run time (the workspace builds
+/// for baseline x86-64). `unsafe` is confined to this module: every
+/// function is gated behind `is_x86_feature_detected!("avx2")` by the
+/// [`dot_rows`] dispatcher, and all pointer arithmetic walks panel rows
+/// whose lengths the dispatcher derives from the panels themselves.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use super::{PackedPanel, SubwordMode};
+    use std::arch::x86_64::{
+        __m128i, __m256i, _mm256_add_epi32, _mm256_add_epi64, _mm256_and_si256,
+        _mm256_castsi256_si128, _mm256_cmpeq_epi16, _mm256_cmpeq_epi32, _mm256_cvtepi32_epi64,
+        _mm256_cvtepi8_epi16, _mm256_extracti128_si256, _mm256_loadu_si256, _mm256_madd_epi16,
+        _mm256_set1_epi16, _mm256_set1_epi32, _mm256_setzero_si256, _mm256_storeu_si256,
+        _mm_and_si128, _mm_loadl_epi64, _mm_loadu_si128, _mm_set1_epi8, _mm_srli_epi16,
+        _mm_sub_epi8, _mm_unpacklo_epi8, _mm_xor_si128,
+    };
+
+    /// 16 `i16` lanes from an `X1` row segment (16 words).
+    ///
+    /// # Safety
+    ///
+    /// `p` must be readable for 16 `u16`s.
+    #[inline(always)]
+    unsafe fn lanes_x1(p: *const u16) -> __m256i {
+        _mm256_loadu_si256(p.cast::<__m256i>())
+    }
+
+    /// 16 `i16` lanes from an `X2` row segment (8 words = 16 byte
+    /// fields), sign-extended.
+    ///
+    /// # Safety
+    ///
+    /// `p` must be readable for 8 `u16`s.
+    #[inline(always)]
+    unsafe fn lanes_x2(p: *const u16) -> __m256i {
+        _mm256_cvtepi8_epi16(_mm_loadu_si128(p.cast::<__m128i>()))
+    }
+
+    /// 16 `i16` lanes from an `X4` row segment (4 words = 16 nibble
+    /// fields): split each byte into its two nibbles (low nibble = even
+    /// lane, matching the little-endian `pack_lanes` layout), sign-extend
+    /// the 4-bit fields via the `(x ^ 8) - 8` identity, then widen.
+    ///
+    /// # Safety
+    ///
+    /// `p` must be readable for 4 `u16`s.
+    #[inline(always)]
+    unsafe fn lanes_x4(p: *const u16) -> __m256i {
+        let v = _mm_loadl_epi64(p.cast::<__m128i>());
+        let nib_mask = _mm_set1_epi8(0x0F);
+        let lo = _mm_and_si128(v, nib_mask);
+        let hi = _mm_and_si128(_mm_srli_epi16::<4>(v), nib_mask);
+        let inter = _mm_unpacklo_epi8(lo, hi);
+        let eight = _mm_set1_epi8(8);
+        let signed = _mm_sub_epi8(_mm_xor_si128(inter, eight), eight);
+        _mm256_cvtepi8_epi16(signed)
+    }
+
+    /// Widens 8 `i32` pair sums into 4 `i64` lanes (both 128-bit halves
+    /// summed).
+    ///
+    /// # Safety
+    ///
+    /// AVX2 only.
+    #[inline(always)]
+    unsafe fn widen_pairs(v: __m256i) -> __m256i {
+        _mm256_add_epi64(
+            _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)),
+            _mm256_cvtepi32_epi64(_mm256_extracti128_si256::<1>(v)),
+        )
+    }
+
+    /// Horizontal sum of 4 `i64` lanes.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 only.
+    #[inline(always)]
+    unsafe fn hsum_epi64(v: __m256i) -> i64 {
+        let mut lanes = [0i64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), v);
+        lanes[0].wrapping_add(lanes[1]) + lanes[2] + lanes[3]
+    }
+
+    /// Horizontal sum of 8 `i32` lanes (exact in `i64`).
+    ///
+    /// # Safety
+    ///
+    /// AVX2 only.
+    #[inline(always)]
+    unsafe fn hsum_epi32(v: __m256i) -> i64 {
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), v);
+        lanes.iter().map(|&x| i64::from(x)).sum()
+    }
+
+    /// Full-width `X1 x X1` dot: one `vpmaddwd` per 16 lanes, every pair
+    /// sum widened to `i64` immediately. Exact whenever at most one
+    /// operand panel contains `i16::MIN` (pair sums then stay inside
+    /// `i32`); the `MIN x MIN` corner goes to [`dot_x1x1_min`].
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available; both pointers readable for `16 * steps`
+    /// `u16`s.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_x1x1(a: *const u16, b: *const u16, steps: usize) -> i64 {
+        let mut acc = _mm256_setzero_si256();
+        for s in 0..steps {
+            let p = _mm256_madd_epi16(lanes_x1(a.add(16 * s)), lanes_x1(b.add(16 * s)));
+            acc = _mm256_add_epi64(acc, widen_pairs(p));
+        }
+        hsum_epi64(acc)
+    }
+
+    /// `X1 x X1` with the explicit cross-term correction: `vpmaddwd`
+    /// wraps in exactly one case — both pairs of a 32-bit lane multiply
+    /// `MIN x MIN`, summing to `+2^31` which wraps to `-2^31` — so the
+    /// kernel counts those lanes (`a == MIN` AND `b == MIN` across both
+    /// 16-bit halves) and adds back `2^32` per occurrence. Exact over the
+    /// full two's-complement range.
+    ///
+    /// # Safety
+    ///
+    /// As [`dot_x1x1`].
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_x1x1_min(a: *const u16, b: *const u16, steps: usize) -> i64 {
+        let min = _mm256_set1_epi16(i16::MIN);
+        let all32 = _mm256_set1_epi32(-1);
+        let mut acc = _mm256_setzero_si256();
+        let mut fixes = _mm256_setzero_si256();
+        for s in 0..steps {
+            let va = lanes_x1(a.add(16 * s));
+            let vb = lanes_x1(b.add(16 * s));
+            let p = _mm256_madd_epi16(va, vb);
+            acc = _mm256_add_epi64(acc, widen_pairs(p));
+            // A 32-bit lane overflows iff all four 16-bit operands feeding
+            // it are MIN: both halves of the AND-ed compare masks set.
+            let both_min =
+                _mm256_and_si256(_mm256_cmpeq_epi16(va, min), _mm256_cmpeq_epi16(vb, min));
+            let wrapped = _mm256_cmpeq_epi32(both_min, all32);
+            // Subtracting the all-ones mask increments the per-lane count.
+            fixes = _mm256_add_epi32(fixes, _mm256_and_si256(wrapped, _mm256_set1_epi32(1)));
+        }
+        hsum_epi64(acc) + (hsum_epi32(fixes) << 32)
+    }
+
+    /// Generates a packed dot kernel for one mode pair: `vpmaddwd` pair
+    /// sums accumulate in `i32` for `$spill` steps (sized so the partial
+    /// can never wrap at the pair's operand bounds), then widen into the
+    /// `i64` accumulator.
+    macro_rules! dot_packed_kernel {
+        ($(#[$doc:meta])* $name:ident, $la:ident, $wa:expr, $lb:ident, $wb:expr, $spill:expr) => {
+            $(#[$doc])*
+            /// # Safety
+            ///
+            /// AVX2 must be available; `a`/`b` readable for their mode's
+            /// words across `steps` steps.
+            #[target_feature(enable = "avx2")]
+            unsafe fn $name(a: *const u16, b: *const u16, steps: usize) -> i64 {
+                let mut acc64 = _mm256_setzero_si256();
+                let mut acc32 = _mm256_setzero_si256();
+                let mut pending: u32 = 0;
+                for s in 0..steps {
+                    let p = _mm256_madd_epi16($la(a.add($wa * s)), $lb(b.add($wb * s)));
+                    acc32 = _mm256_add_epi32(acc32, p);
+                    pending += 1;
+                    if pending == $spill {
+                        acc64 = _mm256_add_epi64(acc64, widen_pairs(acc32));
+                        acc32 = _mm256_setzero_si256();
+                        pending = 0;
+                    }
+                }
+                acc64 = _mm256_add_epi64(acc64, widen_pairs(acc32));
+                hsum_epi64(acc64)
+            }
+        };
+    }
+
+    dot_packed_kernel!(
+        /// `X1 x X2`: pair sums bounded by `2·2^15·2^7 = 2^23`; 128 steps
+        /// keep the `i32` partial under `2^30`.
+        dot_x1x2, lanes_x1, 16, lanes_x2, 8, 128u32
+    );
+    dot_packed_kernel!(
+        /// `X1 x X4`: pair sums bounded by `2·2^15·2^3 = 2^19`; 2048
+        /// steps keep the `i32` partial under `2^30`.
+        dot_x1x4, lanes_x1, 16, lanes_x4, 4, 2048u32
+    );
+    dot_packed_kernel!(
+        /// `X2 x X2`: pair sums bounded by `2^15`; 32768 steps keep the
+        /// `i32` partial under `2^30`.
+        dot_x2x2, lanes_x2, 8, lanes_x2, 8, 32768u32
+    );
+    dot_packed_kernel!(
+        /// `X2 x X4`: pair sums bounded by `2^11`; 32768 steps keep the
+        /// `i32` partial under `2^27`.
+        dot_x2x4, lanes_x2, 8, lanes_x4, 4, 32768u32
+    );
+    dot_packed_kernel!(
+        /// `X4 x X4`: pair sums bounded by `2^7`; 32768 steps keep the
+        /// `i32` partial under `2^23`.
+        dot_x4x4, lanes_x4, 4, lanes_x4, 4, 32768u32
+    );
+
+    /// Dispatches one packed row dot to the mode pair's kernel. The
+    /// caller has verified AVX2 support.
+    pub(super) fn dot_rows(a: &PackedPanel, ai: usize, b: &PackedPanel, bi: usize) -> i64 {
+        let steps = a.steps();
+        let pa = a.row_words(ai).as_ptr();
+        let pb = b.row_words(bi).as_ptr();
+        use SubwordMode::{X1, X2, X4};
+        // SAFETY: AVX2 was detected by the caller; each row holds exactly
+        // the words its mode consumes over `steps` steps (panel rows are
+        // padded to PACK_STEP_LANES lanes).
+        unsafe {
+            match (a.mode(), b.mode()) {
+                (X1, X1) => {
+                    if a.has_min && b.has_min {
+                        dot_x1x1_min(pa, pb, steps)
+                    } else {
+                        dot_x1x1(pa, pb, steps)
+                    }
+                }
+                (X1, X2) => dot_x1x2(pa, pb, steps),
+                (X2, X1) => dot_x1x2(pb, pa, steps),
+                (X1, X4) => dot_x1x4(pa, pb, steps),
+                (X4, X1) => dot_x1x4(pb, pa, steps),
+                (X2, X2) => dot_x2x2(pa, pb, steps),
+                (X2, X4) => dot_x2x4(pa, pb, steps),
+                (X4, X2) => dot_x2x4(pb, pa, steps),
+                (X4, X4) => dot_x4x4(pa, pb, steps),
+            }
+        }
+    }
+}
+
+/// One packed row dot, dispatched to the AVX2 kernels when the host
+/// supports them (run-time check) and the scalar decode loop otherwise.
+/// Both paths compute the identical exact sum.
+fn dot_rows(a: &PackedPanel, ai: usize, b: &PackedPanel, bi: usize) -> i64 {
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") {
+        return avx2::dot_rows(a, ai, b, bi);
+    }
+    dot_rows_scalar_rows(a, ai, b, bi)
+}
+
+/// [`dot_rows_scalar`] behind the panel-level signature [`gemm_packed`]'s
+/// hoisted dispatch shares with the AVX2 path.
+fn dot_rows_scalar_rows(a: &PackedPanel, ai: usize, b: &PackedPanel, bi: usize) -> i64 {
+    dot_rows_scalar(
+        a.row_words(ai),
+        a.mode(),
+        b.row_words(bi),
+        b.mode(),
+        a.steps(),
+    )
+}
+
+/// Exact dot product of row `ai` of `a` with row `bi` of `b` — the
+/// packed mirror of [`dot_i16`], bit-identical to it on the re-expanded
+/// lanes.
+///
+/// # Panics
+///
+/// Panics when the panels disagree on `k` or a row index is out of range.
+#[must_use]
+pub fn dot_packed(a: &PackedPanel, ai: usize, b: &PackedPanel, bi: usize) -> i64 {
+    assert_eq!(a.k(), b.k(), "dot operands must have equal logical length");
+    dot_rows(a, ai, b, bi)
+}
+
+/// Blocked subword-packed GEMM: `out[i][j] = Σ_t a[i][t] * bt[j][t]`,
+/// exact in `i64` — the packed mirror of [`gemm_i16`] (same layout
+/// convention, same [`COL_TILE`] tiling, bit-identical results on the
+/// re-expanded lanes).
+///
+/// The operand panels may use different [`SubwordMode`]s — a reduced-
+/// precision weight panel (2 or 4 operands per lane word) streams against
+/// a full-precision activation panel, which is exactly the asymmetric
+/// shape the fig6 precision scans produce.
+///
+/// # Panics
+///
+/// Panics when the panels disagree on `k` or `out.len()` is not
+/// `a.rows() * bt.rows()`.
+pub fn gemm_packed(a: &PackedPanel, bt: &PackedPanel, out: &mut [i64]) {
+    assert_eq!(a.k(), bt.k(), "panels must agree on k");
+    let (m, n) = (a.rows(), bt.rows());
+    assert_eq!(out.len(), m * n, "out must be m x n");
+    if a.k() == 0 {
+        out.fill(0);
+        return;
+    }
+    // Hoist the AVX2 feature probe out of the m x n inner loop: one check
+    // selects the dot implementation for the whole multiply.
+    #[cfg(target_arch = "x86_64")]
+    let dot: fn(&PackedPanel, usize, &PackedPanel, usize) -> i64 =
+        if is_x86_feature_detected!("avx2") {
+            avx2::dot_rows
+        } else {
+            dot_rows_scalar_rows
+        };
+    #[cfg(not(target_arch = "x86_64"))]
+    let dot = dot_rows_scalar_rows;
+    for j0 in (0..n).step_by(COL_TILE) {
+        let j1 = (j0 + COL_TILE).min(n);
+        for i in 0..m {
+            let out_row = &mut out[i * n + j0..i * n + j1];
+            for (jj, o) in out_row.iter_mut().enumerate() {
+                *o = dot(a, i, bt, j0 + jj);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dvafs_arith::subword::pack_lanes;
     use rand::{Rng, SeedableRng};
 
     fn naive_gemm(a: &[i16], bt: &[i16], m: usize, k: usize, n: usize) -> Vec<i64> {
@@ -122,6 +717,16 @@ mod tests {
         (0..len)
             .map(|_| rng.gen_range(-32768..=32767) as i16)
             .collect()
+    }
+
+    /// Random values spanning the full two's-complement lane range of a
+    /// mode (MIN included — the packed kernels must stay exact there).
+    fn random_lanes(len: usize, mode: SubwordMode, seed: u64) -> Vec<i16> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = mode.lane_bits();
+        let lo = -(1i32 << (w - 1));
+        let hi = (1i32 << (w - 1)) - 1;
+        (0..len).map(|_| rng.gen_range(lo..=hi) as i16).collect()
     }
 
     #[test]
@@ -149,6 +754,20 @@ mod tests {
             dot_i16(&c, &a),
             1024 * i64::from(i16::MAX) * i64::from(i16::MIN)
         );
+    }
+
+    /// Full 8-lane unrolled blocks of `MIN x MIN`: every *pair* of
+    /// products sums to exactly `2^31`, one past `i32::MAX` — the
+    /// `pmaddwd` saturation corner the docs cite. The per-product `i64`
+    /// widening must come through exact for whole blocks of them (no
+    /// remainder loop involved).
+    #[test]
+    fn dot_i16_full_min_blocks_are_exact() {
+        for blocks in [1usize, 2, 5, 16] {
+            let n = 8 * blocks;
+            let a = vec![i16::MIN; n];
+            assert_eq!(dot_i16(&a, &a), n as i64 * (1i64 << 30), "blocks={blocks}");
+        }
     }
 
     #[test]
@@ -183,5 +802,166 @@ mod tests {
     fn gemm_rejects_bad_dimensions() {
         let mut out = vec![0i64; 4];
         gemm_i16(&[0; 3], &[0; 4], 2, 2, 2, &mut out);
+    }
+
+    /// The panel's word stream follows the `pack_lanes` field rules
+    /// verbatim: word `w` of a row is `pack_lanes` of row lanes
+    /// `w*lanes..`, zero-padded past `k`.
+    #[test]
+    fn packed_panel_words_match_pack_lanes() {
+        for mode in SubwordMode::ALL {
+            let (rows, k) = (3usize, 21usize); // ragged: padding in play
+            let values = random_lanes(rows * k, mode, 42);
+            let panel = PackedPanel::pack(&values, rows, k, mode);
+            let lanes = mode.lanes();
+            for r in 0..rows {
+                let row = &values[r * k..(r + 1) * k];
+                for (w, &word) in panel.row_words(r).iter().enumerate() {
+                    let fields: Vec<i32> = (0..lanes)
+                        .map(|l| {
+                            let idx = w * lanes + l;
+                            if idx < k {
+                                i32::from(row[idx])
+                            } else {
+                                0
+                            }
+                        })
+                        .collect();
+                    let expected = pack_lanes(&fields, mode).expect("lanes are in range");
+                    assert_eq!(word, expected, "mode {mode} row {r} word {w}");
+                }
+            }
+            // And the re-expansion inverts the packing.
+            for r in 0..rows {
+                assert_eq!(panel.unpack_row(r), values[r * k..(r + 1) * k]);
+            }
+        }
+    }
+
+    /// Packed dots are bit-identical to [`dot_i16`] on the re-expanded
+    /// lanes, for every mode pair (including mixed precision) and ragged
+    /// lengths, with the full lane range (MIN included) in play.
+    #[test]
+    fn dot_packed_matches_dot_i16_for_every_mode_pair() {
+        for (i, &ma) in SubwordMode::ALL.iter().enumerate() {
+            for (j, &mb) in SubwordMode::ALL.iter().enumerate() {
+                for k in [0usize, 1, 7, 16, 31, 150, 2049] {
+                    let seed = (i * 3 + j) as u64 * 1000 + k as u64;
+                    let a = random_lanes(k, ma, seed);
+                    let b = random_lanes(k, mb, seed ^ 0xDEAD);
+                    let pa = PackedPanel::pack(&a, 1, k, ma);
+                    let pb = PackedPanel::pack(&b, 1, k, mb);
+                    assert_eq!(
+                        dot_packed(&pa, 0, &pb, 0),
+                        dot_i16(&a, &b),
+                        "modes {ma}x{mb} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The `X1 x X1` cross-term corner: whole rows of `MIN x MIN` force
+    /// every `vpmaddwd` pair sum to `+2^31` (which wraps uncorrected).
+    /// The explicit correction must restore the exact sum for any length.
+    #[test]
+    fn packed_x1_min_times_min_is_corrected() {
+        for k in [1usize, 8, 16, 17, 160, 2048] {
+            let a = vec![i16::MIN; k];
+            let pa = PackedPanel::pack(&a, 1, k, SubwordMode::X1);
+            assert!(pa.has_min);
+            assert_eq!(dot_packed(&pa, 0, &pa, 0), k as i64 * (1i64 << 30), "k={k}");
+            // Mixed MIN/MAX rows exercise partially-overflowing steps.
+            let b: Vec<i16> = (0..k)
+                .map(|t| if t % 3 == 0 { i16::MIN } else { i16::MAX })
+                .collect();
+            let pb = PackedPanel::pack(&b, 1, k, SubwordMode::X1);
+            assert_eq!(dot_packed(&pa, 0, &pb, 0), dot_i16(&a, &b), "mixed k={k}");
+            assert_eq!(dot_packed(&pb, 0, &pb, 0), dot_i16(&b, &b), "self k={k}");
+        }
+    }
+
+    /// The scalar fallback computes the same exact sums as the dispatched
+    /// path (on AVX2 hosts this pits the intrinsics against the decode
+    /// loop; elsewhere both sides are the decode loop).
+    #[test]
+    fn scalar_fallback_agrees_with_dispatch() {
+        for &ma in &SubwordMode::ALL {
+            for &mb in &SubwordMode::ALL {
+                for k in [5usize, 64, 333] {
+                    let a = random_lanes(k, ma, 7 + k as u64);
+                    let b = random_lanes(k, mb, 77 + k as u64);
+                    let pa = PackedPanel::pack(&a, 1, k, ma);
+                    let pb = PackedPanel::pack(&b, 1, k, mb);
+                    let scalar =
+                        dot_rows_scalar(pa.row_words(0), ma, pb.row_words(0), mb, pa.steps());
+                    assert_eq!(dot_packed(&pa, 0, &pb, 0), scalar, "{ma}x{mb} k={k}");
+                }
+            }
+        }
+    }
+
+    /// `gemm_packed` is bit-identical to `gemm_i16` across shapes and
+    /// mode pairs (the NN kernel equivalence net rests on this).
+    #[test]
+    fn gemm_packed_matches_gemm_i16_across_shapes_and_modes() {
+        for (s, &(m, k, n)) in [
+            (1usize, 1usize, 1usize),
+            (3, 7, 5),
+            (8, 25, 33),
+            (4, 9, 32),
+            (2, 150, 70),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for &ma in &SubwordMode::ALL {
+                for &mb in &SubwordMode::ALL {
+                    let a = random_lanes(m * k, ma, 7 + s as u64);
+                    let bt = random_lanes(n * k, mb, 70 + s as u64);
+                    let pa = PackedPanel::pack(&a, m, k, ma);
+                    let pbt = PackedPanel::pack(&bt, n, k, mb);
+                    let mut out = vec![i64::MIN; m * n];
+                    gemm_packed(&pa, &pbt, &mut out);
+                    assert_eq!(
+                        out,
+                        naive_gemm(&a, &bt, m, k, n),
+                        "m={m} k={k} n={n} {ma}x{mb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_packed_zero_k_clears_output() {
+        let a = PackedPanel::pack(&[], 2, 0, SubwordMode::X2);
+        let bt = PackedPanel::pack(&[], 3, 0, SubwordMode::X1);
+        let mut out = vec![5i64; 6];
+        gemm_packed(&a, &bt, &mut out);
+        assert_eq!(out, vec![0i64; 6]);
+    }
+
+    #[test]
+    fn repack_reuses_buffers_and_resets_state() {
+        let mut panel = PackedPanel::pack(&[i16::MIN; 8], 1, 8, SubwordMode::X1);
+        assert!(panel.has_min);
+        panel.repack(&[1i16, -2, 3], 1, 3, SubwordMode::X4);
+        assert_eq!(panel.mode(), SubwordMode::X4);
+        assert_eq!(panel.k(), 3);
+        assert!(!panel.has_min, "has_min must reset on repack");
+        assert_eq!(panel.unpack_row(0), vec![1i16, -2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn pack_rejects_out_of_range_lane() {
+        let _ = PackedPanel::pack(&[8i16], 1, 1, SubwordMode::X4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows x k")]
+    fn pack_rejects_bad_dimensions() {
+        let _ = PackedPanel::pack(&[0i16; 5], 2, 3, SubwordMode::X1);
     }
 }

@@ -161,6 +161,47 @@ impl ConvKernel {
             .map(|a| (a >> shift).clamp(lo, hi) as i32)
             .collect()
     }
+
+    /// [`expected_outputs`](Self::expected_outputs) computed through the
+    /// subword-packed GEMM ([`crate::gemm::gemm_packed`]): the same im2col
+    /// panels as [`expected_outputs_gemm`](Self::expected_outputs_gemm),
+    /// packed at the most-parallel [`SubwordMode`] the precision allows
+    /// ([`SubwordMode::for_precision`]). Effective operands span the full
+    /// `bits`-wide two's-complement range (`effective` can produce
+    /// `-2^(bits-1)`), which the packed panels accept by contract, so the
+    /// result stays bit-identical to the naive reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is outside `1..=16` (compilation validated it).
+    #[must_use]
+    pub fn expected_outputs_packed(&self, bits: u32, shift: u32, store_bits: u32) -> Vec<i32> {
+        let lo = -(1i64 << (store_bits - 1));
+        let hi = (1i64 << (store_bits - 1)) - 1;
+        let mode = SubwordMode::for_precision(
+            dvafs_arith::Precision::new(bits).expect("compiled precision is 1..=16"),
+        );
+        let w: Vec<i16> = self
+            .weights
+            .iter()
+            .map(|&v| Self::effective_i16(v, bits))
+            .collect();
+        let mut patches = Vec::with_capacity(self.outputs * self.taps);
+        for o in 0..self.outputs {
+            patches.extend(
+                self.inputs[o..o + self.taps]
+                    .iter()
+                    .map(|&v| Self::effective_i16(v, bits)),
+            );
+        }
+        let pw = crate::gemm::PackedPanel::pack(&w, 1, self.taps, mode);
+        let pp = crate::gemm::PackedPanel::pack(&patches, self.outputs, self.taps, mode);
+        let mut acc = vec![0i64; self.outputs];
+        crate::gemm::gemm_packed(&pw, &pp, &mut acc);
+        acc.into_iter()
+            .map(|a| (a >> shift).clamp(lo, hi) as i32)
+            .collect()
+    }
 }
 
 /// A kernel lowered to a program and memory image for one configuration.
@@ -479,10 +520,16 @@ mod tests {
         for bits in [16u32, 12, 8, 4, 1] {
             for shift in [0u32, 7, 20] {
                 for store_bits in [16u32, 8] {
+                    let naive = k.expected_outputs(bits, shift, store_bits);
                     assert_eq!(
-                        k.expected_outputs(bits, shift, store_bits),
+                        naive,
                         k.expected_outputs_gemm(bits, shift, store_bits),
-                        "bits={bits} shift={shift} store={store_bits}"
+                        "gemm: bits={bits} shift={shift} store={store_bits}"
+                    );
+                    assert_eq!(
+                        naive,
+                        k.expected_outputs_packed(bits, shift, store_bits),
+                        "packed: bits={bits} shift={shift} store={store_bits}"
                     );
                 }
             }
