@@ -5,6 +5,7 @@
 //! dvafs run <id>... [--all] [--format text|json|csv] [--out DIR]
 //!                   [--threads N] [--fast] [--kernel naive|gemm|packed]
 //!                   [--search rescan|incremental] [--repeats N]
+//!                   [--batch-path sample|layer] [--batch-size N]
 //! ```
 //!
 //! `list` prints every registered scenario (id, artefact, title, and what
@@ -18,7 +19,7 @@
 //! not recognize** and hard-errors when `--out`, `--format` or
 //! `--threads` is missing its value.
 
-use dvafs::nn::{NnKernel, SearchStrategy};
+use dvafs::nn::{BatchPath, NnKernel, SearchStrategy, DEFAULT_BATCH_SIZE};
 use dvafs::scenario::{self, Format, Scenario, ScenarioCtx};
 use dvafs::Executor;
 use std::path::Path;
@@ -45,6 +46,11 @@ pub struct RunOpts {
     pub search: SearchStrategy,
     /// Timed repeats per `bench_sweep` measurement (`--repeats`, default 3).
     pub repeats: usize,
+    /// NN batch path (`--batch-path sample|layer`, default layer).
+    /// Never changes a number — only wall time.
+    pub batch_path: BatchPath,
+    /// Samples per layer-major chunk (`--batch-size N`, default 16).
+    pub batch_size: usize,
 }
 
 /// A parsed top-level CLI command.
@@ -68,7 +74,9 @@ run options:\n  \
   --fast                     reduced problem sizes (see `dvafs list`)\n  \
   --kernel naive|gemm|packed NN MAC kernel (default packed; results identical)\n  \
   --search rescan|incremental  precision-search strategy (default incremental; results identical)\n  \
-  --repeats N                timed repeats per bench_sweep measurement (default 3)";
+  --repeats N                timed repeats per bench_sweep measurement (default 3)\n  \
+  --batch-path sample|layer  NN batch forward path (default layer; results identical)\n  \
+  --batch-size N             samples per layer-major chunk (default 16)";
 
 fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
     *i += 1;
@@ -100,6 +108,8 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                 kernel: NnKernel::default(),
                 search: SearchStrategy::default(),
                 repeats: 3,
+                batch_path: BatchPath::default(),
+                batch_size: DEFAULT_BATCH_SIZE,
             };
             let mut all = false;
             let mut warnings = Vec::new();
@@ -131,6 +141,17 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                         opts.repeats =
                             v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
                                 format!("--repeats requires a positive integer, got {v:?}")
+                            })?;
+                    }
+                    "--batch-path" => {
+                        opts.batch_path =
+                            BatchPath::parse(&take_value(args, &mut i, "--batch-path")?)?;
+                    }
+                    "--batch-size" => {
+                        let v = take_value(args, &mut i, "--batch-size")?;
+                        opts.batch_size =
+                            v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                                format!("--batch-size requires a positive integer, got {v:?}")
                             })?;
                     }
                     flag if flag.starts_with("--") => {
@@ -204,7 +225,9 @@ fn run_one(s: &'static dyn Scenario, opts: &RunOpts) -> Result<String, String> {
         .with_fast(opts.fast)
         .with_kernel(opts.kernel)
         .with_search(opts.search)
-        .with_repeats(opts.repeats);
+        .with_repeats(opts.repeats)
+        .with_batch_path(opts.batch_path)
+        .with_batch_size(opts.batch_size);
     let result = s.run(&ctx);
     let rendered = scenario::render(s.label(), s.title(), &result, opts.format);
     let mut stdout = String::new();
@@ -321,6 +344,10 @@ mod tests {
             "rescan",
             "--repeats",
             "5",
+            "--batch-path",
+            "sample",
+            "--batch-size",
+            "4",
         ]))
         .unwrap();
         assert!(warnings.is_empty());
@@ -334,6 +361,8 @@ mod tests {
         assert_eq!(opts.kernel, NnKernel::Naive);
         assert_eq!(opts.search, SearchStrategy::Rescan);
         assert_eq!(opts.repeats, 5);
+        assert_eq!(opts.batch_path, BatchPath::SampleMajor);
+        assert_eq!(opts.batch_size, 4);
     }
 
     #[test]
@@ -344,6 +373,8 @@ mod tests {
         assert_eq!(opts.kernel, NnKernel::GemmPacked);
         assert_eq!(opts.search, SearchStrategy::Incremental);
         assert_eq!(opts.repeats, 3);
+        assert_eq!(opts.batch_path, BatchPath::LayerMajor);
+        assert_eq!(opts.batch_size, DEFAULT_BATCH_SIZE);
         // And the explicit spelling round-trips.
         let (Command::Run(opts), _) = parse(&argv(&["run", "fig2", "--kernel", "packed"])).unwrap()
         else {
@@ -357,8 +388,9 @@ mod tests {
         let (Command::Run(opts), _) = parse(&argv(&["run", "--all"])).unwrap() else {
             panic!("expected run")
         };
-        assert_eq!(opts.ids.len(), 12);
+        assert_eq!(opts.ids.len(), 13);
         assert_eq!(opts.ids[0], "fig2");
+        assert!(opts.ids.contains(&"cnn_layerwise".to_string()));
         assert_eq!(opts.ids.last().unwrap(), "bench_sweep");
     }
 
@@ -419,6 +451,15 @@ mod tests {
             .unwrap_err()
             .contains("--search requires a value"));
         assert!(parse(&argv(&["run", "fig2", "--repeats", "0"]))
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&argv(&["run", "fig2", "--batch-path", "wide"]))
+            .unwrap_err()
+            .contains("sample|layer"));
+        assert!(parse(&argv(&["run", "fig2", "--batch-path"]))
+            .unwrap_err()
+            .contains("--batch-path requires a value"));
+        assert!(parse(&argv(&["run", "fig2", "--batch-size", "0"]))
             .unwrap_err()
             .contains("positive integer"));
         assert!(parse(&argv(&["run"])).unwrap_err().contains("no scenarios"));

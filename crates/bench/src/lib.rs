@@ -21,6 +21,7 @@
 //! | `fig6_vgg` | Fig. 6 at VGG16 scale (16-layer search) | — (registry-only) |
 //! | `fig8` | Fig. 8a/8b (Envision energy/word) | `--bin fig8` |
 //! | `table3` | Table III (per-layer power on Envision) | `--bin table3` |
+//! | `cnn_layerwise` | Sec. IV/V end-to-end tuning on Envision | `cnn_layerwise` example |
 //! | `ablations` | design-choice ablation studies | `--bin ablations` |
 //! | `bench_sweep` | `BENCH_sweep.json` (wall time per scenario) | `--bin bench_sweep` |
 //!
@@ -42,7 +43,7 @@
 pub mod cli;
 
 use dvafs::executor::Executor;
-use dvafs::nn::{NnKernel, SearchStrategy};
+use dvafs::nn::{BatchPath, NnKernel, SearchStrategy, DEFAULT_BATCH_SIZE};
 use dvafs::scenario::{self, ScenarioCtx};
 
 pub use dvafs::report::{bench_sweep_json, median_time_ms, time_ms, SweepTiming};
@@ -71,6 +72,11 @@ pub struct BenchArgs {
     /// Timed repeats per `bench_sweep` measurement (`--repeats N`,
     /// default 3).
     pub repeats: usize,
+    /// NN batch forward path (`--batch-path sample|layer`, default
+    /// layer; results are bit-identical either way).
+    pub batch_path: BatchPath,
+    /// Samples per layer-major chunk (`--batch-size N`, default 16).
+    pub batch_size: usize,
 }
 
 impl BenchArgs {
@@ -151,6 +157,23 @@ impl BenchArgs {
         } else {
             3
         };
+        let batch_path = if args.iter().any(|a| a == "--batch-path") {
+            let v = value_of("--batch-path")
+                .unwrap_or_else(|| panic!("--batch-path requires a value (sample|layer)"));
+            BatchPath::parse(&v).unwrap_or_else(|e| panic!("{e}"))
+        } else {
+            BatchPath::default()
+        };
+        let batch_size = if args.iter().any(|a| a == "--batch-size") {
+            value_of("--batch-size")
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    panic!("--batch-size requires a positive integer value (e.g. --batch-size 16)")
+                })
+        } else {
+            DEFAULT_BATCH_SIZE
+        };
         BenchArgs {
             threads,
             fast: args.iter().any(|a| a == "--fast"),
@@ -158,6 +181,8 @@ impl BenchArgs {
             kernel,
             search,
             repeats,
+            batch_path,
+            batch_size,
         }
     }
 
@@ -176,6 +201,8 @@ impl BenchArgs {
             .with_kernel(self.kernel)
             .with_search(self.search)
             .with_repeats(self.repeats)
+            .with_batch_path(self.batch_path)
+            .with_batch_size(self.batch_size)
     }
 }
 
@@ -231,6 +258,10 @@ mod tests {
             "rescan",
             "--repeats",
             "2",
+            "--batch-path",
+            "sample",
+            "--batch-size",
+            "4",
         ]));
         assert_eq!(a.threads, 3);
         assert!(a.fast);
@@ -238,12 +269,16 @@ mod tests {
         assert_eq!(a.kernel, NnKernel::Naive);
         assert_eq!(a.search, SearchStrategy::Rescan);
         assert_eq!(a.repeats, 2);
+        assert_eq!(a.batch_path, BatchPath::SampleMajor);
+        assert_eq!(a.batch_size, 4);
         assert_eq!(a.executor().threads(), 3);
         let ctx = a.ctx();
         assert!(ctx.fast);
         assert_eq!(ctx.kernel, NnKernel::Naive);
         assert_eq!(ctx.search, SearchStrategy::Rescan);
         assert_eq!(ctx.repeats, 2);
+        assert_eq!(ctx.batch_path, BatchPath::SampleMajor);
+        assert_eq!(ctx.batch_size, 4);
     }
 
     #[test]
@@ -251,6 +286,8 @@ mod tests {
         let a = BenchArgs::from_slice(&argv(&["--bogus", "--threads", "2"]));
         assert_eq!(a.threads, 2);
         assert!(!a.fast);
+        assert_eq!(a.batch_path, BatchPath::LayerMajor);
+        assert_eq!(a.batch_size, DEFAULT_BATCH_SIZE);
     }
 
     #[test]
@@ -281,5 +318,17 @@ mod tests {
     #[should_panic(expected = "--repeats requires a positive integer")]
     fn zero_repeats_is_fatal() {
         let _ = BenchArgs::from_slice(&argv(&["--repeats", "0"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample|layer")]
+    fn bad_batch_path_value_is_fatal() {
+        let _ = BenchArgs::from_slice(&argv(&["--batch-path", "diagonal"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--batch-size requires a positive integer")]
+    fn zero_batch_size_is_fatal() {
+        let _ = BenchArgs::from_slice(&argv(&["--batch-size", "0"]));
     }
 }

@@ -137,6 +137,11 @@ pub struct SweepTiming {
     /// pre-incremental full-forward scan). Scenarios without a precision
     /// search in the loop time close to `serial_ms`.
     pub rescan_ms: f64,
+    /// Serial wall time on the per-sample forward oracle
+    /// (`BatchPath::SampleMajor`) — the pre-batching baseline the shipping
+    /// layer-major fused-batch forward is timed against. Scenarios without
+    /// a CNN in the loop time close to `serial_ms`.
+    pub sample_major_ms: f64,
 }
 
 impl SweepTiming {
@@ -193,6 +198,17 @@ impl SweepTiming {
             0.0
         }
     }
+
+    /// Sample-major-over-layer-major batch-path speedup at one thread
+    /// (> 1 means the fused wide-GEMM batch forward won).
+    #[must_use]
+    pub fn batch_speedup(&self) -> f64 {
+        if self.serial_ms > 0.0 {
+            self.sample_major_ms / self.serial_ms
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Times one closure in milliseconds, discarding its result.
@@ -232,10 +248,12 @@ pub fn median_time_ms<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
 /// (`bitsliced_ms` repeats `serial_ms` so the engine columns read as a
 /// pair), naive-kernel and plain-GEMM-kernel wall time against the
 /// shipping subword-packed kernel (`packed_ms` likewise repeats
-/// `serial_ms`; `gemm_ms` is the *measured* plain-GEMM oracle time), the
-/// measured thread count, the host parallelism, and the per-measurement
-/// repeat count, so the workspace's performance trajectory is recorded
-/// per commit by CI.
+/// `serial_ms`; `gemm_ms` is the *measured* plain-GEMM oracle time),
+/// per-sample-oracle vs layer-major fused-batch wall time
+/// (`layer_major_ms` repeats `serial_ms`; `sample_major_ms` is the
+/// measured per-sample oracle time), the measured thread count, the host
+/// parallelism, and the per-measurement repeat count, so the workspace's
+/// performance trajectory is recorded per commit by CI.
 #[must_use]
 pub fn bench_sweep_json(
     timings: &[SweepTiming],
@@ -252,7 +270,9 @@ pub fn bench_sweep_json(
                  \"engine_speedup\":{:.3},\"naive_ms\":{:.3},\"gemm_ms\":{:.3},\
                  \"packed_ms\":{:.3},\"kernel_speedup\":{:.3},\
                  \"packed_speedup\":{:.3},\"rescan_ms\":{:.3},\
-                 \"incremental_ms\":{:.3},\"search_speedup\":{:.3}}}",
+                 \"incremental_ms\":{:.3},\"search_speedup\":{:.3},\
+                 \"sample_major_ms\":{:.3},\"layer_major_ms\":{:.3},\
+                 \"batch_speedup\":{:.3}}}",
                 t.figure,
                 t.serial_ms,
                 t.parallel_ms,
@@ -267,7 +287,10 @@ pub fn bench_sweep_json(
                 t.packed_speedup(),
                 t.rescan_ms,
                 t.serial_ms,
-                t.search_speedup()
+                t.search_speedup(),
+                t.sample_major_ms,
+                t.serial_ms,
+                t.batch_speedup()
             )
         })
         .collect();
@@ -391,12 +414,14 @@ mod tests {
             naive_ms: 450.0,
             gemm_ms: 250.0,
             rescan_ms: 350.0,
+            sample_major_ms: 150.0,
         };
         assert!((t.speedup() - 4.0).abs() < 1e-12);
         assert!((t.engine_speedup() - 8.0).abs() < 1e-12);
         assert!((t.kernel_speedup() - 4.5).abs() < 1e-12);
         assert!((t.packed_speedup() - 2.5).abs() < 1e-12);
         assert!((t.search_speedup() - 3.5).abs() < 1e-12);
+        assert!((t.batch_speedup() - 1.5).abs() < 1e-12);
         let zero = SweepTiming {
             parallel_ms: 0.0,
             serial_ms: 0.0,
@@ -407,6 +432,7 @@ mod tests {
         assert_eq!(zero.kernel_speedup(), 0.0);
         assert_eq!(zero.packed_speedup(), 0.0);
         assert_eq!(zero.search_speedup(), 0.0);
+        assert_eq!(zero.batch_speedup(), 0.0);
     }
 
     #[test]
@@ -420,12 +446,14 @@ mod tests {
                 naive_ms: 4.5,
                 gemm_ms: 2.0,
                 rescan_ms: 3.0,
+                sample_major_ms: 2.5,
             }],
             4,
             true,
             3,
         );
         assert!(doc.contains("\"threads\": 4"));
+        assert!(doc.contains("\"host_parallelism\""));
         assert!(doc.contains("\"repeats\": 3"));
         assert!(doc.contains("\"figure\":\"fig2\""));
         assert!(doc.contains("\"speedup\":2.000"));
@@ -440,6 +468,9 @@ mod tests {
         assert!(doc.contains("\"rescan_ms\":3.000"));
         assert!(doc.contains("\"incremental_ms\":1.000"));
         assert!(doc.contains("\"search_speedup\":3.000"));
+        assert!(doc.contains("\"sample_major_ms\":2.500"));
+        assert!(doc.contains("\"layer_major_ms\":1.000"));
+        assert!(doc.contains("\"batch_speedup\":2.500"));
         assert!(doc.ends_with("}\n"));
     }
 

@@ -7,16 +7,18 @@
 //! Since the registry refactor this scenario times the real experiments
 //! through [`super::registry`], so the perf trajectory covers every
 //! figure and table, not just the parallelized multiplier sweeps. While
-//! timing, it also *verifies* the determinism contract five times over:
+//! timing, it also *verifies* the determinism contract six times over:
 //! each scenario's parallel [`ScenarioResult`] is asserted equal to the
 //! serial one, the scalar-netlist-oracle run is asserted equal to the
 //! bitsliced one, the naive-MAC-kernel-oracle and plain-GEMM-oracle runs
-//! are asserted equal to the subword-packed one, and the
-//! rescan-search-oracle run is asserted equal to the incremental one,
-//! before a timing is recorded. The gate-level scenarios
+//! are asserted equal to the subword-packed one, the rescan-search-oracle
+//! run is asserted equal to the incremental one, and the
+//! sample-major-forward-oracle run is asserted equal to the layer-major
+//! fused-batch one, before a timing is recorded. The gate-level scenarios
 //! (fig2/fig3a/fig3b/table1/ablations) are where `engine_speedup` bites;
-//! `kernel_speedup`, `packed_speedup` and `search_speedup` bite on the
-//! CNN scenarios (fig6/fig6_vgg); scenarios without any of them in the
+//! `kernel_speedup`, `packed_speedup`, `search_speedup` and
+//! `batch_speedup` bite on the CNN scenarios
+//! (fig6/fig6_vgg/cnn_layerwise); scenarios without any of them in the
 //! loop time near 1x.
 //!
 //! Timing hygiene: one untimed serial warmup pass per scenario warms the
@@ -43,7 +45,7 @@ use super::{registry, DataTable, Scenario, ScenarioCtx, ScenarioResult};
 use crate::report::{bench_sweep_json, median_time_ms, SweepTiming};
 use dvafs_arith::netlist::Engine;
 use dvafs_executor::Executor;
-use dvafs_nn::{NnKernel, SearchStrategy};
+use dvafs_nn::{BatchPath, NnKernel, SearchStrategy};
 
 /// The performance-sweep scenario (`dvafs run bench_sweep`).
 pub struct BenchSweep;
@@ -92,6 +94,11 @@ impl Scenario for BenchSweep {
         // rescan — the pre-incremental baseline every search_speedup
         // column is against.
         let rescan_ctx = serial_ctx.clone().with_search(SearchStrategy::Rescan);
+        // The sample-major-oracle run: one thread, per-sample forward walk
+        // — the pre-batching baseline every batch_speedup column is
+        // against (and a bit-identity check of the layer-major fused
+        // wide-GEMM forward on every scenario, every run).
+        let sample_ctx = serial_ctx.clone().with_batch_path(BatchPath::SampleMajor);
         // The parallel run: the shipping configuration on the invoking
         // context's executor when it is actually parallel, otherwise on
         // the host parallelism (never a hardcoded count — a serial
@@ -126,6 +133,7 @@ impl Scenario for BenchSweep {
             let (naive_ms, naive_result) = median_time_ms(repeats, || s.run(&naive_ctx));
             let (gemm_ms, gemm_result) = median_time_ms(repeats, || s.run(&gemm_ctx));
             let (rescan_ms, rescan_result) = median_time_ms(repeats, || s.run(&rescan_ctx));
+            let (sample_major_ms, sample_result) = median_time_ms(repeats, || s.run(&sample_ctx));
             assert!(
                 serial_result == parallel_result,
                 "{}: parallel result diverged from serial",
@@ -151,6 +159,11 @@ impl Scenario for BenchSweep {
                 "{}: rescan-search result diverged from incremental",
                 s.id()
             );
+            assert!(
+                sample_result == serial_result,
+                "{}: sample-major result diverged from layer-major",
+                s.id()
+            );
             r.line(format_args!(
                 "measured {}: serial and parallel runs bit-identical",
                 s.id()
@@ -163,6 +176,7 @@ impl Scenario for BenchSweep {
                 naive_ms,
                 gemm_ms,
                 rescan_ms,
+                sample_major_ms,
             });
         }
 
@@ -181,6 +195,8 @@ impl Scenario for BenchSweep {
                 "packed_speedup",
                 "rescan_ms",
                 "search_speedup",
+                "sample_major_ms",
+                "batch_speedup",
             ],
         );
         for t in &timings {
@@ -197,7 +213,15 @@ impl Scenario for BenchSweep {
                 t.packed_speedup().into(),
                 t.rescan_ms.into(),
                 t.search_speedup().into(),
+                t.sample_major_ms.into(),
+                t.batch_speedup().into(),
             ]);
+        }
+        if parallel_ctx.threads() == 1 {
+            // A 1-core host cannot measure thread scaling: the "parallel"
+            // run is the serial run again. Flag the column so a
+            // checked-in artifact from such a host is not misread.
+            r.line("note: parallel run measured at 1 thread — the speedup column is a (1-core artifact)");
         }
         r.push_table(data);
         r.push_artifact(

@@ -30,6 +30,7 @@
 
 mod ablations;
 mod bench_sweep;
+mod cnn_layerwise;
 mod fig2;
 mod fig3a;
 mod fig3b;
@@ -45,6 +46,7 @@ mod table3;
 
 pub use ablations::Ablations;
 pub use bench_sweep::BenchSweep;
+pub use cnn_layerwise::CnnLayerwise;
 pub use fig2::Fig2;
 pub use fig3a::Fig3a;
 pub use fig3b::Fig3b;
@@ -60,7 +62,7 @@ pub use table3::Table3;
 
 use dvafs_arith::netlist::Engine;
 use dvafs_executor::Executor;
-use dvafs_nn::{NnKernel, SearchStrategy};
+use dvafs_nn::{BatchPath, NnKernel, SearchStrategy, DEFAULT_BATCH_SIZE};
 
 /// Shared root seed of every experiment (full determinism). The
 /// multiplier-level sweeps additionally pin their own
@@ -95,6 +97,14 @@ pub struct ScenarioCtx {
     /// the reference oracle `bench_sweep` times against it). Like the
     /// engine and kernel, it never moves a number — only wall time.
     pub search: SearchStrategy,
+    /// Batch path of the NN scenarios (layer-major fused wide GEMM by
+    /// default; the per-sample walk is the reference oracle `bench_sweep`
+    /// times against it). Like the kernel, it never moves a number — only
+    /// wall time.
+    pub batch_path: BatchPath,
+    /// Samples per layer-major chunk (`--batch-size`, default
+    /// [`DEFAULT_BATCH_SIZE`]). Also execution-only.
+    pub batch_size: usize,
     exec: Executor,
 }
 
@@ -110,6 +120,8 @@ impl ScenarioCtx {
             kernel: NnKernel::default(),
             repeats: 3,
             search: SearchStrategy::default(),
+            batch_path: BatchPath::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
             exec: Executor::from_env(),
         }
     }
@@ -152,6 +164,21 @@ impl ScenarioCtx {
     #[must_use]
     pub fn with_search(mut self, search: SearchStrategy) -> Self {
         self.search = search;
+        self
+    }
+
+    /// Replaces the NN batch path (see [`ScenarioCtx::batch_path`]).
+    #[must_use]
+    pub fn with_batch_path(mut self, batch_path: BatchPath) -> Self {
+        self.batch_path = batch_path;
+        self
+    }
+
+    /// Replaces the layer-major chunk size (clamped to ≥ 1; see
+    /// [`ScenarioCtx::batch_size`]).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
         self
     }
 
@@ -240,13 +267,14 @@ pub(crate) fn simd_outputs_match(
 
 /// The scenario registry, in paper order (figures, tables, then the
 /// repo-level ablations and the performance sweep).
-static REGISTRY: [&dyn Scenario; 12] = [
+static REGISTRY: [&dyn Scenario; 13] = [
     &Fig2,
     &Fig3a,
     &Fig3b,
     &Fig4,
     &Fig6,
     &Fig6Vgg,
+    &CnnLayerwise,
     &Fig8,
     &Table1,
     &Table2,
@@ -274,13 +302,13 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_findable() {
         let mut ids: Vec<&str> = registry().iter().map(|s| s.id()).collect();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
         for id in &ids {
             assert!(find(id).is_some(), "find({id})");
         }
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 12, "duplicate scenario ids");
+        assert_eq!(ids.len(), 13, "duplicate scenario ids");
         assert!(find("nope").is_none());
     }
 
@@ -310,5 +338,13 @@ mod tests {
         let rescan = naive.with_search(SearchStrategy::Rescan);
         assert_eq!(rescan.search, SearchStrategy::Rescan);
         assert_eq!(rescan.serial().search, SearchStrategy::Rescan);
+        assert_eq!(rescan.batch_path, BatchPath::LayerMajor);
+        assert_eq!(rescan.batch_size, DEFAULT_BATCH_SIZE);
+        let sample = rescan
+            .with_batch_path(BatchPath::SampleMajor)
+            .with_batch_size(0);
+        assert_eq!(sample.batch_path, BatchPath::SampleMajor);
+        assert_eq!(sample.serial().batch_path, BatchPath::SampleMajor);
+        assert_eq!(sample.batch_size, 1, "batch size clamps to >= 1");
     }
 }

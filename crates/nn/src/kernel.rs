@@ -77,6 +77,61 @@ impl fmt::Display for NnKernel {
     }
 }
 
+/// Selects how a batch of samples walks the network — the batching
+/// counterpart of [`NnKernel`], and the same selector-plus-oracle
+/// discipline: the per-sample path is retained verbatim as the reference
+/// oracle, and the choice **never moves a number** (the
+/// `batch_equivalence` proptest net pins outputs, guard-skip counters and
+/// argmaxes bitwise across both paths). Only wall time changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BatchPath {
+    /// Each sample walks the whole network alone (the reference oracle):
+    /// the per-`(layer, bits)` weight panel is re-streamed once per
+    /// sample.
+    SampleMajor,
+    /// A whole chunk of samples is carried layer-by-layer: each conv
+    /// layer concatenates the samples' im2col panels into **one wide
+    /// GEMM** (`m × k × (B·n)`; dense layers `m × k × B`), so the packed
+    /// weight panel streams through cache once per batch — the software
+    /// edition of the paper's weight-stationary MAC array. The default.
+    #[default]
+    LayerMajor,
+}
+
+impl BatchPath {
+    /// Both paths, oracle first (test matrices iterate this).
+    pub const ALL: [BatchPath; 2] = [BatchPath::SampleMajor, BatchPath::LayerMajor];
+
+    /// Parses a CLI spelling (`"sample"` / `"layer"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "sample" => Ok(BatchPath::SampleMajor),
+            "layer" => Ok(BatchPath::LayerMajor),
+            other => Err(format!(
+                "unknown batch path {other:?} (expected sample|layer)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for BatchPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BatchPath::SampleMajor => "sample",
+            BatchPath::LayerMajor => "layer",
+        })
+    }
+}
+
+/// Default samples per layer-major chunk: big enough to amortize one
+/// weight-panel stream over many activation columns, small enough that
+/// the widened im2col/accumulator scratch stays cache-resident.
+pub const DEFAULT_BATCH_SIZE: usize = 16;
+
 /// The [`SubwordMode`] the packed kernel selects for a `bits`-wide
 /// operand — [`SubwordMode::for_precision`] is the mode-selection
 /// authority: the narrowest-lane, most-parallel mode that still holds
@@ -106,7 +161,24 @@ pub struct Scratch {
     /// Subword-packed activation panel of the `GemmPacked` kernel
     /// (repacked per layer from `patches`/`acts`; the buffer is reused).
     pub(crate) packed: PackedPanel,
+    /// Directly-filled activation panels of the batched `GemmPacked`
+    /// path, keyed by fill structure (see `PackedPanel::begin_fill_reuse`)
+    /// so each layer geometry keeps **its own** panel across forward
+    /// calls: a repeat fill of an unchanged `X1` structure then skips the
+    /// zeroing pass entirely. LRU order, capped entries/words (below).
+    pub(crate) packed_pool: Vec<(u64, PackedPanel)>,
 }
+
+/// Entry cap of [`Scratch::packed_pool`] — comfortably above the
+/// parameterized-layer count of the deepest scenario network, so a full
+/// forward sweep keeps every layer's panel pooled.
+const PANEL_POOL_MAX_ENTRIES: usize = 24;
+
+/// Word cap (`u16`s, so bytes are 2x) of [`Scratch::packed_pool`] across
+/// all entries: pooling holds one panel **per layer geometry** alive
+/// where the single shared panel held only the largest, so bound the
+/// total and evict least-recently-used panels past it.
+const PANEL_POOL_MAX_WORDS: usize = 1 << 24;
 
 impl Scratch {
     /// Creates an empty scratch; buffers grow on first use.
@@ -114,6 +186,50 @@ impl Scratch {
     pub fn new() -> Self {
         Scratch::default()
     }
+
+    /// The pooled packed panel for fill-structure `key`, plus the GEMM
+    /// accumulator buffer (handed out together so the caller can hold
+    /// both mutably). Creates the panel on first use; moves a hit to the
+    /// back (LRU) and evicts from the front past the pool caps.
+    pub(crate) fn pooled_panel_and_acc(&mut self, key: u64) -> (&mut PackedPanel, &mut Vec<i64>) {
+        let entry = match self.packed_pool.iter().position(|(k, _)| *k == key) {
+            Some(i) => self.packed_pool.remove(i),
+            None => (key, PackedPanel::default()),
+        };
+        let words = |p: &PackedPanel| p.rows() * p.words_per_row();
+        while !self.packed_pool.is_empty()
+            && (self.packed_pool.len() + 1 > PANEL_POOL_MAX_ENTRIES
+                || self
+                    .packed_pool
+                    .iter()
+                    .map(|(_, p)| words(p))
+                    .sum::<usize>()
+                    + words(&entry.1)
+                    > PANEL_POOL_MAX_WORDS)
+        {
+            self.packed_pool.remove(0);
+        }
+        self.packed_pool.push(entry);
+        let (_, panel) = self.packed_pool.last_mut().expect("entry just pushed");
+        (panel, &mut self.acc)
+    }
+}
+
+/// Runs `f` with this thread's long-lived [`Scratch`], so convenience
+/// wrappers and executor workers amortize the im2col/accumulator
+/// allocations across calls instead of building a fresh `Scratch::new()`
+/// each time. Falls back to a throwaway scratch when the thread-local is
+/// already borrowed (a reentrant caller), which only costs allocations —
+/// scratch contents never affect results.
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut Scratch::new()),
+    })
 }
 
 /// One memoized weight quantization: the `i16` panel the GEMM consumes,
@@ -302,6 +418,34 @@ mod tests {
             .unwrap_err()
             .contains("naive|gemm|packed"));
         assert_eq!(NnKernel::default(), NnKernel::GemmPacked);
+    }
+
+    #[test]
+    fn batch_path_parse_and_display_roundtrip() {
+        for p in BatchPath::ALL {
+            assert_eq!(BatchPath::parse(&p.to_string()), Ok(p));
+        }
+        assert!(BatchPath::parse("wide")
+            .unwrap_err()
+            .contains("sample|layer"));
+        assert_eq!(BatchPath::default(), BatchPath::LayerMajor);
+        const { assert!(DEFAULT_BATCH_SIZE >= 1) };
+    }
+
+    #[test]
+    fn thread_scratch_is_reused_and_reentrancy_safe() {
+        // Two sequential borrows see the same buffer (capacity persists);
+        // a nested borrow gets a fresh scratch instead of panicking.
+        with_thread_scratch(|s| s.patches.resize(64, 7));
+        let (outer_len, inner_len) = with_thread_scratch(|s| {
+            let inner = with_thread_scratch(|nested| nested.patches.len());
+            (s.patches.len(), inner)
+        });
+        assert_eq!(outer_len, 64, "thread-local scratch persists across calls");
+        assert_eq!(
+            inner_len, 0,
+            "reentrant borrow falls back to a fresh scratch"
+        );
     }
 
     #[test]

@@ -20,10 +20,89 @@ use crate::error::NnError;
 use crate::kernel::{mode_for_bits, NnKernel, PackedWeights, Scratch, WeightCache};
 use crate::quant::QuantizedTensor;
 use crate::tensor::Tensor;
+use dvafs_arith::SubwordMode;
 use dvafs_simd::gemm;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Packs one dense panel row (a sample's full activation vector) into a
+/// `PackedPanel::begin_fill` row at `LANES` two's-complement fields of
+/// `WBITS` bits per word, exactly where `repack` would place each
+/// operand (`X1` is `<1, 16, { i16::MIN as i32 }>` — the word IS the
+/// operand). The row tail past the last operand stays at the buffer's
+/// pre-zeroed state. Returns the row's `(zero_count, has_min)` — `MIN`
+/// is the mode's most negative lane value, which triggers the exact
+/// min-correction kernel.
+fn fill_row_packed<const LANES: usize, const WBITS: u16, const MIN: i32>(
+    src: &[i32],
+    row: &mut [u16],
+) -> (u64, bool) {
+    let mut zeros = 0u64;
+    let mut min = false;
+    if LANES == 1 {
+        for (d, &q) in row.iter_mut().zip(src) {
+            zeros += u64::from(q == 0);
+            min |= q == MIN;
+            *d = q as u16;
+        }
+    } else {
+        let mask = ((1u32 << WBITS) - 1) as u16;
+        for (d, chunk) in row.iter_mut().zip(src.chunks(LANES)) {
+            let mut word = 0u16;
+            for (l, &q) in chunk.iter().enumerate() {
+                zeros += u64::from(q == 0);
+                min |= q == MIN;
+                word |= ((q as u16) & mask) << (l as u16 * WBITS);
+            }
+            *d = word;
+        }
+    }
+    (zeros, min)
+}
+
+/// Pool key for dense-layer panel fills (see [`Scratch::pooled_panel_and_acc`]).
+///
+/// A dense `X1` fill writes every operand word of every row, so a reused
+/// buffer needs no re-zeroing once `begin_fill_reuse` has pinned the
+/// `(rows, k, mode)` geometry — one shared key covers all dense layers.
+/// The value can never collide with a [`conv_fill_key`]: a conv key's low
+/// nibble holds `kernel >= 1` while its stride nibble holds `stride >= 1`,
+/// and this constant has a zero stride nibble.
+const DENSE_FILL_KEY: u64 = 1;
+
+/// Pool key for a conv-layer im2col panel fill, or `None` when a field
+/// overflows its bit budget (callers then fall back to an unpooled,
+/// always-zeroed fill).
+///
+/// The key must capture everything that determines *which* panel words
+/// `pack_im2col_packed` writes — input shape, kernel geometry, and batch
+/// size — because a pooled `X1` buffer is reused without re-zeroing and
+/// the structural padding words rely on stale zeros from the previous
+/// fill of identical structure.
+fn conv_fill_key(
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    b: usize,
+) -> Option<u64> {
+    if kernel < 16 && stride < 16 && padding < 16 && c < 4096 && h < 4096 && w < 4096 && b < 65536 {
+        Some(
+            kernel as u64
+                | (stride as u64) << 4
+                | (padding as u64) << 8
+                | (c as u64) << 12
+                | (h as u64) << 24
+                | (w as u64) << 36
+                | (b as u64) << 48,
+        )
+    } else {
+        None
+    }
+}
 
 /// Execution statistics of one layer forward pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -335,38 +414,20 @@ impl Conv2d {
             .collect()
     }
 
-    /// The im2col + blocked-integer-GEMM path. Patches are packed at the
-    /// filters' own layout with structural zeros where a tap falls in the
-    /// padding; those zeros contribute nothing to the exact `i64` sums, so
-    /// outputs are byte-identical to [`forward_naive`](Self::forward_naive).
-    ///
-    /// With `packed` set this is the `GemmPacked` kernel: the identical
-    /// im2col panel (and therefore the identical statistics bookkeeping)
-    /// is subword-packed at the activation width's [`mode_for_bits`] and
-    /// multiplied against the pre-packed weight panel by the exact packed
-    /// GEMM — same numbers, fewer lane words.
-    fn forward_gemm(
-        &self,
-        qa: &QuantizedTensor,
-        wbits: u32,
-        scratch: &mut Scratch,
-        packed: bool,
-    ) -> Result<(Tensor, LayerStats), NnError> {
+    /// Packs one sample's im2col panel into the **pre-zeroed** `patches`
+    /// (length `n * klen`), counting in-bounds zero activations as it
+    /// goes — a padding tap is a *skipped* MAC, not a zero-operand MAC,
+    /// so structural zeros come from the zeroed buffer and are not
+    /// counted. Shared by the per-sample and batched `Gemm` paths, so
+    /// their panels (and zero-activation counts) are bit-identical by
+    /// construction.
+    fn pack_im2col(&self, qa: &QuantizedTensor, patches: &mut [i16]) -> u64 {
         let (_, h, w) = qa.shape;
-        let pw = self.packed_weights(wbits)?;
         let (oh, ow) = self.out_hw(h, w);
         let k = self.kernel;
-        let (c, f) = (self.in_channels, self.out_channels);
+        let c = self.in_channels;
         let klen = c * k * k;
-        let n = oh * ow;
         let pad = self.padding as isize;
-
-        // Pack the panel, counting in-bounds zero activations as we go —
-        // a padding tap is a *skipped* MAC, not a zero-operand MAC, so
-        // structural zeros must not be counted.
-        scratch.patches.clear();
-        scratch.patches.resize(n * klen, 0);
-        let patches = &mut scratch.patches;
         let mut zero_acts = 0u64;
         for oy in 0..oh {
             for ky in 0..k {
@@ -401,6 +462,134 @@ impl Conv2d {
                 }
             }
         }
+        zero_acts
+    }
+
+    /// [`pack_im2col`](Self::pack_im2col)'s walk writing one sample's
+    /// im2col rows straight into a `PackedPanel::begin_fill` buffer at
+    /// `LANES` two's-complement fields of `WBITS` bits per word (`X1` is
+    /// `<1, 16, { i16::MIN as i32 }>` — the word IS the operand), so the
+    /// batched packed path skips the `i16` staging buffer and the repack
+    /// pass entirely. `words` is this sample's pre-zeroed row block
+    /// (`n * stride` words); operand `t` of panel row `r` lands in word
+    /// `r*stride + t/LANES` exactly as `repack` would place it —
+    /// identical taps, identical zero accounting, bit-identical panels
+    /// by construction. Returns the sample's `(zero_acts, has_min)`
+    /// (`MIN` is the mode's most negative lane value, which triggers the
+    /// exact min-correction kernel).
+    fn pack_im2col_packed<const LANES: usize, const WBITS: u16, const MIN: i32>(
+        &self,
+        qa: &QuantizedTensor,
+        words: &mut [u16],
+        stride: usize,
+    ) -> (u64, bool) {
+        let (_, h, w) = qa.shape;
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let c = self.in_channels;
+        let pad = self.padding as isize;
+        let mut zero_acts = 0u64;
+        let mut has_min = false;
+        for oy in 0..oh {
+            for ky in 0..k {
+                let iy = (oy * self.stride + ky) as isize - pad;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                let iy = iy as usize;
+                for ox in 0..ow {
+                    let row = (oy * ow + ox) * stride;
+                    let base = (ox * self.stride) as isize - pad;
+                    let kx_lo = usize::try_from(-base).unwrap_or(0).min(k);
+                    let kx_hi = usize::try_from(w as isize - base).unwrap_or(0).min(k);
+                    if kx_lo >= kx_hi {
+                        continue;
+                    }
+                    let ix0 = (base + kx_lo as isize) as usize;
+                    for ci in 0..c {
+                        let src = &qa.data[(ci * h + iy) * w + ix0..][..kx_hi - kx_lo];
+                        let t0 = (ci * k + ky) * k + kx_lo;
+                        if LANES == 1 {
+                            // One operand per word: a contiguous store run,
+                            // like the staging path but already in panel
+                            // layout.
+                            let dst = &mut words[row + t0..][..kx_hi - kx_lo];
+                            for (d, &q) in dst.iter_mut().zip(src) {
+                                zero_acts += u64::from(q == 0);
+                                has_min |= q == MIN;
+                                *d = q as u16;
+                            }
+                        } else {
+                            // Sub-word lanes: adjacent taps from different
+                            // `ky` share words, so deposit fields with `|=`
+                            // over the pre-zeroed buffer.
+                            for (j, &q) in src.iter().enumerate() {
+                                zero_acts += u64::from(q == 0);
+                                has_min |= q == MIN;
+                                let t = t0 + j;
+                                words[row + t / LANES] |= ((q as u16)
+                                    & (((1u32 << WBITS) - 1) as u16))
+                                    << ((t % LANES) as u16 * WBITS);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (zero_acts, has_min)
+    }
+
+    /// The data-independent guard-skip statistics of one GEMM conv pass
+    /// on an `h x w` input, reproduced exactly from the packed
+    /// representation: tap `(ky, kx)` is in bounds at `py[ky]*px[kx]`
+    /// output positions. Returns `(macs, zero_weight_macs)`; the
+    /// data-dependent `zero_act_macs` comes from
+    /// [`pack_im2col`](Self::pack_im2col).
+    fn gemm_mac_stats(&self, pw: &PackedWeights, h: usize, w: usize) -> (u64, u64) {
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let py = self.axis_tap_counts(oh, h);
+        let px = self.axis_tap_counts(ow, w);
+        let spatial_taps: u64 = py.iter().sum::<u64>() * px.iter().sum::<u64>();
+        let mut zero_weight_macs = 0u64;
+        for (ky, &cy) in py.iter().enumerate() {
+            for (kx, &cx) in px.iter().enumerate() {
+                zero_weight_macs += pw.zeros_per_tap[ky * k + kx] * cy * cx;
+            }
+        }
+        (
+            (self.out_channels * self.in_channels) as u64 * spatial_taps,
+            zero_weight_macs,
+        )
+    }
+
+    /// The im2col + blocked-integer-GEMM path. Patches are packed at the
+    /// filters' own layout with structural zeros where a tap falls in the
+    /// padding; those zeros contribute nothing to the exact `i64` sums, so
+    /// outputs are byte-identical to [`forward_naive`](Self::forward_naive).
+    ///
+    /// With `packed` set this is the `GemmPacked` kernel: the identical
+    /// im2col panel (and therefore the identical statistics bookkeeping)
+    /// is subword-packed at the activation width's [`mode_for_bits`] and
+    /// multiplied against the pre-packed weight panel by the exact packed
+    /// GEMM — same numbers, fewer lane words.
+    fn forward_gemm(
+        &self,
+        qa: &QuantizedTensor,
+        wbits: u32,
+        scratch: &mut Scratch,
+        packed: bool,
+    ) -> Result<(Tensor, LayerStats), NnError> {
+        let (_, h, w) = qa.shape;
+        let pw = self.packed_weights(wbits)?;
+        let (oh, ow) = self.out_hw(h, w);
+        let f = self.out_channels;
+        let klen = self.in_channels * self.kernel * self.kernel;
+        let n = oh * ow;
+
+        scratch.patches.clear();
+        scratch.patches.resize(n * klen, 0);
+        let zero_acts = self.pack_im2col(qa, &mut scratch.patches);
 
         scratch.acc.clear();
         scratch.acc.resize(f * n, 0);
@@ -413,20 +602,9 @@ impl Conv2d {
             gemm::gemm_i16(&pw.qi16, &scratch.patches, f, klen, n, &mut scratch.acc);
         }
 
-        // Guard-skip statistics, reproduced exactly from the packed
-        // representation: tap (ky, kx) is in bounds at py[ky]*px[kx]
-        // output positions.
-        let py = self.axis_tap_counts(oh, h);
-        let px = self.axis_tap_counts(ow, w);
-        let spatial_taps: u64 = py.iter().sum::<u64>() * px.iter().sum::<u64>();
-        let mut zero_weight_macs = 0u64;
-        for (ky, &cy) in py.iter().enumerate() {
-            for (kx, &cx) in px.iter().enumerate() {
-                zero_weight_macs += pw.zeros_per_tap[ky * k + kx] * cy * cx;
-            }
-        }
+        let (macs, zero_weight_macs) = self.gemm_mac_stats(&pw, h, w);
         let stats = LayerStats {
-            macs: (f * c) as u64 * spatial_taps,
+            macs,
             zero_weight_macs,
             zero_act_macs: f as u64 * zero_acts,
         };
@@ -444,6 +622,143 @@ impl Conv2d {
             }
         }
         Ok((out, stats))
+    }
+
+    /// Executes the convolution on a whole batch of already-quantized
+    /// inputs with **one wide GEMM**: each sample's im2col panel (packed
+    /// by the same [`pack_im2col`](Self::pack_im2col) the per-sample path
+    /// uses) becomes `n` extra rows of a shared `(B·n) x k` activation
+    /// panel, so the packed weight panel streams through cache once per
+    /// batch instead of once per sample. Every output element is still an
+    /// independent exact-`i64` dot product over the same operands, so
+    /// outputs and statistics are bit-identical to running
+    /// [`forward_quant`](Self::forward_quant) per sample.
+    ///
+    /// Falls back to the per-sample path for the naive kernel, single
+    /// samples, or mixed grid geometry (still bit-identical — only wall
+    /// time changes).
+    pub(crate) fn forward_quant_batch(
+        &self,
+        qas: &[&QuantizedTensor],
+        wbits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(Tensor, LayerStats)>, NnError> {
+        let fusable = kernel != NnKernel::Naive
+            && qas.len() > 1
+            && qas
+                .iter()
+                .all(|qa| qa.shape == qas[0].shape && qa.bits == qas[0].bits);
+        if !fusable {
+            return qas
+                .iter()
+                .map(|qa| self.forward_quant(qa, wbits, kernel, scratch))
+                .collect();
+        }
+        let (c, h, w) = qas[0].shape;
+        if c != self.in_channels
+            || h + 2 * self.padding < self.kernel
+            || w + 2 * self.padding < self.kernel
+        {
+            return Err(NnError::ShapeMismatch {
+                expected: (self.in_channels, self.kernel, self.kernel),
+                actual: (c, h, w),
+            });
+        }
+        let pw = self.packed_weights(wbits)?;
+        let (oh, ow) = self.out_hw(h, w);
+        let f = self.out_channels;
+        let klen = self.in_channels * self.kernel * self.kernel;
+        let n = oh * ow;
+        let b = qas.len();
+        let total = b * n;
+
+        // One concatenated panel: sample `si` owns rows `si*n..(si+1)*n`.
+        let mode = mode_for_bits(qas[0].bits);
+        let mut zero_acts = Vec::with_capacity(b);
+        if kernel == NnKernel::GemmPacked {
+            // im2col packs the wide panel directly at the activation
+            // mode's lane geometry — no i16 staging buffer and no repack
+            // pass ([`pack_im2col_packed`] walks the same taps as
+            // `pack_im2col`). The panel is pooled per fill structure, so
+            // a repeated `X1` fill of this exact geometry (every suffix
+            // re-forward of a precision scan) skips the zeroing pass.
+            let key = conv_fill_key(
+                self.in_channels,
+                h,
+                w,
+                self.kernel,
+                self.stride,
+                self.padding,
+                b,
+            );
+            let (panel, acc) = scratch.pooled_panel_and_acc(key.unwrap_or(u64::MAX));
+            // The GEMM fully overwrites its output, so only grow the
+            // accumulator — no per-call zero fill of `f * total` elements.
+            if acc.len() < f * total {
+                acc.resize(f * total, 0);
+            }
+            let acc = &mut acc[..f * total];
+            let (words, stride, _) = if let Some(key) = key {
+                panel.begin_fill_reuse(key, total, klen, mode)
+            } else {
+                let (words, stride) = panel.begin_fill(total, klen, mode);
+                (words, stride, false)
+            };
+            let mut has_min = false;
+            for (si, qa) in qas.iter().enumerate() {
+                let block = &mut words[si * n * stride..(si + 1) * n * stride];
+                let (zeros, min) = match mode {
+                    SubwordMode::X1 => {
+                        self.pack_im2col_packed::<1, 16, { i16::MIN as i32 }>(qa, block, stride)
+                    }
+                    SubwordMode::X2 => self.pack_im2col_packed::<2, 8, -128>(qa, block, stride),
+                    SubwordMode::X4 => self.pack_im2col_packed::<4, 4, -8>(qa, block, stride),
+                };
+                zero_acts.push(zeros);
+                has_min |= min;
+            }
+            panel.finish_fill(has_min);
+            gemm::gemm_packed(&pw.panel, panel, acc);
+        } else {
+            if scratch.acc.len() < f * total {
+                scratch.acc.resize(f * total, 0);
+            }
+            let acc = &mut scratch.acc[..f * total];
+            scratch.patches.clear();
+            scratch.patches.resize(total * klen, 0);
+            for (si, qa) in qas.iter().enumerate() {
+                let panel = &mut scratch.patches[si * n * klen..(si + 1) * n * klen];
+                zero_acts.push(self.pack_im2col(qa, panel));
+            }
+            gemm::gemm_i16(&pw.qi16, &scratch.patches, f, klen, total, acc);
+        }
+
+        let (macs, zero_weight_macs) = self.gemm_mac_stats(&pw, h, w);
+        // Slice each sample's output columns back out: filter `fi` of
+        // sample `si` lives at `acc[fi*total + si*n ..][..n]`. The scale
+        // stays per-sample (per-tensor quantization grids).
+        let mut results = Vec::with_capacity(b);
+        for (si, qa) in qas.iter().enumerate() {
+            let scale = qa.scale * pw.scale;
+            let mut data = Vec::with_capacity(f * n);
+            for fi in 0..f {
+                let bias = f64::from(self.bias[fi]);
+                let acc_row = &scratch.acc[fi * total + si * n..][..n];
+                data.extend(
+                    acc_row
+                        .iter()
+                        .map(|&acc| (acc as f64 * scale + bias) as f32),
+                );
+            }
+            let stats = LayerStats {
+                macs,
+                zero_weight_macs,
+                zero_act_macs: f as u64 * zero_acts[si],
+            };
+            results.push((Tensor::from_vec(f, oh, ow, data), stats));
+        }
+        Ok(results)
     }
 
     /// MACs for one forward pass on an input of shape `(c, h, w)` —
@@ -685,6 +1000,117 @@ impl Dense {
         };
         Ok((out, stats))
     }
+
+    /// Executes the layer on a whole batch of already-quantized inputs
+    /// with one `outputs x inputs x B` GEMM: each sample's activation
+    /// vector becomes one row of a shared `B x inputs` right-hand panel,
+    /// so the packed weight rows stream once per batch. Every output
+    /// element is the same exact-`i64` dot product over the same
+    /// operands, so outputs and statistics are bit-identical to running
+    /// [`forward_quant`](Self::forward_quant) per sample. Falls back to
+    /// the per-sample path for the naive kernel, single samples, or
+    /// mixed grid geometry.
+    pub(crate) fn forward_quant_batch(
+        &self,
+        qas: &[&QuantizedTensor],
+        wbits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(Tensor, LayerStats)>, NnError> {
+        let fusable = kernel != NnKernel::Naive
+            && qas.len() > 1
+            && qas
+                .iter()
+                .all(|qa| qa.shape == qas[0].shape && qa.bits == qas[0].bits);
+        if !fusable {
+            return qas
+                .iter()
+                .map(|qa| self.forward_quant(qa, wbits, kernel, scratch))
+                .collect();
+        }
+        {
+            let (c, h, w) = qas[0].shape;
+            if c * h * w != self.inputs {
+                return Err(NnError::ShapeMismatch {
+                    expected: (1, 1, self.inputs),
+                    actual: (c, h, w),
+                });
+            }
+        }
+        let pw = self.packed_weights(wbits)?;
+        let b = qas.len();
+        let mode = mode_for_bits(qas[0].bits);
+        let mut zero_counts = Vec::with_capacity(b);
+        if kernel == NnKernel::GemmPacked {
+            // Direct panel fill at the activation mode's lane geometry —
+            // each sample's vector is one panel row, deposited over the
+            // pre-zeroed buffer (see the conv batch path). The dense walk
+            // writes every operand word, so its pooled panel reuses
+            // without re-zeroing under the shared dense key (the
+            // structure is fully pinned by the `(rows, k, mode)` check).
+            let (panel, acc) = scratch.pooled_panel_and_acc(DENSE_FILL_KEY);
+            // The GEMM fully overwrites its output, so only grow the
+            // accumulator — no per-call zero fill.
+            if acc.len() < self.outputs * b {
+                acc.resize(self.outputs * b, 0);
+            }
+            let acc = &mut acc[..self.outputs * b];
+            let (words, stride, _) = panel.begin_fill_reuse(DENSE_FILL_KEY, b, self.inputs, mode);
+            let mut has_min = false;
+            for (si, qa) in qas.iter().enumerate() {
+                let row = &mut words[si * stride..(si + 1) * stride];
+                let (zeros, min) = match mode {
+                    SubwordMode::X1 => fill_row_packed::<1, 16, { i16::MIN as i32 }>(&qa.data, row),
+                    SubwordMode::X2 => fill_row_packed::<2, 8, -128>(&qa.data, row),
+                    SubwordMode::X4 => fill_row_packed::<4, 4, -8>(&qa.data, row),
+                };
+                zero_counts.push(zeros);
+                has_min |= min;
+            }
+            panel.finish_fill(has_min);
+            gemm::gemm_packed(&pw.panel, panel, acc);
+        } else {
+            if scratch.acc.len() < self.outputs * b {
+                scratch.acc.resize(self.outputs * b, 0);
+            }
+            let acc = &mut scratch.acc[..self.outputs * b];
+            scratch.patches.clear();
+            scratch.patches.resize(b * self.inputs, 0);
+            for (si, qa) in qas.iter().enumerate() {
+                let row = &mut scratch.patches[si * self.inputs..(si + 1) * self.inputs];
+                let mut zeros = 0u64;
+                for (dst, &q) in row.iter_mut().zip(&qa.data) {
+                    zeros += u64::from(q == 0);
+                    *dst = q as i16;
+                }
+                zero_counts.push(zeros);
+            }
+            gemm::gemm_i16(
+                &pw.qi16,
+                &scratch.patches,
+                self.outputs,
+                self.inputs,
+                b,
+                acc,
+            );
+        }
+
+        // Sample `si` of output row `z` lives at `acc[z*b + si]`.
+        let mut results = Vec::with_capacity(b);
+        for (si, qa) in qas.iter().enumerate() {
+            let scale = qa.scale * pw.scale;
+            let data: Vec<f32> = (0..self.outputs)
+                .map(|z| (scratch.acc[z * b + si] as f64 * scale + f64::from(self.bias[z])) as f32)
+                .collect();
+            let stats = LayerStats {
+                macs: (self.outputs * self.inputs) as u64,
+                zero_weight_macs: pw.zeros_total,
+                zero_act_macs: self.outputs as u64 * zero_counts[si],
+            };
+            results.push((Tensor::from_vec(1, 1, self.outputs, data), stats));
+        }
+        Ok(results)
+    }
 }
 
 /// One stage of a CNN (Fig. 5): convolution, non-linearity, pooling or
@@ -829,6 +1255,100 @@ impl Layer {
                 expected: (0, 0, 0),
                 actual: qa.shape,
             }),
+        }
+    }
+
+    /// Executes the layer on a whole chunk of samples — the `LayerMajor`
+    /// step: parameterized layers quantize each input at `abits` (in
+    /// sample order; quantization is per-sample, so grids and scales are
+    /// unchanged) and fuse the batch into one wide GEMM; ReLU/pooling
+    /// layers run per sample. Bit-identical to mapping
+    /// [`forward_with`](Self::forward_with) over the samples.
+    ///
+    /// # Errors
+    ///
+    /// Same per-sample errors as [`forward_with`](Self::forward_with);
+    /// the first failing sample (in sample order) of this layer wins.
+    pub(crate) fn forward_batch_with(
+        &self,
+        inputs: &[Tensor],
+        wbits: u32,
+        abits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(Tensor, LayerStats)>, NnError> {
+        match self {
+            Layer::Conv2d(_) | Layer::Dense(_) => {
+                // Validate-then-quantize per sample, in sample order, so a
+                // bad sample surfaces the same error the per-sample path
+                // would raise for it.
+                let mut qas = Vec::with_capacity(inputs.len());
+                for input in inputs {
+                    self.validate_input(input)?;
+                    qas.push(QuantizedTensor::quantize(input, abits)?);
+                }
+                let refs: Vec<&QuantizedTensor> = qas.iter().collect();
+                self.forward_prequantized_batch(&refs, wbits, kernel, scratch)
+            }
+            Layer::ReLU | Layer::MaxPool2d { .. } => inputs
+                .iter()
+                .map(|input| self.forward_with(input, wbits, abits, kernel, scratch))
+                .collect(),
+        }
+    }
+
+    /// The batch counterpart of
+    /// [`forward_prequantized`](Self::forward_prequantized): a whole
+    /// chunk of already-quantized inputs through one parameterized layer
+    /// as one wide GEMM.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward_prequantized`](Self::forward_prequantized).
+    pub(crate) fn forward_prequantized_batch(
+        &self,
+        qas: &[&QuantizedTensor],
+        wbits: u32,
+        kernel: NnKernel,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(Tensor, LayerStats)>, NnError> {
+        match self {
+            Layer::Conv2d(c) => c.forward_quant_batch(qas, wbits, kernel, scratch),
+            Layer::Dense(d) => d.forward_quant_batch(qas, wbits, kernel, scratch),
+            Layer::ReLU | Layer::MaxPool2d { .. } => Err(NnError::ShapeMismatch {
+                expected: (0, 0, 0),
+                actual: qas.first().map_or((0, 0, 0), |qa| qa.shape),
+            }),
+        }
+    }
+
+    /// The shape validation [`forward_with`](Self::forward_with) performs
+    /// before quantizing (parameterized layers only).
+    fn validate_input(&self, input: &Tensor) -> Result<(), NnError> {
+        match self {
+            Layer::Conv2d(c) => {
+                let (ci, h, w) = input.shape();
+                if ci != c.in_channels
+                    || h + 2 * c.padding < c.kernel
+                    || w + 2 * c.padding < c.kernel
+                {
+                    return Err(NnError::ShapeMismatch {
+                        expected: (c.in_channels, c.kernel, c.kernel),
+                        actual: (ci, h, w),
+                    });
+                }
+                Ok(())
+            }
+            Layer::Dense(d) => {
+                if input.len() != d.inputs {
+                    return Err(NnError::ShapeMismatch {
+                        expected: (1, 1, d.inputs),
+                        actual: input.shape(),
+                    });
+                }
+                Ok(())
+            }
+            Layer::ReLU | Layer::MaxPool2d { .. } => Ok(()),
         }
     }
 }

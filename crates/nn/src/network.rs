@@ -8,12 +8,11 @@
 
 use crate::dataset::SyntheticDataset;
 use crate::error::NnError;
-use crate::kernel::{NnKernel, Scratch};
+use crate::kernel::{with_thread_scratch, BatchPath, NnKernel, Scratch, DEFAULT_BATCH_SIZE};
 use crate::layers::{Layer, LayerStats};
 use crate::tensor::Tensor;
 use dvafs_executor::Executor;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 
 /// Bit widths for one layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,6 +111,16 @@ pub struct Network {
     /// guaranteed to never change a number — see [`crate::kernel`]).
     #[serde(skip)]
     kernel: NnKernel,
+    /// How batch entry points walk the samples (execution strategy, like
+    /// `kernel`: ignored by `PartialEq`/serialization, never changes a
+    /// number — see [`BatchPath`]).
+    #[serde(skip)]
+    batch_path: BatchPath,
+    /// Samples per layer-major chunk. Execution strategy like
+    /// `batch_path`; `0` (the post-deserialization default) means
+    /// [`DEFAULT_BATCH_SIZE`] — see [`batch_size`](Self::batch_size).
+    #[serde(skip)]
+    batch_size: usize,
 }
 
 impl PartialEq for Network {
@@ -133,6 +142,8 @@ impl Network {
             name: name.into(),
             layers,
             kernel: NnKernel::default(),
+            batch_path: BatchPath::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -152,6 +163,50 @@ impl Network {
     #[must_use]
     pub fn kernel(&self) -> NnKernel {
         self.kernel
+    }
+
+    /// This network with an explicit batch path (builder form).
+    #[must_use]
+    pub fn with_batch_path(mut self, path: BatchPath) -> Self {
+        self.batch_path = path;
+        self
+    }
+
+    /// Switches how batch entry points walk the samples.
+    pub fn set_batch_path(&mut self, path: BatchPath) {
+        self.batch_path = path;
+    }
+
+    /// How batch entry points walk the samples.
+    #[must_use]
+    pub fn batch_path(&self) -> BatchPath {
+        self.batch_path
+    }
+
+    /// This network with an explicit layer-major chunk size (builder
+    /// form). `0` means [`DEFAULT_BATCH_SIZE`].
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Switches the layer-major chunk size (`0` means
+    /// [`DEFAULT_BATCH_SIZE`]).
+    pub fn set_batch_size(&mut self, batch_size: usize) {
+        self.batch_size = batch_size;
+    }
+
+    /// Samples per layer-major chunk. A stored `0` (the field's
+    /// post-deserialization state — execution strategy is skipped by
+    /// serde) reads as [`DEFAULT_BATCH_SIZE`].
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        if self.batch_size == 0 {
+            DEFAULT_BATCH_SIZE
+        } else {
+            self.batch_size
+        }
     }
 
     /// The network's name (e.g. `"LeNet-5"`).
@@ -191,7 +246,10 @@ impl Network {
     }
 
     /// Runs the cascade at a mixed per-layer precision, returning the
-    /// output tensor and per-layer statistics.
+    /// output tensor and per-layer statistics. Routes through the
+    /// thread-local [`Scratch`], so repeated convenience calls reuse the
+    /// same im2col buffers instead of allocating fresh ones per
+    /// invocation.
     ///
     /// # Errors
     ///
@@ -202,7 +260,7 @@ impl Network {
         input: &Tensor,
         config: &QuantConfig,
     ) -> Result<(Tensor, Vec<LayerStats>), NnError> {
-        self.forward_with(input, config, &mut Scratch::new())
+        with_thread_scratch(|scratch| self.forward_with(input, config, scratch))
     }
 
     /// Like [`forward`](Self::forward) with caller-provided scratch
@@ -284,6 +342,88 @@ impl Network {
         Ok((x, stats))
     }
 
+    /// Runs a whole chunk of samples through the cascade on the
+    /// configured [`BatchPath`], returning each sample's output tensor
+    /// and per-layer statistics in input order.
+    ///
+    /// On [`BatchPath::LayerMajor`] the chunk is carried layer-by-layer:
+    /// each parameterized layer fuses every sample's im2col panel into
+    /// **one wide GEMM**, so the per-`(layer, bits)` packed weight panel
+    /// streams through cache once per chunk instead of once per sample.
+    /// Every output element is still an independent exact-`i64` dot over
+    /// the same operands — outputs, guard-skip counters and argmaxes are
+    /// **bit-identical** to the per-sample [`BatchPath::SampleMajor`]
+    /// oracle; the selector never moves a number.
+    ///
+    /// # Errors
+    ///
+    /// Same per-sample errors as [`forward_with`](Self::forward_with).
+    /// The paths differ only in *which* error surfaces first when several
+    /// samples fail: sample-major scans in `(sample, layer)` order,
+    /// layer-major in `(layer, sample)` order. Successful results are
+    /// pinned bit-identical.
+    pub fn forward_batch(
+        &self,
+        inputs: &[Tensor],
+        config: &QuantConfig,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(Tensor, Vec<LayerStats>)>, NnError> {
+        match self.batch_path {
+            BatchPath::SampleMajor => inputs
+                .iter()
+                .map(|input| self.forward_with(input, config, scratch))
+                .collect(),
+            BatchPath::LayerMajor => self.forward_batch_from(0, inputs, config, scratch),
+        }
+    }
+
+    /// Resumes a whole chunk at layer `start` from cached intermediate
+    /// activations — the layer-major counterpart of
+    /// [`forward_from`](Self::forward_from), always fused (callers pick
+    /// the path). `start == layer_count()` returns the inputs unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forward_batch`](Self::forward_batch) (layer-major error
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start > layer_count()`.
+    pub fn forward_batch_from(
+        &self,
+        start: usize,
+        inputs: &[Tensor],
+        config: &QuantConfig,
+        scratch: &mut Scratch,
+    ) -> Result<Vec<(Tensor, Vec<LayerStats>)>, NnError> {
+        assert!(
+            start <= self.layers.len(),
+            "suffix start {start} beyond layer count {}",
+            self.layers.len()
+        );
+        if config.len() != self.layers.len() {
+            return Err(NnError::ConfigLengthMismatch {
+                layers: self.layers.len(),
+                entries: config.len(),
+            });
+        }
+        let mut xs: Vec<Tensor> = inputs.to_vec();
+        let mut stats: Vec<Vec<LayerStats>> =
+            vec![Vec::with_capacity(self.layers.len() - start); inputs.len()];
+        for (i, layer) in self.layers.iter().enumerate().skip(start) {
+            let p = config.layer(i);
+            let outs =
+                layer.forward_batch_with(&xs, p.weights, p.activations, self.kernel, scratch)?;
+            xs.clear();
+            for ((out, st), per_sample) in outs.into_iter().zip(stats.iter_mut()) {
+                per_sample.push(st);
+                xs.push(out);
+            }
+        }
+        Ok(xs.into_iter().zip(stats).collect())
+    }
+
     /// Classifies one input (argmax of the final layer).
     ///
     /// # Errors
@@ -311,7 +451,9 @@ impl Network {
     /// the im2col buffers of the GEMM kernel are allocated once and reused
     /// across all samples (the serial building block `predict_all` and the
     /// per-worker loops of [`predict_all_with`](Self::predict_all_with)
-    /// stand on).
+    /// stand on). Walks the images in [`batch_size`](Self::batch_size)
+    /// chunks on the configured [`BatchPath`]; the path never changes a
+    /// prediction.
     ///
     /// # Errors
     ///
@@ -322,13 +464,19 @@ impl Network {
         config: &QuantConfig,
         scratch: &mut Scratch,
     ) -> Result<Vec<usize>, NnError> {
-        images
-            .iter()
-            .map(|img| self.predict_with(img, config, scratch))
-            .collect()
+        let mut preds = Vec::with_capacity(images.len());
+        for chunk in images.chunks(self.batch_size()) {
+            for (out, _) in self.forward_batch(chunk, config, scratch)? {
+                preds.push(out.argmax());
+            }
+        }
+        Ok(preds)
     }
 
-    /// Predictions over a whole dataset.
+    /// Predictions over a whole dataset. Routes through the thread-local
+    /// [`Scratch`] shared with the parallel entry points, so repeated
+    /// convenience calls reuse the same im2col buffers instead of
+    /// allocating fresh ones per invocation.
     ///
     /// # Errors
     ///
@@ -338,33 +486,48 @@ impl Network {
         data: &SyntheticDataset,
         config: &QuantConfig,
     ) -> Result<Vec<usize>, NnError> {
-        self.evaluate_batch(data.images(), config, &mut Scratch::new())
+        with_thread_scratch(|scratch| self.evaluate_batch(data.images(), config, scratch))
     }
 
-    /// Predictions over a whole dataset, with per-sample inference run in
-    /// parallel on `exec`. Sample inferences are independent and results
-    /// merge in sample order, so the output is bit-identical to
+    /// Predictions over a whole dataset, run in parallel on `exec`. On
+    /// [`BatchPath::SampleMajor`] workers claim single samples; on
+    /// [`BatchPath::LayerMajor`] they claim whole
+    /// [`batch_size`](Self::batch_size) chunks and carry each chunk
+    /// layer-by-layer through the fused wide GEMM. Either way results
+    /// merge in sample order and every prediction is bit-identical to
     /// [`predict_all`](Self::predict_all) for any thread count. Each
-    /// worker reuses one thread-local [`Scratch`] across every sample it
-    /// claims (buffer contents never outlive a single forward pass, so
-    /// reuse cannot affect results).
+    /// worker reuses one thread-local [`Scratch`] across everything it
+    /// claims (buffer contents never outlive a single pass, so reuse
+    /// cannot affect results).
     ///
     /// # Errors
     ///
-    /// Propagates [`forward`](Self::forward) errors (lowest sample index
-    /// first, matching serial semantics).
+    /// Propagates [`forward`](Self::forward) errors (lowest sample/chunk
+    /// index first, matching serial semantics).
     pub fn predict_all_with(
         &self,
         data: &SyntheticDataset,
         config: &QuantConfig,
         exec: &Executor,
     ) -> Result<Vec<usize>, NnError> {
-        thread_local! {
-            static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+        match self.batch_path {
+            BatchPath::SampleMajor => exec.try_par_map_indexed(data.images(), |_, img| {
+                with_thread_scratch(|scratch| self.predict_with(img, config, scratch))
+            }),
+            BatchPath::LayerMajor => {
+                let chunks: Vec<&[Tensor]> = data.images().chunks(self.batch_size()).collect();
+                let per_chunk = exec.try_par_map_indexed(&chunks, |_, chunk| {
+                    with_thread_scratch(|scratch| {
+                        Ok(self
+                            .forward_batch(chunk, config, scratch)?
+                            .into_iter()
+                            .map(|(out, _)| out.argmax())
+                            .collect::<Vec<usize>>())
+                    })
+                })?;
+                Ok(per_chunk.into_iter().flatten().collect())
+            }
         }
-        exec.try_par_map_indexed(data.images(), |_, img| {
-            SCRATCH.with(|s| self.predict_with(img, config, &mut s.borrow_mut()))
-        })
     }
 
     /// Centers the network's output logits on a calibration set: the mean

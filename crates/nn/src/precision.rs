@@ -18,13 +18,12 @@
 //! only wall time (`bench_sweep` asserts exactly that on fig6).
 
 use crate::dataset::SyntheticDataset;
-use crate::kernel::{ActivationCache, Scratch};
+use crate::kernel::{with_thread_scratch, ActivationCache, BatchPath};
 use crate::network::{Network, QuantConfig};
 use crate::quant::QuantizedTensor;
 use crate::tensor::Tensor;
 use dvafs_executor::Executor;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::fmt;
 
 /// Selects how the per-layer scan evaluates candidate bit widths.
@@ -281,31 +280,71 @@ impl PrecisionSearch {
         operand: Operand,
         exec: &Executor,
     ) -> Vec<LayerRequirement> {
-        thread_local! {
-            static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
-        }
         let full = QuantConfig::uniform(net.layer_count(), self.full_bits, self.full_bits);
         // Prefix pass: one full-precision forward per sample, walking the
-        // same `Layer::forward_with` calls `Network::forward_with` makes,
+        // same layer calls `Network::forward_with` / `forward_batch` make,
         // keeping each parameterized layer's input instead of dropping it.
-        let prefix: Vec<(Vec<Tensor>, usize)> = exec.par_map_indexed(data.images(), |_, img| {
-            SCRATCH.with(|s| {
-                let scratch = &mut *s.borrow_mut();
-                let mut x = img.clone();
-                let mut inputs = Vec::new();
-                for (i, layer) in net.layers().iter().enumerate() {
-                    let p = full.layer(i);
-                    let (out, _) = layer
-                        .forward_with(&x, p.weights, p.activations, net.kernel(), scratch)
-                        .expect("full-precision inference must succeed");
-                    let consumed = std::mem::replace(&mut x, out);
-                    if layer.is_parameterized() {
-                        inputs.push(consumed);
+        // Under `BatchPath::LayerMajor` workers claim whole chunks and
+        // carry them layer-by-layer (one wide GEMM per layer); the
+        // per-sample walk is the oracle. Accumulation is exact either way,
+        // so the prefix tensors and argmaxes are bit-identical.
+        let prefix: Vec<(Vec<Tensor>, usize)> = match net.batch_path() {
+            BatchPath::SampleMajor => exec.par_map_indexed(data.images(), |_, img| {
+                with_thread_scratch(|scratch| {
+                    let mut x = img.clone();
+                    let mut inputs = Vec::new();
+                    for (i, layer) in net.layers().iter().enumerate() {
+                        let p = full.layer(i);
+                        let (out, _) = layer
+                            .forward_with(&x, p.weights, p.activations, net.kernel(), scratch)
+                            .expect("full-precision inference must succeed");
+                        let consumed = std::mem::replace(&mut x, out);
+                        if layer.is_parameterized() {
+                            inputs.push(consumed);
+                        }
                     }
-                }
-                (inputs, x.argmax())
-            })
-        });
+                    (inputs, x.argmax())
+                })
+            }),
+            BatchPath::LayerMajor => {
+                let chunks: Vec<&[Tensor]> = data.images().chunks(net.batch_size()).collect();
+                let per_chunk: Vec<Vec<(Vec<Tensor>, usize)>> =
+                    exec.par_map_indexed(&chunks, |_, chunk| {
+                        with_thread_scratch(|scratch| {
+                            let mut xs: Vec<Tensor> = chunk.to_vec();
+                            let mut inputs: Vec<Vec<Tensor>> = vec![Vec::new(); chunk.len()];
+                            for (i, layer) in net.layers().iter().enumerate() {
+                                let p = full.layer(i);
+                                let outs = layer
+                                    .forward_batch_with(
+                                        &xs,
+                                        p.weights,
+                                        p.activations,
+                                        net.kernel(),
+                                        scratch,
+                                    )
+                                    .expect("full-precision inference must succeed");
+                                let keep = layer.is_parameterized();
+                                let consumed = std::mem::replace(
+                                    &mut xs,
+                                    outs.into_iter().map(|(out, _)| out).collect(),
+                                );
+                                if keep {
+                                    for (per_sample, x) in inputs.iter_mut().zip(consumed) {
+                                        per_sample.push(x);
+                                    }
+                                }
+                            }
+                            inputs
+                                .into_iter()
+                                .zip(xs)
+                                .map(|(ins, x)| (ins, x.argmax()))
+                                .collect()
+                        })
+                    });
+                per_chunk.into_iter().flatten().collect()
+            }
+        };
         let layers = net.parameterized_layers();
         // Same nested-executor split as the rescan oracle (see
         // `search_rescan`): outer over layers, inner over samples.
@@ -324,25 +363,75 @@ impl PrecisionSearch {
                     Operand::Activations => (self.full_bits, bits),
                 };
                 cfg.set_layer(li, wbits, abits);
-                let agree: usize = inner
-                    .par_map_indexed(&prefix, |si, (inputs, reference)| {
-                        SCRATCH.with(|s| {
-                            let scratch = &mut *s.borrow_mut();
-                            let qa = acts.get_or_quantize(si, abits, || {
-                                QuantizedTensor::quantize(&inputs[rank], abits)
-                                    .expect("bit widths validated by the scan")
-                            });
-                            let (out, _) = net.layers()[li]
-                                .forward_prequantized(&qa, wbits, net.kernel(), scratch)
-                                .expect("scan inference must succeed");
-                            let (logits, _) = net
-                                .forward_from(li + 1, &out, &cfg, scratch)
-                                .expect("suffix inference must succeed");
-                            usize::from(logits.argmax() == *reference)
+                // Under `BatchPath::LayerMajor` the candidate layer and the
+                // suffix both run batched (workers claim whole chunks; the
+                // memo slot stays the global sample index `ci * bs + j`
+                // because chunks are contiguous); the per-sample walk is the
+                // oracle. Exact accumulation keeps the agreement count
+                // bit-identical across both paths.
+                let agree: usize = match net.batch_path() {
+                    BatchPath::SampleMajor => inner
+                        .par_map_indexed(&prefix, |si, (inputs, reference)| {
+                            with_thread_scratch(|scratch| {
+                                let qa = acts.get_or_quantize(si, abits, || {
+                                    QuantizedTensor::quantize(&inputs[rank], abits)
+                                        .expect("bit widths validated by the scan")
+                                });
+                                let (out, _) = net.layers()[li]
+                                    .forward_prequantized(&qa, wbits, net.kernel(), scratch)
+                                    .expect("scan inference must succeed");
+                                let (logits, _) = net
+                                    .forward_from(li + 1, &out, &cfg, scratch)
+                                    .expect("suffix inference must succeed");
+                                usize::from(logits.argmax() == *reference)
+                            })
                         })
-                    })
-                    .into_iter()
-                    .sum();
+                        .into_iter()
+                        .sum(),
+                    BatchPath::LayerMajor => {
+                        let bs = net.batch_size();
+                        let chunks: Vec<&[(Vec<Tensor>, usize)]> = prefix.chunks(bs).collect();
+                        inner
+                            .par_map_indexed(&chunks, |ci, chunk| {
+                                with_thread_scratch(|scratch| {
+                                    let qas: Vec<_> = chunk
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(j, (inputs, _))| {
+                                            acts.get_or_quantize(ci * bs + j, abits, || {
+                                                QuantizedTensor::quantize(&inputs[rank], abits)
+                                                    .expect("bit widths validated by the scan")
+                                            })
+                                        })
+                                        .collect();
+                                    let refs: Vec<&QuantizedTensor> =
+                                        qas.iter().map(|qa| qa.as_ref()).collect();
+                                    let outs = net.layers()[li]
+                                        .forward_prequantized_batch(
+                                            &refs,
+                                            wbits,
+                                            net.kernel(),
+                                            scratch,
+                                        )
+                                        .expect("scan inference must succeed");
+                                    let mids: Vec<Tensor> =
+                                        outs.into_iter().map(|(out, _)| out).collect();
+                                    let logits = net
+                                        .forward_batch_from(li + 1, &mids, &cfg, scratch)
+                                        .expect("suffix inference must succeed");
+                                    logits
+                                        .into_iter()
+                                        .zip(chunk.iter())
+                                        .filter(|((out, _), (_, reference))| {
+                                            out.argmax() == *reference
+                                        })
+                                        .count()
+                                })
+                            })
+                            .into_iter()
+                            .sum()
+                    }
+                };
                 let acc = agree as f64 / prefix.len() as f64;
                 if acc >= self.target {
                     best_bits = bits;

@@ -75,15 +75,24 @@ pub fn measure_sparsity(
 ) -> Vec<SparsityReport> {
     let param_layers = net.parameterized_layers();
     let mut totals = vec![(0u64, 0u64, 0u64); param_layers.len()];
-    for img in data.images() {
-        let (_, stats) = net.forward(img, config).expect("inference must succeed");
-        for (slot, &li) in param_layers.iter().enumerate() {
-            let s = stats[li];
-            totals[slot].0 += s.macs;
-            totals[slot].1 += s.zero_weight_macs;
-            totals[slot].2 += s.zero_act_macs;
+    // One batched forward per chunk on the network's `BatchPath`, with the
+    // thread-local scratch shared by the other convenience wrappers — the
+    // per-sample statistics are bit-identical on either path.
+    crate::kernel::with_thread_scratch(|scratch| {
+        for chunk in data.images().chunks(net.batch_size()) {
+            let results = net
+                .forward_batch(chunk, config, scratch)
+                .expect("inference must succeed");
+            for (_, stats) in results {
+                for (slot, &li) in param_layers.iter().enumerate() {
+                    let s = stats[li];
+                    totals[slot].0 += s.macs;
+                    totals[slot].1 += s.zero_weight_macs;
+                    totals[slot].2 += s.zero_act_macs;
+                }
+            }
         }
-    }
+    });
     param_layers
         .iter()
         .zip(totals.iter())

@@ -47,6 +47,33 @@ impl Tensor {
         }
     }
 
+    /// Creates a tensor taking ownership of `data` (CHW order) — no
+    /// zero-fill pass, for producers that already computed every element
+    /// (the batched forward paths build outputs this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `data.len()` disagrees with
+    /// the shape.
+    #[must_use]
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<f32>) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be positive"
+        );
+        assert_eq!(
+            data.len(),
+            channels * height * width,
+            "data length must match the shape"
+        );
+        Tensor {
+            data,
+            channels,
+            height,
+            width,
+        }
+    }
+
     /// Creates a tensor from a closure over `(c, y, x)`.
     #[must_use]
     pub fn from_fn<F: FnMut(usize, usize, usize) -> f32>(

@@ -151,7 +151,7 @@ pub const PACK_STEP_LANES: usize = 16;
 /// walk the same step count regardless of their (possibly different)
 /// modes — which is how a 4-bit weight panel dots against a 16-bit
 /// activation panel.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct PackedPanel {
     mode: SubwordMode,
     rows: usize,
@@ -163,8 +163,31 @@ pub struct PackedPanel {
     /// explicit cross-term correction is engaged only when both operand
     /// panels can produce it.
     has_min: bool,
+    /// Whether the current contents were written through a completed
+    /// [`begin_fill`](Self::begin_fill)/
+    /// [`begin_fill_reuse`](Self::begin_fill_reuse) cycle — the
+    /// precondition for the zeroing skip of `begin_fill_reuse`. Execution
+    /// state, not panel identity: ignored by `PartialEq`.
+    direct_filled: bool,
+    /// The structure key of the last direct fill (see
+    /// [`begin_fill_reuse`](Self::begin_fill_reuse)); execution state,
+    /// ignored by `PartialEq`.
+    fill_key: u64,
     words: Vec<u16>,
 }
+
+impl PartialEq for PackedPanel {
+    fn eq(&self, other: &Self) -> bool {
+        self.mode == other.mode
+            && self.rows == other.rows
+            && self.k == other.k
+            && self.words_per_row == other.words_per_row
+            && self.has_min == other.has_min
+            && self.words == other.words
+    }
+}
+
+impl Eq for PackedPanel {}
 
 impl PackedPanel {
     /// Packs `values` (`rows x k`, row-major) at `mode`'s lane geometry.
@@ -199,6 +222,7 @@ impl PackedPanel {
         self.k = k;
         self.words_per_row = words_per_row;
         self.has_min = false;
+        self.direct_filled = false;
         self.words.clear();
         self.words.reserve(rows * words_per_row);
         let mut has_min = false;
@@ -264,6 +288,88 @@ impl PackedPanel {
             }
         }
         self.has_min = has_min;
+    }
+
+    /// Resets this panel to a `rows x k` geometry at `mode`, handing the
+    /// caller the **zeroed** word buffer and the row stride in words
+    /// (`k` padded to [`PACK_STEP_LANES`] lanes, divided by
+    /// `mode.lanes()`) to fill in place. A producer that already walks
+    /// its operands — an im2col pass, say — can pack them directly
+    /// instead of staging an `i16` buffer for [`repack`](Self::repack)
+    /// to re-read: one write pass instead of write + read + write.
+    ///
+    /// Contract: operand `t` of row `i` lives in word
+    /// `i * stride + t / lanes`, as the `pack_lanes` two's-complement
+    /// field at bits `(t % lanes) * lane_bits ..` (at `X1` the word IS
+    /// the operand, `v as u16`). The buffer starts all-zero, so zero
+    /// operands, padding lanes, and padding words may simply be left
+    /// untouched, and sub-word fields can be deposited with `|=`. Every
+    /// value must fit the mode's lane range (this path skips
+    /// [`repack`](Self::repack)'s range assert — callers feed quantizer
+    /// output that fits by construction). Finish with
+    /// [`finish_fill`](Self::finish_fill) reporting whether any stored
+    /// operand was the mode's most negative lane value — the panel is
+    /// not a valid dot operand until then.
+    pub fn begin_fill(&mut self, rows: usize, k: usize, mode: SubwordMode) -> (&mut [u16], usize) {
+        // Anonymous fills never reuse: force the zeroing path.
+        self.direct_filled = false;
+        let (words, stride, _) = self.begin_fill_reuse(0, rows, k, mode);
+        (words, stride)
+    }
+
+    /// [`begin_fill`](Self::begin_fill) with a structural-reuse fast
+    /// path: when the panel's current contents came from a **completed**
+    /// direct fill of the same `(rows, k, mode)` geometry and the same
+    /// caller-supplied structure `key`, and the mode is `X1`, the word
+    /// buffer is handed back **without re-zeroing** (third return `true`).
+    /// Sound because an `X1` refill of identical structure overwrites
+    /// every in-bounds operand word unconditionally while its
+    /// structural-zero words (padding taps, row tails) were never written
+    /// and still hold the original zeros. Sub-word modes deposit fields
+    /// with `|=`, so they always get a freshly zeroed buffer (third
+    /// return `false`).
+    ///
+    /// `key` must capture everything that determines which words the
+    /// caller's walk writes (for an im2col fill: the full conv geometry
+    /// and batch shape) — two fills sharing a key must write the exact
+    /// same word positions.
+    pub fn begin_fill_reuse(
+        &mut self,
+        key: u64,
+        rows: usize,
+        k: usize,
+        mode: SubwordMode,
+    ) -> (&mut [u16], usize, bool) {
+        let words_per_row = k.next_multiple_of(PACK_STEP_LANES) / mode.lanes();
+        let need = rows * words_per_row;
+        let retained = mode == SubwordMode::X1
+            && self.direct_filled
+            && self.fill_key == key
+            && self.rows == rows
+            && self.k == k
+            && self.mode == mode
+            && self.words.len() == need;
+        self.mode = mode;
+        self.rows = rows;
+        self.k = k;
+        self.words_per_row = words_per_row;
+        self.has_min = false;
+        self.direct_filled = false;
+        self.fill_key = key;
+        if !retained {
+            self.words.clear();
+            self.words.resize(need, 0);
+        }
+        (&mut self.words, words_per_row, retained)
+    }
+
+    /// Completes a [`begin_fill`](Self::begin_fill) fill: `has_min` is
+    /// whether the caller stored the mode's most negative lane value
+    /// anywhere (it saw every value; the panel needs the flag to pick
+    /// the exact `X1 x X1` kernel).
+    pub fn finish_fill(&mut self, has_min: bool) {
+        self.has_min = has_min;
+        self.direct_filled = true;
     }
 
     /// The subword mode the panel is packed at.
@@ -658,6 +764,16 @@ pub fn dot_packed(a: &PackedPanel, ai: usize, b: &PackedPanel, bi: usize) -> i64
 /// a full-precision activation panel, which is exactly the asymmetric
 /// shape the fig6 precision scans produce.
 ///
+/// This is also the **wide-panel batch entry**: rows of `bt` are just
+/// independent dot operands, so a caller can concatenate many samples'
+/// im2col panels into one `(B·n) x k` right operand and slice the
+/// `m x (B·n)` output back apart per sample — every output element is
+/// the same exact dot either way, so a fused multi-sample multiply is
+/// bit-identical to `B` separate ones while streaming the left (weight)
+/// panel through cache once per batch instead of once per sample
+/// (`dvafs-nn`'s `BatchPath::LayerMajor` forward is built on exactly
+/// this; the concatenation-equivalence test below pins it).
+///
 /// # Panics
 ///
 /// Panics when the panels disagree on `k` or `out.len()` is not
@@ -927,6 +1043,97 @@ mod tests {
                         out,
                         naive_gemm(&a, &bt, m, k, n),
                         "m={m} k={k} n={n} {ma}x{mb}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The wide-panel batch entry: one fused multiply over `B` samples'
+    /// concatenated right-hand panels is bit-identical, slice by slice,
+    /// to `B` separate per-sample multiplies — for both the packed and
+    /// unpacked GEMMs, across mode pairs and a non-multiple-of-tile
+    /// total width. This is the property `dvafs-nn`'s layer-major
+    /// forward stands on.
+    #[test]
+    fn concatenated_wide_panel_matches_per_sample_gemms() {
+        let (m, k, n, batches) = (5usize, 23usize, 13usize, 3usize);
+        for &ma in &SubwordMode::ALL {
+            for &mb in &SubwordMode::ALL {
+                let a = random_lanes(m * k, ma, 11);
+                let pa = PackedPanel::pack(&a, m, k, ma);
+                let samples: Vec<Vec<i16>> = (0..batches)
+                    .map(|s| random_lanes(n * k, mb, 110 + s as u64))
+                    .collect();
+                let wide: Vec<i16> = samples.concat();
+                let total = batches * n;
+                // Fused: one (B·n) x k right operand, one m x (B·n) output.
+                let pwide = PackedPanel::pack(&wide, total, k, mb);
+                let mut fused_packed = vec![i64::MIN; m * total];
+                gemm_packed(&pa, &pwide, &mut fused_packed);
+                let mut fused_plain = vec![i64::MIN; m * total];
+                gemm_i16(&a, &wide, m, k, total, &mut fused_plain);
+                // Per sample: B separate m x n multiplies.
+                for (s, bt) in samples.iter().enumerate() {
+                    let pbt = PackedPanel::pack(bt, n, k, mb);
+                    let mut solo = vec![i64::MIN; m * n];
+                    gemm_packed(&pa, &pbt, &mut solo);
+                    for i in 0..m {
+                        let fused_row = &fused_packed[i * total + s * n..][..n];
+                        let plain_row = &fused_plain[i * total + s * n..][..n];
+                        let solo_row = &solo[i * n..][..n];
+                        assert_eq!(fused_row, solo_row, "{ma}x{mb} sample {s} row {i}");
+                        assert_eq!(plain_row, solo_row, "{ma}x{mb} gemm_i16 sample {s}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// `begin_fill_x1` + caller stores + `finish_fill_x1` must build a
+    /// panel indistinguishable from `pack` at `X1` — words, geometry and
+    /// the `has_min` flag — including a ragged `k` (padding words stay
+    /// zero) and the `i16::MIN` corner that picks the correcting kernel.
+    #[test]
+    fn direct_fill_matches_pack() {
+        for mode in [SubwordMode::X1, SubwordMode::X2, SubwordMode::X4] {
+            let min = (-(1i32 << (mode.lane_bits() - 1))) as i16;
+            for &(rows, k, with_min) in &[(3usize, 23usize, false), (4, 16, true), (2, 1, false)] {
+                let mut values = random_lanes(rows * k, mode, 42 + k as u64);
+                if with_min {
+                    values[k / 2] = min;
+                }
+                let reference = PackedPanel::pack(&values, rows, k, mode);
+                let mut direct = PackedPanel::default();
+                // Dirty the buffer so the test proves begin_fill hands
+                // back a zeroed buffer rather than leftovers.
+                direct.repack(&vec![1i16; rows * k], rows, k, mode);
+                let (words, stride) = direct.begin_fill(rows, k, mode);
+                // Merge operand fields; zeros, padding lanes and padding
+                // words stay at the pre-zeroed state.
+                let lanes = mode.lanes();
+                let wbits = mode.lane_bits();
+                let mask = ((1u32 << wbits) - 1) as u16;
+                let mut has_min = false;
+                for (r, row) in values.chunks_exact(k).enumerate() {
+                    for (t, &v) in row.iter().enumerate() {
+                        has_min |= v == min;
+                        words[r * stride + t / lanes] |=
+                            ((v as u16) & mask) << ((t % lanes) as u16 * wbits as u16);
+                    }
+                }
+                direct.finish_fill(has_min);
+                assert_eq!(
+                    direct, reference,
+                    "mode={mode:?} rows={rows} k={k} min={with_min}"
+                );
+                // And it dots identically (exercises the padded tail lanes).
+                let other =
+                    PackedPanel::pack(&random_lanes(k, SubwordMode::X2, 7), 1, k, SubwordMode::X2);
+                for r in 0..rows {
+                    assert_eq!(
+                        dot_packed(&direct, r, &other, 0),
+                        dot_packed(&reference, r, &other, 0)
                     );
                 }
             }

@@ -19,7 +19,7 @@ use std::path::PathBuf;
 #[test]
 fn registry_ids_unique_and_documented() {
     let reg = scenario::registry();
-    assert_eq!(reg.len(), 12, "all 12 experiments must be registered");
+    assert_eq!(reg.len(), 13, "all 13 experiments must be registered");
     let mut ids: Vec<&str> = reg.iter().map(|s| s.id()).collect();
     ids.sort_unstable();
     let mut deduped = ids.clone();
