@@ -53,6 +53,20 @@ pub struct RunOpts {
     pub batch_size: usize,
 }
 
+/// A parsed `dvafs serve` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// TCP listen address (`--listen ADDR`); `None` serves stdio.
+    pub listen: Option<String>,
+    /// Requests executed concurrently (`--threads`, default
+    /// environment/host). The reply stream is byte-identical for any
+    /// value — worker count is an execution choice, like `--kernel`.
+    pub threads: usize,
+    /// In-flight request bound (`--queue`, default
+    /// [`dvafs::serve::DEFAULT_QUEUE`]).
+    pub queue: usize,
+}
+
 /// A parsed top-level CLI command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -60,12 +74,15 @@ pub enum Command {
     List,
     /// `dvafs run ...`.
     Run(RunOpts),
+    /// `dvafs serve ...`.
+    Serve(ServeArgs),
 }
 
 const USAGE: &str = "usage: dvafs <command>\n\n\
 commands:\n  \
   list                       list registered scenarios\n  \
-  run <id>... [options]      run scenarios (or `run --all`)\n\n\
+  run <id>... [options]      run scenarios (or `run --all`)\n  \
+  serve [options]            newline-delimited JSON request/reply service\n\n\
 run options:\n  \
   --all                      run every registered scenario\n  \
   --format text|json|csv     output format (default text)\n  \
@@ -76,13 +93,46 @@ run options:\n  \
   --search rescan|incremental  precision-search strategy (default incremental; results identical)\n  \
   --repeats N                timed repeats per bench_sweep measurement (default 3)\n  \
   --batch-path sample|layer  NN batch forward path (default layer; results identical)\n  \
-  --batch-size N             samples per layer-major chunk (default 16)";
+  --batch-size N             samples per layer-major chunk (default 16)\n\n\
+serve options:\n  \
+  --listen ADDR              serve TCP on ADDR (e.g. 127.0.0.1:7017) instead of stdio\n  \
+  --threads N                requests executed concurrently (default: DVAFS_THREADS or host)\n  \
+  --queue N                  in-flight request bound / backpressure window (default 32)\n\n\
+any --flag VALUE may also be written --flag=VALUE (required when the\n\
+value itself begins with \"--\")";
 
-fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+/// Fetches a flag's value: the inline `--flag=VALUE` part when present,
+/// otherwise the next argument. A next argument beginning with `--` is
+/// *not* consumed — it is almost always a forgotten value, and the
+/// `--flag=VALUE` spelling exists precisely for the rare legitimate case
+/// (`--out=./--odd-dir`), so the error says so instead of misreporting.
+fn take_value(
+    args: &[String],
+    i: &mut usize,
+    inline: Option<&str>,
+    flag: &str,
+) -> Result<String, String> {
+    if let Some(v) = inline {
+        if v.is_empty() {
+            return Err(format!("{flag} requires a value ({flag}= is empty)"));
+        }
+        return Ok(v.to_string());
+    }
     *i += 1;
     match args.get(*i) {
         Some(v) if !v.starts_with("--") => Ok(v.clone()),
-        _ => Err(format!("{flag} requires a value")),
+        _ => Err(format!(
+            "{flag} requires a value (write {flag}=VALUE for values beginning with \"--\")"
+        )),
+    }
+}
+
+/// Splits `--flag=VALUE` into the flag and its inline value; anything
+/// else (including positionals containing `=`) passes through unchanged.
+fn split_flag(arg: &str) -> (&str, Option<&str>) {
+    match arg.split_once('=') {
+        Some((flag, value)) if flag.starts_with("--") => (flag, Some(value)),
+        _ => (arg, None),
     }
 }
 
@@ -115,29 +165,38 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
             let mut warnings = Vec::new();
             let mut i = 1;
             while i < args.len() {
-                match args[i].as_str() {
+                let (flag, inline) = split_flag(args[i].as_str());
+                if inline.is_some() && matches!(flag, "--all" | "--fast") {
+                    warnings.push(format!(
+                        "warning: {flag} takes no value; ignoring {:?}",
+                        inline.unwrap_or_default()
+                    ));
+                }
+                match flag {
                     "--all" => all = true,
                     "--fast" => opts.fast = true,
                     "--format" => {
-                        opts.format = Format::parse(&take_value(args, &mut i, "--format")?)?;
+                        opts.format =
+                            Format::parse(&take_value(args, &mut i, inline, "--format")?)?;
                     }
-                    "--out" => opts.out = Some(take_value(args, &mut i, "--out")?),
+                    "--out" => opts.out = Some(take_value(args, &mut i, inline, "--out")?),
                     "--threads" => {
-                        let v = take_value(args, &mut i, "--threads")?;
+                        let v = take_value(args, &mut i, inline, "--threads")?;
                         opts.threads =
                             v.parse::<usize>().ok().filter(|&t| t > 0).ok_or_else(|| {
                                 format!("--threads requires a positive integer, got {v:?}")
                             })?;
                     }
                     "--kernel" => {
-                        opts.kernel = NnKernel::parse(&take_value(args, &mut i, "--kernel")?)?;
+                        opts.kernel =
+                            NnKernel::parse(&take_value(args, &mut i, inline, "--kernel")?)?;
                     }
                     "--search" => {
                         opts.search =
-                            SearchStrategy::parse(&take_value(args, &mut i, "--search")?)?;
+                            SearchStrategy::parse(&take_value(args, &mut i, inline, "--search")?)?;
                     }
                     "--repeats" => {
-                        let v = take_value(args, &mut i, "--repeats")?;
+                        let v = take_value(args, &mut i, inline, "--repeats")?;
                         opts.repeats =
                             v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
                                 format!("--repeats requires a positive integer, got {v:?}")
@@ -145,10 +204,10 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                     }
                     "--batch-path" => {
                         opts.batch_path =
-                            BatchPath::parse(&take_value(args, &mut i, "--batch-path")?)?;
+                            BatchPath::parse(&take_value(args, &mut i, inline, "--batch-path")?)?;
                     }
                     "--batch-size" => {
-                        let v = take_value(args, &mut i, "--batch-size")?;
+                        let v = take_value(args, &mut i, inline, "--batch-size")?;
                         opts.batch_size =
                             v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
                                 format!("--batch-size requires a positive integer, got {v:?}")
@@ -191,6 +250,48 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                 return Err("run: no scenarios given (pass ids or --all)".to_string());
             }
             Ok((Command::Run(opts), warnings))
+        }
+        Some("serve") => {
+            let mut serve = ServeArgs {
+                listen: None,
+                threads: Executor::from_env().threads(),
+                queue: dvafs::serve::DEFAULT_QUEUE,
+            };
+            let mut warnings = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                let (flag, inline) = split_flag(args[i].as_str());
+                match flag {
+                    "--listen" => {
+                        serve.listen = Some(take_value(args, &mut i, inline, "--listen")?);
+                    }
+                    "--threads" => {
+                        let v = take_value(args, &mut i, inline, "--threads")?;
+                        serve.threads =
+                            v.parse::<usize>().ok().filter(|&t| t > 0).ok_or_else(|| {
+                                format!("--threads requires a positive integer, got {v:?}")
+                            })?;
+                    }
+                    "--queue" => {
+                        let v = take_value(args, &mut i, inline, "--queue")?;
+                        serve.queue =
+                            v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                                format!("--queue requires a positive integer, got {v:?}")
+                            })?;
+                    }
+                    flag if flag.starts_with("--") => {
+                        warnings.push(format!("warning: ignoring unrecognized flag {flag}"));
+                    }
+                    other => {
+                        return Err(format!(
+                            "serve takes no positional arguments, got {other:?} \
+                             (requests arrive on stdin or --listen)"
+                        ));
+                    }
+                }
+                i += 1;
+            }
+            Ok((Command::Serve(serve), warnings))
         }
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -264,11 +365,44 @@ fn run_one(s: &'static dyn Scenario, opts: &RunOpts) -> Result<String, String> {
     Ok(stdout)
 }
 
+/// Runs the `serve` command until EOF, a `shutdown` request, or a fatal
+/// socket error. Replies stream directly to stdout (stdio mode) or the
+/// client socket (TCP mode), so the returned stdout text is empty.
+fn run_serve(args: &ServeArgs) -> Result<String, String> {
+    let opts = dvafs::serve::ServeOpts {
+        threads: args.threads,
+        queue: args.queue,
+    };
+    match &args.listen {
+        None => {
+            let state = dvafs::serve::ServeState::new();
+            let reader = std::io::BufReader::new(std::io::stdin());
+            let mut writer = std::io::stdout();
+            let outcome = dvafs::serve::serve_session(reader, &mut writer, &opts, &state)
+                .map_err(|e| format!("serve: {e}"))?;
+            eprintln!("dvafs: serve: answered {} request(s)", outcome.served);
+            Ok(String::new())
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("serve: cannot bind {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| format!("serve: {e}"))?;
+            // The bound address goes to stderr (stdout belongs to replies
+            // in stdio mode; keeping stderr for logs in both modes lets
+            // scripts bind port 0 and scrape the ephemeral port).
+            eprintln!("dvafs: serving on {local}");
+            dvafs::serve::serve_tcp(&listener, &opts).map_err(|e| format!("serve: {e}"))?;
+            Ok(String::new())
+        }
+    }
+}
+
 /// Executes a parsed command, returning the full stdout text.
 ///
 /// # Errors
 ///
-/// Returns a user-facing message when a scenario fails to write output.
+/// Returns a user-facing message when a scenario fails to write output
+/// or the serve socket/stdio fails.
 pub fn execute(cmd: &Command) -> Result<String, String> {
     match cmd {
         Command::List => Ok(list_text()),
@@ -280,6 +414,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             }
             Ok(stdout)
         }
+        Command::Serve(args) => run_serve(args),
     }
 }
 
@@ -463,6 +598,102 @@ mod tests {
             .unwrap_err()
             .contains("positive integer"));
         assert!(parse(&argv(&["run"])).unwrap_err().contains("no scenarios"));
+    }
+
+    #[test]
+    fn inline_flag_values_parse_and_escape_double_dash() {
+        // The bugfix case: a legitimate value beginning with `--` used to
+        // be misreported as "requires a value"; `--flag=VALUE` carries it.
+        let (Command::Run(opts), warnings) = parse(&argv(&[
+            "run",
+            "fig2",
+            "--out=./--odd-dir",
+            "--format=json",
+            "--threads=2",
+        ]))
+        .unwrap() else {
+            panic!("expected run")
+        };
+        assert!(warnings.is_empty());
+        assert_eq!(opts.out.as_deref(), Some("./--odd-dir"));
+        assert_eq!(opts.format, Format::Json);
+        assert_eq!(opts.threads, 2);
+        // The space-separated spelling still refuses `--`-leading values,
+        // but the error now names the escape hatch.
+        let err = parse(&argv(&["run", "fig2", "--out", "--odd-dir"])).unwrap_err();
+        assert!(err.contains("--out requires a value"), "{err}");
+        assert!(err.contains("--out=VALUE"), "{err}");
+        // Empty inline values are still missing values.
+        assert!(parse(&argv(&["run", "fig2", "--out="]))
+            .unwrap_err()
+            .contains("--out requires a value"));
+        // A positional containing `=` is not treated as a flag.
+        assert!(parse(&argv(&["run", "fig2=3"]))
+            .unwrap_err()
+            .contains("unknown scenario"));
+    }
+
+    #[test]
+    fn inline_values_on_boolean_and_unknown_flags_warn() {
+        let (Command::Run(opts), warnings) =
+            parse(&argv(&["run", "fig2", "--fast=1", "--bogus=x"])).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert!(opts.fast);
+        assert_eq!(
+            warnings,
+            [
+                "warning: --fast takes no value; ignoring \"1\"",
+                "warning: ignoring unrecognized flag --bogus",
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_serve_flags_and_defaults() {
+        let (cmd, warnings) = parse(&argv(&["serve"])).unwrap();
+        let Command::Serve(opts) = cmd else {
+            panic!("expected serve")
+        };
+        assert!(warnings.is_empty());
+        assert!(opts.listen.is_none());
+        assert!(opts.threads >= 1);
+        assert_eq!(opts.queue, dvafs::serve::DEFAULT_QUEUE);
+
+        let (cmd, _) = parse(&argv(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--threads=3",
+            "--queue",
+            "8",
+        ]))
+        .unwrap();
+        let Command::Serve(opts) = cmd else {
+            panic!("expected serve")
+        };
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.queue, 8);
+    }
+
+    #[test]
+    fn serve_rejects_bad_invocations() {
+        assert!(parse(&argv(&["serve", "--listen"]))
+            .unwrap_err()
+            .contains("--listen requires a value"));
+        assert!(parse(&argv(&["serve", "--threads", "0"]))
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&argv(&["serve", "--queue", "none"]))
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&argv(&["serve", "fig2"]))
+            .unwrap_err()
+            .contains("no positional arguments"));
+        let (_, warnings) = parse(&argv(&["serve", "--bogus"])).unwrap();
+        assert_eq!(warnings, ["warning: ignoring unrecognized flag --bogus"]);
     }
 
     #[test]

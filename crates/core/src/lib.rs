@@ -20,6 +20,10 @@
 //!   `crates/bench`);
 //! * [`sweep`] — regenerates the paper's multiplier-level evaluation data
 //!   (Fig. 2, Fig. 3a, Fig. 3b);
+//! * [`serve`] — the long-running request/reply engine behind
+//!   `dvafs serve`: newline-delimited JSON over stdin/stdout or TCP,
+//!   deterministic ordered replies, and model caches that amortize
+//!   across requests;
 //! * [`executor`] — the deterministic parallel sweep executor (re-exported
 //!   [`dvafs_executor`]): every sweep above runs serial or parallel with
 //!   bit-identical results;
@@ -52,6 +56,7 @@
 pub mod controller;
 pub mod report;
 pub mod scenario;
+pub mod serve;
 pub mod sweep;
 
 /// Deterministic parallel sweep execution (the [`dvafs_executor`] crate,

@@ -1,0 +1,709 @@
+//! `dvafs serve` — the long-running request/reply engine (ROADMAP item 3).
+//!
+//! The paper's Envision processor is an always-on inference engine; this
+//! module is the workspace's equivalent: a std-only service that keeps
+//! networks — and with them the per-(layer, bits) [`WeightCache`] panels
+//! and thread-local im2col scratch — alive across requests instead of
+//! rebuilding them per CLI invocation.
+//!
+//! ## Wire format
+//!
+//! Newline-delimited JSON, one request object in, one reply object out,
+//! over stdin/stdout (`dvafs serve`) or TCP (`dvafs serve --listen ADDR`).
+//! Requests (`"op"` selects; unknown keys are ignored for forward
+//! compatibility; a numeric `"id"` is echoed back, defaulting to the
+//! request's 0-based sequence number):
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"list"}
+//! {"op":"run","scenario":"fig2","format":"json","fast":true,"threads":1}
+//! {"op":"predict","model":"lenet5","samples":4,"wbits":8,"abits":8}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! A `run` reply's `"output"` field carries **exactly** the bytes
+//! `dvafs run <id> --format <f> --out DIR` would write to
+//! `DIR/<id>.<ext>` (the rendering shared via [`scenario::render`]), so
+//! served scenario output is byte-comparable to the golden fixtures. A
+//! `predict` reply carries the argmax predictions of
+//! [`Network::predict_all`] over a [`ModelSpec`]-resolved network and
+//! dataset. Failures — unparseable lines, unknown ops or scenarios,
+//! invalid model geometry — are **replies**, not connection errors:
+//! `{"id":N,"ok":false,"error":"..."}`.
+//!
+//! ## Scheduling and determinism
+//!
+//! A session is [`Executor::pipeline_ordered`]: the connection reader
+//! produces requests, the worker pool executes them concurrently
+//! (`--threads`), and replies are written back **in request order** with
+//! at most `--queue` requests in flight (bounded-queue backpressure — a
+//! slow client stalls the reader, not memory). Because every handler is a
+//! pure function of its request, the reply stream is byte-identical for
+//! any worker count: serving is just another execution strategy, like the
+//! bitsliced engine or the packed kernel, and moves no number. The one
+//! deliberate exclusion is `bench_sweep`, whose output is wall-clock
+//! measurement: it is rejected with an error reply rather than allowed to
+//! break the guarantee.
+//!
+//! [`WeightCache`]: dvafs_nn::kernel::WeightCache
+//! [`Network::predict_all`]: dvafs_nn::Network::predict_all
+//! [`ModelSpec`]: dvafs_nn::models::ModelSpec
+
+use crate::report::json::{self, JsonValue};
+use crate::scenario::{self, Format, ScenarioCtx};
+use dvafs_executor::Executor;
+use dvafs_nn::models::ModelSpec;
+use dvafs_nn::network::QuantConfig;
+use dvafs_nn::Network;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+/// Wire-protocol version, reported by `ping`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Default bound on in-flight requests per session (`--queue`).
+pub const DEFAULT_QUEUE: usize = 32;
+
+/// Upper bound on `predict` samples per request, so one request cannot
+/// hold the worker pool for minutes.
+pub const MAX_PREDICT_SAMPLES: usize = 4096;
+
+/// Server configuration: worker count and in-flight request bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOpts {
+    /// Workers executing requests concurrently (1 = fully serial).
+    pub threads: usize,
+    /// Bounded-queue capacity: at most this many requests are parsed but
+    /// not yet replied to (clamped to ≥ 1).
+    pub queue: usize,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            threads: Executor::from_env().threads(),
+            queue: DEFAULT_QUEUE,
+        }
+    }
+}
+
+/// What a finished session reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// Requests answered (including error replies).
+    pub served: usize,
+    /// Whether a `shutdown` request ended the session (as opposed to EOF
+    /// or a disconnect) — the TCP accept loop stops serving when true.
+    pub shutdown: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ModelKey {
+    name: &'static str,
+    input: usize,
+    /// `f64::to_bits` of the channel scale (hashable, exact).
+    scale_bits: u64,
+    seed: u64,
+}
+
+/// The state that outlives a request — and, under TCP, a connection:
+/// built networks keyed by resolved spec. Holding `Arc<Network>` (never
+/// cloning the network) is what preserves the interior weight-panel cache
+/// across requests; a `Network` clone would start cold.
+#[derive(Debug, Default)]
+pub struct ServeState {
+    models: Mutex<HashMap<ModelKey, Arc<Network>>>,
+}
+
+impl ServeState {
+    /// Fresh state with an empty model cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ServeState::default()
+    }
+
+    /// Number of distinct networks currently cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous cache user panicked mid-insert.
+    #[must_use]
+    pub fn cached_models(&self) -> usize {
+        self.models.lock().expect("model cache lock").len()
+    }
+
+    fn model_for(&self, spec: &ModelSpec) -> Arc<Network> {
+        let key = ModelKey {
+            name: spec.name(),
+            input: spec.input(),
+            scale_bits: spec.scale().to_bits(),
+            seed: spec.seed(),
+        };
+        let mut cache = self.models.lock().expect("model cache lock");
+        Arc::clone(cache.entry(key).or_insert_with(|| Arc::new(spec.build())))
+    }
+}
+
+/// One parsed request (the `"op"` dispatch of the wire format).
+#[derive(Debug, Clone, PartialEq)]
+enum Request {
+    Ping,
+    List,
+    Run {
+        scenario: String,
+        format: Format,
+        fast: bool,
+        threads: usize,
+    },
+    Predict {
+        model: String,
+        input: Option<usize>,
+        scale: Option<f64>,
+        model_seed: u64,
+        samples: usize,
+        data_seed: u64,
+        wbits: u32,
+        abits: u32,
+    },
+    Shutdown,
+}
+
+/// A request line after parsing: reply id plus either the request or the
+/// error to report. Errors are envelope-level data, not session errors —
+/// a malformed line still produces an ordered reply.
+#[derive(Debug, Clone, PartialEq)]
+struct Envelope {
+    id: u64,
+    seq: usize,
+    parsed: Result<Request, String>,
+}
+
+fn get_u64(obj: &JsonValue, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+fn get_usize(obj: &JsonValue, key: &str, default: usize) -> Result<usize, String> {
+    #[allow(clippy::cast_possible_truncation)]
+    get_u64(obj, key, default as u64).map(|v| v as usize)
+}
+
+fn get_bits(obj: &JsonValue, key: &str) -> Result<u32, String> {
+    let v = get_u64(obj, key, 16)?;
+    if (1..=16).contains(&v) {
+        #[allow(clippy::cast_possible_truncation)]
+        Ok(v as u32)
+    } else {
+        Err(format!("{key:?} must be in 1..=16, got {v}"))
+    }
+}
+
+fn get_str<'a>(obj: &'a JsonValue, key: &str) -> Result<Option<&'a str>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("{key:?} must be a string")),
+    }
+}
+
+fn get_bool(obj: &JsonValue, key: &str, default: bool) -> Result<bool, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("{key:?} must be a boolean")),
+    }
+}
+
+/// Parses one request line. The reply id defaults to the request's
+/// sequence number; an explicit numeric `"id"` overrides it (and is
+/// honored even when the rest of the request is invalid, so a client can
+/// correlate its errors).
+fn parse_request(line: &str, seq: usize) -> Envelope {
+    let seq_id = seq as u64;
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return Envelope {
+                id: seq_id,
+                seq,
+                parsed: Err(format!("unparseable request: {e}")),
+            }
+        }
+    };
+    if !matches!(doc, JsonValue::Object(_)) {
+        return Envelope {
+            id: seq_id,
+            seq,
+            parsed: Err("request must be a JSON object".to_string()),
+        };
+    }
+    let id = match doc.get("id") {
+        None => seq_id,
+        Some(v) => match v.as_u64() {
+            Some(id) => id,
+            None => {
+                return Envelope {
+                    id: seq_id,
+                    seq,
+                    parsed: Err("\"id\" must be a non-negative integer".to_string()),
+                }
+            }
+        },
+    };
+    let parsed = parse_op(&doc);
+    Envelope { id, seq, parsed }
+}
+
+fn parse_op(doc: &JsonValue) -> Result<Request, String> {
+    let op = get_str(doc, "op")?.ok_or("missing \"op\"")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "list" => Ok(Request::List),
+        "shutdown" => Ok(Request::Shutdown),
+        "run" => {
+            let scenario = get_str(doc, "scenario")?
+                .ok_or("run: missing \"scenario\"")?
+                .to_string();
+            let format = match get_str(doc, "format")? {
+                None => Format::Json,
+                Some(f) => Format::parse(f)?,
+            };
+            let fast = get_bool(doc, "fast", false)?;
+            let threads = get_usize(doc, "threads", 1)?;
+            if threads == 0 {
+                return Err("\"threads\" must be positive".to_string());
+            }
+            Ok(Request::Run {
+                scenario,
+                format,
+                fast,
+                threads,
+            })
+        }
+        "predict" => {
+            let model = get_str(doc, "model")?.unwrap_or("lenet5").to_string();
+            let input = match get_usize(doc, "input", 0)? {
+                0 => None,
+                n => Some(n),
+            };
+            let scale = match doc.get("scale") {
+                None => None,
+                Some(v) => Some(
+                    v.as_f64()
+                        .ok_or_else(|| "\"scale\" must be a number".to_string())?,
+                ),
+            };
+            let samples = get_usize(doc, "samples", 8)?;
+            if !(1..=MAX_PREDICT_SAMPLES).contains(&samples) {
+                return Err(format!(
+                    "\"samples\" must be in 1..={MAX_PREDICT_SAMPLES}, got {samples}"
+                ));
+            }
+            Ok(Request::Predict {
+                model,
+                input,
+                scale,
+                model_seed: get_u64(doc, "model_seed", 1)?,
+                samples,
+                data_seed: get_u64(doc, "data_seed", 2)?,
+                wbits: get_bits(doc, "wbits")?,
+                abits: get_bits(doc, "abits")?,
+            })
+        }
+        other => Err(format!(
+            "unknown op {other:?} — available: ping, list, run, predict, shutdown"
+        )),
+    }
+}
+
+fn error_reply(id: u64, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
+        json::escape(message)
+    )
+}
+
+/// Executes one parsed request and renders its one-line reply.
+fn execute_request(env: &Envelope, state: &ServeState) -> (String, bool) {
+    let id = env.id;
+    let request = match &env.parsed {
+        Ok(r) => r,
+        Err(e) => return (error_reply(id, e), false),
+    };
+    match request {
+        Request::Ping => (
+            format!("{{\"id\":{id},\"ok\":true,\"op\":\"ping\",\"protocol\":{PROTOCOL_VERSION}}}"),
+            false,
+        ),
+        Request::List => {
+            let ids: Vec<String> = scenario::registry()
+                .iter()
+                .map(|s| format!("\"{}\"", json::escape(s.id())))
+                .collect();
+            (
+                format!(
+                    "{{\"id\":{id},\"ok\":true,\"op\":\"list\",\"scenarios\":[{}]}}",
+                    ids.join(",")
+                ),
+                false,
+            )
+        }
+        Request::Shutdown => (
+            format!(
+                "{{\"id\":{id},\"ok\":true,\"op\":\"shutdown\",\"served\":{}}}",
+                env.seq + 1
+            ),
+            true,
+        ),
+        Request::Run {
+            scenario: sid,
+            format,
+            fast,
+            threads,
+        } => {
+            let Some(s) = scenario::find(sid) else {
+                let known: Vec<&str> = scenario::registry().iter().map(|s| s.id()).collect();
+                return (
+                    error_reply(
+                        id,
+                        &format!("unknown scenario {sid:?} — available: {}", known.join(", ")),
+                    ),
+                    false,
+                );
+            };
+            if s.id() == "bench_sweep" {
+                return (
+                    error_reply(
+                        id,
+                        "bench_sweep measures wall time and cannot produce a \
+                         deterministic reply; use `dvafs run bench_sweep` instead",
+                    ),
+                    false,
+                );
+            }
+            let ctx = ScenarioCtx::new().with_threads(*threads).with_fast(*fast);
+            let result = s.run(&ctx);
+            let rendered = scenario::render(s.label(), s.title(), &result, *format);
+            (
+                format!(
+                    "{{\"id\":{id},\"ok\":true,\"op\":\"run\",\"scenario\":\"{}\",\
+                     \"format\":\"{}\",\"output\":\"{}\"}}",
+                    json::escape(s.id()),
+                    format.extension(),
+                    json::escape(&rendered)
+                ),
+                false,
+            )
+        }
+        Request::Predict {
+            model,
+            input,
+            scale,
+            model_seed,
+            samples,
+            data_seed,
+            wbits,
+            abits,
+        } => {
+            let spec = match ModelSpec::resolve(model, *input, *scale, *model_seed) {
+                Ok(spec) => spec,
+                Err(e) => return (error_reply(id, &e), false),
+            };
+            let net = state.model_for(&spec);
+            let config = QuantConfig::uniform(net.layer_count(), *wbits, *abits);
+            if let Err(e) = net.warm_weights(&config) {
+                return (error_reply(id, &e.to_string()), false);
+            }
+            let data = spec.dataset(*samples, *data_seed);
+            match net.predict_all(&data, &config) {
+                Ok(preds) => {
+                    let rendered: Vec<String> = preds.iter().map(ToString::to_string).collect();
+                    (
+                        format!(
+                            "{{\"id\":{id},\"ok\":true,\"op\":\"predict\",\
+                             \"model\":\"{}\",\"samples\":{samples},\
+                             \"wbits\":{wbits},\"abits\":{abits},\
+                             \"predictions\":[{}]}}",
+                            json::escape(spec.name()),
+                            rendered.join(",")
+                        ),
+                        false,
+                    )
+                }
+                Err(e) => (error_reply(id, &e.to_string()), false),
+            }
+        }
+    }
+}
+
+/// The request stream: one [`Envelope`] per non-blank line, fused after
+/// `shutdown` (the shutdown request itself is still yielded and answered;
+/// anything after it on the stream is never read).
+struct RequestIter<R: BufRead> {
+    reader: R,
+    seq: usize,
+    fused: bool,
+}
+
+impl<R: BufRead> Iterator for RequestIter<R> {
+    type Item = Envelope;
+
+    fn next(&mut self) -> Option<Envelope> {
+        if self.fused {
+            return None;
+        }
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return None, // EOF
+                Ok(_) => {}
+                Err(e) => {
+                    self.fused = true;
+                    let seq = self.seq;
+                    self.seq += 1;
+                    return Some(Envelope {
+                        id: seq as u64,
+                        seq,
+                        parsed: Err(format!("read error: {e}")),
+                    });
+                }
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue; // blank lines are keep-alives, not requests
+            }
+            let env = parse_request(trimmed, self.seq);
+            self.seq += 1;
+            if env.parsed == Ok(Request::Shutdown) {
+                self.fused = true;
+            }
+            return Some(env);
+        }
+    }
+}
+
+/// Serves one connection: reads newline-delimited JSON requests from
+/// `reader`, writes one reply line per request to `writer` **in request
+/// order**, executing up to `opts.threads` requests concurrently with at
+/// most `opts.queue` in flight. Returns how many requests were answered
+/// and whether a `shutdown` request ended the session.
+///
+/// Determinism contract: the written reply bytes are a pure function of
+/// the request bytes — independent of `opts.threads`, `opts.queue`, and
+/// scheduling — because replies are consumed in request order off
+/// [`Executor::pipeline_ordered`] and every handler is deterministic.
+///
+/// # Errors
+///
+/// Returns the first I/O error raised while writing replies (request
+/// *parse* problems are error replies, not errors here).
+pub fn serve_session<R, W>(
+    reader: R,
+    writer: &mut W,
+    opts: &ServeOpts,
+    state: &ServeState,
+) -> std::io::Result<SessionOutcome>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    let exec = Executor::new(opts.threads);
+    let requests = RequestIter {
+        reader,
+        seq: 0,
+        fused: false,
+    };
+    let mut served = 0usize;
+    let mut shutdown = false;
+    let mut io_error: Option<std::io::Error> = None;
+    exec.pipeline_ordered(
+        opts.queue,
+        requests,
+        |_, env| execute_request(&env, state),
+        |_, (reply, is_shutdown)| {
+            if io_error.is_none() {
+                let r = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+                match r {
+                    Ok(()) => served += 1,
+                    Err(e) => io_error = Some(e),
+                }
+            }
+            shutdown |= is_shutdown;
+        },
+    );
+    match io_error {
+        Some(e) => Err(e),
+        None => Ok(SessionOutcome { served, shutdown }),
+    }
+}
+
+/// The TCP accept loop: serves connections sequentially on `listener`
+/// (deterministic replies need ordered request streams, and one pipeline
+/// already saturates the worker pool), sharing one [`ServeState`] so
+/// model caches persist across connections. A client `shutdown` request
+/// stops the loop; a connection-level I/O error is logged to stderr and
+/// the loop continues with the next client.
+///
+/// # Errors
+///
+/// Returns the listener's `accept` error, which is fatal for the loop.
+pub fn serve_tcp(listener: &TcpListener, opts: &ServeOpts) -> std::io::Result<()> {
+    let state = ServeState::new();
+    for conn in listener.incoming() {
+        let stream = conn?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        match serve_session(reader, &mut writer, opts, &state) {
+            Ok(outcome) if outcome.shutdown => return Ok(()),
+            Ok(_) => {}
+            Err(e) => eprintln!("dvafs: serve connection error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn serve_bytes(input: &str, threads: usize, queue: usize) -> (String, SessionOutcome) {
+        let state = ServeState::new();
+        let mut out = Vec::new();
+        let outcome = serve_session(
+            Cursor::new(input.to_string()),
+            &mut out,
+            &ServeOpts { threads, queue },
+            &state,
+        )
+        .expect("in-memory serve cannot fail on io");
+        (String::from_utf8(out).expect("replies are utf-8"), outcome)
+    }
+
+    #[test]
+    fn ping_list_and_shutdown_replies() {
+        let (out, outcome) = serve_bytes("{\"op\":\"ping\"}\n{\"op\":\"list\"}\n", 1, 4);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            format!("{{\"id\":0,\"ok\":true,\"op\":\"ping\",\"protocol\":{PROTOCOL_VERSION}}}")
+        );
+        assert!(lines[1].contains("\"scenarios\":[\"fig2\""), "{}", lines[1]);
+        assert!(!outcome.shutdown);
+        assert_eq!(outcome.served, 2);
+
+        let (out, outcome) = serve_bytes("{\"op\":\"shutdown\"}\n{\"op\":\"ping\"}\n", 1, 4);
+        // Requests after shutdown are never read, let alone answered.
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("\"op\":\"shutdown\""));
+        assert!(out.contains("\"served\":1"));
+        assert!(outcome.shutdown);
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_error_replies() {
+        let input = "not json\n\
+                     [1,2]\n\
+                     {\"op\":\"frobnicate\"}\n\
+                     {\"op\":\"run\"}\n\
+                     {\"op\":\"run\",\"scenario\":\"nope\"}\n\
+                     {\"op\":\"run\",\"scenario\":\"bench_sweep\"}\n\
+                     {\"op\":\"predict\",\"model\":\"resnet\"}\n\
+                     {\"op\":\"predict\",\"wbits\":0}\n\
+                     {\"op\":\"predict\",\"samples\":0}\n\
+                     {\"id\":77,\"op\":\"frobnicate\"}\n";
+        let (out, outcome) = serve_bytes(input, 2, 4);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.contains("\"ok\":false")), "{out}");
+        assert!(lines[0].contains("unparseable request"));
+        assert!(lines[1].contains("must be a JSON object"));
+        assert!(lines[2].contains("unknown op"));
+        assert!(lines[3].contains("missing \\\"scenario\\\""));
+        assert!(lines[4].contains("unknown scenario"));
+        assert!(lines[5].contains("bench_sweep"));
+        assert!(lines[6].contains("unknown model"));
+        assert!(lines[7].contains("1..=16"));
+        assert!(lines[8].contains("\\\"samples\\\""));
+        // Explicit ids are echoed even on errors.
+        assert!(lines[9].starts_with("{\"id\":77,"));
+        assert!(!outcome.shutdown);
+    }
+
+    #[test]
+    fn predict_replies_match_in_process_inference_and_cache_models() {
+        let req = "{\"op\":\"predict\",\"model\":\"lenet5\",\"samples\":4,\
+                   \"wbits\":6,\"abits\":8}\n";
+        let state = ServeState::new();
+        let mut out = Vec::new();
+        let opts = ServeOpts {
+            threads: 2,
+            queue: 4,
+        };
+        let two = format!("{req}{req}");
+        serve_session(Cursor::new(two), &mut out, &opts, &state).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Identical requests, identical replies (modulo the echoed id).
+        assert_eq!(
+            lines[0].replacen("\"id\":0", "\"id\":1", 1),
+            lines[1].to_string()
+        );
+        // One model served both requests.
+        assert_eq!(state.cached_models(), 1);
+        // And the predictions are exactly predict_all's.
+        let spec = ModelSpec::resolve("lenet5", None, None, 1).unwrap();
+        let config = QuantConfig::uniform(spec.build().layer_count(), 6, 8);
+        let expected = spec
+            .build()
+            .predict_all(&spec.dataset(4, 2), &config)
+            .unwrap();
+        let rendered: Vec<String> = expected.iter().map(ToString::to_string).collect();
+        assert!(
+            lines[0].contains(&format!("\"predictions\":[{}]", rendered.join(","))),
+            "{}",
+            lines[0]
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_ids_keep_counting() {
+        let (out, _) = serve_bytes("\n\n{\"op\":\"ping\"}\n\n{\"op\":\"ping\"}\n", 1, 2);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"id\":0,"));
+        assert!(lines[1].starts_with("{\"id\":1,"));
+    }
+
+    #[test]
+    fn reply_stream_is_identical_across_worker_counts() {
+        let input = "{\"op\":\"ping\"}\n\
+                     {\"op\":\"predict\",\"samples\":3,\"wbits\":5,\"abits\":7}\n\
+                     {\"op\":\"list\"}\n\
+                     bad\n\
+                     {\"op\":\"predict\",\"samples\":2}\n\
+                     {\"op\":\"shutdown\"}\n";
+        let (baseline, _) = serve_bytes(input, 1, 1);
+        for (threads, queue) in [(2, 1), (3, 2), (4, 8), (8, 3)] {
+            let (out, outcome) = serve_bytes(input, threads, queue);
+            assert_eq!(
+                out, baseline,
+                "replies diverged at {threads} threads / queue {queue}"
+            );
+            assert!(outcome.shutdown);
+            assert_eq!(outcome.served, 6);
+        }
+    }
+}

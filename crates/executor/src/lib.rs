@@ -47,6 +47,30 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "DVAFS_THREADS";
 
+/// Resolves a raw `DVAFS_THREADS` value to a worker count.
+///
+/// Returns the chosen count plus a warning message when the value was
+/// present but invalid (empty, unparseable, or zero — the same values
+/// `--threads` hard-errors on). The pure form exists so both the `unset`
+/// and `invalid` paths are unit-testable without touching process
+/// environment state.
+#[must_use]
+pub fn threads_from_env_value(value: Option<&str>) -> (usize, Option<String>) {
+    match value {
+        None => (Executor::host_parallelism(), None),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => (n, None),
+            _ => (
+                Executor::host_parallelism(),
+                Some(format!(
+                    "ignoring invalid {THREADS_ENV}={raw:?} (want a positive \
+                     integer); using host parallelism"
+                )),
+            ),
+        },
+    }
+}
+
 /// A deterministic parallel map executor over a fixed worker count.
 ///
 /// Cloning is cheap (the worker count is the only state); the scoped pool
@@ -73,14 +97,21 @@ impl Executor {
         Executor { threads: 1 }
     }
 
-    /// The default executor: `DVAFS_THREADS` if set and parseable,
-    /// otherwise the host's available parallelism.
+    /// The default executor: `DVAFS_THREADS` if set and valid, otherwise
+    /// the host's available parallelism.
+    ///
+    /// An invalid value (unparseable, or `0` — which `--threads 0`
+    /// hard-errors on in the CLI) is **rejected, not coerced**: the
+    /// executor falls back to host parallelism and says so on stderr, so
+    /// a typo in the environment never silently serializes a sweep or
+    /// silently picks a worker count the caller did not ask for.
     #[must_use]
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or_else(Self::host_parallelism);
+        let var = std::env::var(THREADS_ENV).ok();
+        let (threads, warning) = threads_from_env_value(var.as_deref());
+        if let Some(w) = warning {
+            eprintln!("dvafs-executor: {w}");
+        }
         Executor::new(threads)
     }
 
@@ -213,6 +244,185 @@ impl Executor {
     {
         self.par_map_indexed(items, f).into_iter().collect()
     }
+
+    /// Streams `items` through `f` on the worker pool and hands each
+    /// result to `consume` **in item order**, holding at most `capacity`
+    /// items in flight — the bounded-queue building block behind
+    /// `dvafs serve`.
+    ///
+    /// Unlike [`par_map_indexed`](Self::par_map_indexed) the input is a
+    /// (possibly blocking, possibly unbounded) iterator rather than a
+    /// slice, and results are consumed as they become ready instead of
+    /// being collected: item *k*+1 can be computing while item *k*'s
+    /// result is being written out. Three properties hold for any thread
+    /// count:
+    ///
+    /// * **Order.** `consume` sees results in item order — never
+    ///   completion order — so for a pure `f` the consumed stream is
+    ///   bit-identical to the serial `for` loop.
+    /// * **Backpressure.** The producer stops pulling the iterator while
+    ///   `capacity` items are claimed-or-queued but not yet consumed
+    ///   (capacity is clamped to ≥ 1), so a slow consumer bounds memory
+    ///   and a blocking iterator (a socket) never races ahead.
+    /// * **Liveness.** The iterator is only ever pulled *outside* the
+    ///   internal locks, so an iterator that blocks on I/O stalls neither
+    ///   workers nor the consumer of already-claimed items.
+    ///
+    /// `consume` runs on the calling thread. Returns the number of items
+    /// processed.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f` or `consume`
+    /// (remaining claimed items are drained without executing `f`).
+    pub fn pipeline_ordered<T, R, I, F, C>(
+        &self,
+        capacity: usize,
+        items: I,
+        f: F,
+        mut consume: C,
+    ) -> usize
+    where
+        T: Send,
+        R: Send,
+        I: Iterator<Item = T> + Send,
+        F: Fn(usize, T) -> R + Sync,
+        C: FnMut(usize, R),
+    {
+        let capacity = capacity.max(1);
+        if self.threads == 1 {
+            let mut n = 0usize;
+            for item in items {
+                consume(n, f(n, item));
+                n += 1;
+            }
+            return n;
+        }
+
+        struct PipeState<R> {
+            ready: std::collections::BTreeMap<usize, R>,
+            consumed: usize,
+            total: Option<usize>,
+            panic: Option<Box<dyn std::any::Any + Send>>,
+        }
+        let state = std::sync::Mutex::new(PipeState::<R> {
+            ready: std::collections::BTreeMap::new(),
+            consumed: 0,
+            total: None,
+            panic: None,
+        });
+        let ready_cv = std::sync::Condvar::new(); // consumer waits here
+        let space_cv = std::sync::Condvar::new(); // producer waits here
+        let poisoned = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+        let rx = std::sync::Mutex::new(rx);
+
+        let mut processed = 0usize;
+        std::thread::scope(|scope| {
+            // Producer: pull the iterator outside every lock, gated on
+            // `seq < consumed + capacity`.
+            scope.spawn(|| {
+                let mut items = items;
+                let mut seq = 0usize;
+                loop {
+                    {
+                        let mut st = state.lock().expect("pipeline state lock");
+                        while poisoned.load(Ordering::Relaxed) == 0 && seq >= st.consumed + capacity
+                        {
+                            st = space_cv.wait(st).expect("pipeline state lock");
+                        }
+                    }
+                    if poisoned.load(Ordering::Relaxed) != 0 {
+                        break;
+                    }
+                    match items.next() {
+                        Some(item) => {
+                            if tx.send((seq, item)).is_err() {
+                                break;
+                            }
+                            seq += 1;
+                        }
+                        None => break,
+                    }
+                }
+                let mut st = state.lock().expect("pipeline state lock");
+                st.total = Some(seq);
+                ready_cv.notify_all();
+                drop(st);
+                drop(tx);
+            });
+
+            // Workers: claim `(seq, item)` pairs, push results into the
+            // reorder buffer.
+            for _ in 0..self.threads {
+                scope.spawn(|| loop {
+                    let claimed = {
+                        let guard = rx.lock().expect("pipeline claim lock");
+                        guard.recv()
+                    };
+                    let Ok((seq, item)) = claimed else { break };
+                    if poisoned.load(Ordering::Relaxed) != 0 {
+                        continue; // drain without executing
+                    }
+                    let result = catch_unwind(AssertUnwindSafe(|| f(seq, item)));
+                    let mut st = state.lock().expect("pipeline state lock");
+                    match result {
+                        Ok(r) => {
+                            st.ready.insert(seq, r);
+                        }
+                        Err(p) => {
+                            poisoned.store(1, Ordering::Relaxed);
+                            if st.panic.is_none() {
+                                st.panic = Some(p);
+                            }
+                        }
+                    }
+                    ready_cv.notify_all();
+                    space_cv.notify_all();
+                });
+            }
+
+            // Consumer: the calling thread pops results in sequence order.
+            let mut next = 0usize;
+            loop {
+                let result = {
+                    let mut st = state.lock().expect("pipeline state lock");
+                    loop {
+                        if poisoned.load(Ordering::Relaxed) != 0 {
+                            break None;
+                        }
+                        if let Some(r) = st.ready.remove(&next) {
+                            st.consumed += 1;
+                            space_cv.notify_all();
+                            break Some(r);
+                        }
+                        if st.total == Some(next) {
+                            break None;
+                        }
+                        st = ready_cv.wait(st).expect("pipeline state lock");
+                    }
+                };
+                let Some(r) = result else { break };
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| consume(next, r))) {
+                    let mut st = state.lock().expect("pipeline state lock");
+                    poisoned.store(1, Ordering::Relaxed);
+                    if st.panic.is_none() {
+                        st.panic = Some(p);
+                    }
+                    space_cv.notify_all();
+                    break;
+                }
+                next += 1;
+            }
+            processed = next;
+        });
+
+        let panic = state.lock().expect("pipeline state lock").panic.take();
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        processed
+    }
 }
 
 impl Default for Executor {
@@ -316,5 +526,146 @@ mod tests {
     fn from_env_and_host_parallelism_are_sane() {
         assert!(Executor::host_parallelism() >= 1);
         assert!(Executor::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn env_value_resolution_accepts_positive_integers() {
+        assert_eq!(threads_from_env_value(Some("3")), (3, None));
+        assert_eq!(threads_from_env_value(Some(" 8 ")), (8, None));
+        let (n, warn) = threads_from_env_value(None);
+        assert_eq!(n, Executor::host_parallelism());
+        assert!(warn.is_none());
+    }
+
+    #[test]
+    fn env_value_resolution_rejects_invalid_values_with_warning() {
+        // `0` used to clamp to 1 and garbage used to silently fall back;
+        // both now fall back to host parallelism *and* warn, matching the
+        // CLI's `--threads` validation instead of contradicting it.
+        for bad in ["0", "", "  ", "lots", "-2", "3.5"] {
+            let (n, warn) = threads_from_env_value(Some(bad));
+            assert_eq!(n, Executor::host_parallelism(), "value {bad:?}");
+            let warn = warn.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(warn.contains(THREADS_ENV), "{warn}");
+            assert!(warn.contains(&format!("{bad:?}")), "{warn}");
+        }
+    }
+
+    #[test]
+    fn pipeline_consumes_in_order_and_matches_serial() {
+        let work = |i: usize, x: u64| {
+            // Uneven costs so completion order differs from item order.
+            let reps = if i % 7 == 0 { 20_000 } else { 200 };
+            let mut acc = x;
+            for k in 0..reps {
+                acc = acc.wrapping_mul(31).wrapping_add(k);
+            }
+            acc
+        };
+        let run = |threads: usize, capacity: usize| {
+            let mut seen: Vec<(usize, u64)> = Vec::new();
+            let n = Executor::new(threads).pipeline_ordered(
+                capacity,
+                (0..300u64).map(|x| x * 11),
+                work,
+                |i, r| seen.push((i, r)),
+            );
+            assert_eq!(n, 300);
+            seen
+        };
+        let serial = run(1, 4);
+        assert!(serial.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        for (threads, capacity) in [(2, 1), (3, 2), (4, 8), (8, 64)] {
+            assert_eq!(
+                run(threads, capacity),
+                serial,
+                "{threads} threads / capacity {capacity} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_bounds_in_flight_items() {
+        // With capacity C, no item may be claimed more than C ahead of the
+        // consumed watermark (the consumer here is deliberately slow).
+        const CAPACITY: usize = 3;
+        let consumed = AtomicU64::new(0);
+        let max_lead = AtomicU64::new(0);
+        Executor::new(6).pipeline_ordered(
+            CAPACITY,
+            0..200usize,
+            |i, _| {
+                let lead = i as u64 - consumed.load(Ordering::Relaxed);
+                max_lead.fetch_max(lead, Ordering::Relaxed);
+            },
+            |_, ()| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                consumed.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        // The pop-before-consume window allows exactly `capacity` of lead,
+        // never more.
+        assert!(
+            max_lead.load(Ordering::Relaxed) <= CAPACITY as u64,
+            "lead {} exceeded capacity {CAPACITY}",
+            max_lead.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn pipeline_handles_empty_and_single_streams() {
+        let exec = Executor::new(4);
+        let mut seen = Vec::new();
+        assert_eq!(
+            exec.pipeline_ordered(
+                8,
+                std::iter::empty::<u8>(),
+                |_, x| x,
+                |i, r| seen.push((i, r))
+            ),
+            0
+        );
+        assert!(seen.is_empty());
+        assert_eq!(
+            exec.pipeline_ordered(
+                8,
+                std::iter::once(9u8),
+                |_, x| x + 1,
+                |i, r| seen.push((i, r))
+            ),
+            1
+        );
+        assert_eq!(seen, [(0, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipe boom at 5")]
+    fn pipeline_propagates_worker_panics() {
+        Executor::new(4).pipeline_ordered(
+            4,
+            0..64usize,
+            |i, _| {
+                if i == 5 {
+                    panic!("pipe boom at 5");
+                }
+                i
+            },
+            |_, _| {},
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "consumer boom")]
+    fn pipeline_propagates_consumer_panics() {
+        Executor::new(4).pipeline_ordered(
+            4,
+            0..64usize,
+            |_, x| x,
+            |i, _| {
+                if i == 3 {
+                    panic!("consumer boom");
+                }
+            },
+        );
     }
 }

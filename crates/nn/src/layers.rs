@@ -1150,6 +1150,23 @@ impl Layer {
         matches!(self, Layer::Conv2d(_) | Layer::Dense(_))
     }
 
+    /// Quantizes and packs this layer's weights for `wbits` ahead of the
+    /// first forward pass (a no-op for non-parameterized layers and for
+    /// widths already cached). Long-lived callers — `dvafs serve` keeps
+    /// networks alive across requests — use this to pin the packing cost
+    /// to model load instead of the first inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidBits`] for widths outside `1..=16`.
+    pub fn warm_weights(&self, wbits: u32) -> Result<(), NnError> {
+        match self {
+            Layer::Conv2d(c) => c.packed_weights(wbits).map(|_| ()),
+            Layer::Dense(d) => d.packed_weights(wbits).map(|_| ()),
+            Layer::ReLU | Layer::MaxPool2d { .. } => Ok(()),
+        }
+    }
+
     /// Executes the layer; `wbits`/`abits` only affect parameterized layers.
     ///
     /// Runs on the default MAC kernel with a throwaway scratch — hot paths

@@ -12,6 +12,7 @@
 //!   these drive Envision's Table III workload model and match the paper's
 //!   MMACs/frame column (e.g. VGG16 conv1 = 87 MMACs, conv2 = 1850 MMACs).
 
+use crate::dataset::SyntheticDataset;
 use crate::layers::{Conv2d, Dense, Layer};
 use crate::network::Network;
 use serde::{Deserialize, Serialize};
@@ -141,6 +142,153 @@ pub fn vgg16(input: usize, scale: f64, seed: u64) -> Network {
     layers.push(Layer::ReLU);
     layers.push(Layer::Dense(Dense::random(f1, 10, seed_i.wrapping_add(3))));
     Network::new("VGG16", layers)
+}
+
+/// A validated, fully-resolved model request: which topology, at what
+/// input resolution and channel scale, from which weight seed.
+///
+/// [`lenet5`], [`alexnet`] and [`vgg16`] are the right constructors for
+/// code that controls its own arguments — they `panic!` on geometry the
+/// layer cascade cannot support. `ModelSpec` is the boundary-facing view
+/// for callers handling *untrusted* input (the `dvafs serve` request
+/// codec): [`ModelSpec::resolve`] applies per-model defaults, turns every
+/// panic precondition into an `Err`, and the resulting spec builds the
+/// network and its matching evaluation dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    name: &'static str,
+    input: usize,
+    scale: f64,
+    seed: u64,
+}
+
+impl ModelSpec {
+    /// Known model names, resolution defaults, and validation rules, in
+    /// the order the paper introduces the networks.
+    pub const KNOWN: [&'static str; 3] = ["lenet5", "alexnet", "vgg16"];
+
+    /// Resolves a model request, applying defaults where the caller gave
+    /// none: LeNet-5 is fixed at 28×28 / scale 1; AlexNet defaults to
+    /// 67×67 at scale 0.125 and VGG16 to 32×32 at scale 0.0625 (the
+    /// smallest geometries the cascades support — service-sized, like the
+    /// fig6 scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for an unknown model name, a
+    /// non-finite or non-positive channel scale, or an input resolution
+    /// the topology cannot support (AlexNet < 67; VGG16 not a positive
+    /// multiple of 32; LeNet-5 anything but 28).
+    pub fn resolve(
+        name: &str,
+        input: Option<usize>,
+        scale: Option<f64>,
+        seed: u64,
+    ) -> Result<Self, String> {
+        let scale_val = scale.unwrap_or(match name {
+            "lenet5" => 1.0,
+            "alexnet" => 0.125,
+            _ => 0.0625,
+        });
+        if !scale_val.is_finite() || scale_val <= 0.0 {
+            return Err(format!(
+                "scale must be a positive finite number, got {scale_val}"
+            ));
+        }
+        match name {
+            "lenet5" => {
+                let input = input.unwrap_or(28);
+                if input != 28 {
+                    return Err(format!("lenet5 is fixed at 28x28 inputs, got {input}"));
+                }
+                if scale.is_some() && scale_val != 1.0 {
+                    return Err(format!("lenet5 has no channel scale, got {scale_val}"));
+                }
+                Ok(ModelSpec {
+                    name: "lenet5",
+                    input,
+                    scale: 1.0,
+                    seed,
+                })
+            }
+            "alexnet" => {
+                let input = input.unwrap_or(67);
+                if input < 67 {
+                    return Err(format!("alexnet needs at least 67x67 inputs, got {input}"));
+                }
+                Ok(ModelSpec {
+                    name: "alexnet",
+                    input,
+                    scale: scale_val,
+                    seed,
+                })
+            }
+            "vgg16" => {
+                let input = input.unwrap_or(32);
+                if input < 32 || input % 32 != 0 {
+                    return Err(format!(
+                        "vgg16 input must be a positive multiple of 32, got {input}"
+                    ));
+                }
+                Ok(ModelSpec {
+                    name: "vgg16",
+                    input,
+                    scale: scale_val,
+                    seed,
+                })
+            }
+            other => Err(format!(
+                "unknown model {other:?} — available: {}",
+                Self::KNOWN.join(", ")
+            )),
+        }
+    }
+
+    /// The resolved model name (one of [`KNOWN`](Self::KNOWN)).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The resolved input resolution (height = width; LeNet-5 is 28).
+    #[must_use]
+    pub fn input(&self) -> usize {
+        self.input
+    }
+
+    /// The resolved channel scale (LeNet-5 is 1.0).
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The weight seed the network is built from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Builds the network. Cannot panic: every geometry precondition was
+    /// checked by [`resolve`](Self::resolve).
+    #[must_use]
+    pub fn build(&self) -> Network {
+        match self.name {
+            "lenet5" => lenet5(self.seed),
+            "alexnet" => alexnet(self.input, self.scale, self.seed),
+            _ => vgg16(self.input, self.scale, self.seed),
+        }
+    }
+
+    /// A deterministic evaluation set matching this model's input
+    /// geometry: the MNIST-like digit set for LeNet-5, an RGB image-like
+    /// set at the resolved resolution otherwise (10 classes either way).
+    #[must_use]
+    pub fn dataset(&self, samples: usize, seed: u64) -> SyntheticDataset {
+        match self.name {
+            "lenet5" => SyntheticDataset::digits(samples, seed),
+            _ => SyntheticDataset::image_like(samples, self.input, 10, seed),
+        }
+    }
 }
 
 /// Analytic per-layer MAC count of one convolution.
@@ -325,5 +473,74 @@ mod tests {
     #[should_panic(expected = "multiple of 32")]
     fn vgg_rejects_bad_input_size() {
         let _ = vgg16(50, 1.0, 0);
+    }
+
+    #[test]
+    fn model_spec_defaults_match_direct_constructors() {
+        let spec = ModelSpec::resolve("lenet5", None, None, 9).unwrap();
+        assert_eq!(spec.name(), "lenet5");
+        assert_eq!(spec.input(), 28);
+        let data = spec.dataset(2, 1);
+        let cfg = QuantConfig::uniform(spec.build().layer_count(), 8, 8);
+        // Spec-built networks are the same networks: identical predictions.
+        assert_eq!(
+            spec.build().predict(&data.images()[0], &cfg).unwrap(),
+            lenet5(9).predict(&data.images()[0], &cfg).unwrap()
+        );
+        let alex = ModelSpec::resolve("alexnet", None, None, 3).unwrap();
+        assert_eq!(alex.input(), 67);
+        assert_eq!(alex.build().parameterized_layers().len(), 8);
+        assert_eq!(alex.dataset(2, 1).images()[0].shape(), (3, 67, 67));
+        let vgg = ModelSpec::resolve("vgg16", Some(64), Some(0.0625), 5).unwrap();
+        assert_eq!(vgg.build().parameterized_layers().len(), 16);
+        assert_eq!(vgg.dataset(2, 1).images()[0].shape(), (3, 64, 64));
+    }
+
+    #[test]
+    fn model_spec_rejects_untrusted_geometry_without_panicking() {
+        for (name, input, scale) in [
+            ("resnet", None, None),
+            ("alexnet", Some(32), None),
+            ("vgg16", Some(50), None),
+            ("vgg16", Some(0), None),
+            ("lenet5", Some(32), None),
+            ("lenet5", None, Some(0.5)),
+            ("alexnet", None, Some(0.0)),
+            ("alexnet", None, Some(f64::NAN)),
+            ("alexnet", None, Some(-1.0)),
+        ] {
+            let r = ModelSpec::resolve(name, input, scale, 0);
+            assert!(r.is_err(), "{name} {input:?} {scale:?} resolved: {r:?}");
+        }
+        // The unknown-name error lists what is available.
+        let err = ModelSpec::resolve("resnet", None, None, 0).unwrap_err();
+        for known in ModelSpec::KNOWN {
+            assert!(err.contains(known), "{err}");
+        }
+    }
+
+    #[test]
+    fn warm_weights_validates_and_is_idempotent() {
+        let net = lenet5(4);
+        let cfg = QuantConfig::uniform(net.layer_count(), 8, 8);
+        net.warm_weights(&cfg).unwrap();
+        net.warm_weights(&cfg).unwrap();
+        // A warmed network predicts identically to a cold one.
+        let data = SyntheticDataset::digits(2, 7);
+        let cold = lenet5(4);
+        assert_eq!(
+            net.predict_all(&data, &cfg).unwrap(),
+            cold.predict_all(&data, &cfg).unwrap()
+        );
+        let short = QuantConfig::uniform(1, 8, 8);
+        assert!(matches!(
+            net.warm_weights(&short),
+            Err(crate::NnError::ConfigLengthMismatch { .. })
+        ));
+        let bad = QuantConfig::uniform(net.layer_count(), 0, 8);
+        assert!(matches!(
+            net.warm_weights(&bad),
+            Err(crate::NnError::InvalidBits { .. })
+        ));
     }
 }

@@ -530,6 +530,31 @@ impl Network {
         }
     }
 
+    /// Quantizes and packs every parameterized layer's weights for the
+    /// widths in `config`, ahead of the first forward pass. Packing is
+    /// memoized per (layer, width) — see
+    /// [`Layer::warm_weights`](crate::layers::Layer::warm_weights) — so a
+    /// long-lived owner (`dvafs serve`) pays the cost once per model and
+    /// width, not once per request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ConfigLengthMismatch`] when `config` does not
+    /// cover every layer and [`NnError::InvalidBits`] for widths outside
+    /// `1..=16`.
+    pub fn warm_weights(&self, config: &QuantConfig) -> Result<(), NnError> {
+        if config.len() != self.layers.len() {
+            return Err(NnError::ConfigLengthMismatch {
+                layers: self.layers.len(),
+                entries: config.len(),
+            });
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.warm_weights(config.layer(i).weights)?;
+        }
+        Ok(())
+    }
+
     /// Centers the network's output logits on a calibration set: the mean
     /// full-precision logit of every class is subtracted from the final
     /// dense layer's bias.
