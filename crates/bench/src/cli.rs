@@ -65,6 +65,19 @@ pub struct ServeArgs {
     /// In-flight request bound (`--queue`, default
     /// [`dvafs::serve::DEFAULT_QUEUE`]).
     pub queue: usize,
+    /// Per-request wall deadline for run/predict in milliseconds
+    /// (`--deadline-ms`); `None` disables the check.
+    pub deadline_ms: Option<u64>,
+    /// Session request cap (`--max-requests`); `None` serves until
+    /// EOF/shutdown.
+    pub max_requests: Option<usize>,
+    /// TCP per-connection read timeout in milliseconds
+    /// (`--idle-timeout-ms`, 0 disables; default
+    /// [`dvafs::serve::DEFAULT_IDLE_TIMEOUT_MS`]).
+    pub idle_timeout_ms: Option<u64>,
+    /// Deterministic fault injection (`--fault-plan SPEC`, test-only;
+    /// falls back to the `DVAFS_FAULT_PLAN` environment variable).
+    pub fault_plan: Option<dvafs::faultplan::FaultPlan>,
 }
 
 /// A parsed top-level CLI command.
@@ -97,7 +110,11 @@ run options:\n  \
 serve options:\n  \
   --listen ADDR              serve TCP on ADDR (e.g. 127.0.0.1:7017) instead of stdio\n  \
   --threads N                requests executed concurrently (default: DVAFS_THREADS or host)\n  \
-  --queue N                  in-flight request bound / backpressure window (default 32)\n\n\
+  --queue N                  in-flight request bound / backpressure window (default 32)\n  \
+  --deadline-ms N            per-request wall deadline for run/predict; overruns are\n                             discarded and answered with an error reply (default: off)\n  \
+  --max-requests N           close the session cleanly after N requests (default: off)\n  \
+  --idle-timeout-ms N        TCP read timeout per connection, 0 disables (default 30000)\n  \
+  --fault-plan SPEC          testing only: deterministic fault injection, e.g.\n                             panic@3,delay@5:40,oversize@7 (env: DVAFS_FAULT_PLAN)\n\n\
 any --flag VALUE may also be written --flag=VALUE (required when the\n\
 value itself begins with \"--\")";
 
@@ -256,6 +273,10 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                 listen: None,
                 threads: Executor::from_env().threads(),
                 queue: dvafs::serve::DEFAULT_QUEUE,
+                deadline_ms: None,
+                max_requests: None,
+                idle_timeout_ms: Some(dvafs::serve::DEFAULT_IDLE_TIMEOUT_MS),
+                fault_plan: None,
             };
             let mut warnings = Vec::new();
             let mut i = 1;
@@ -278,6 +299,35 @@ pub fn parse(args: &[String]) -> Result<(Command, Vec<String>), String> {
                             v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
                                 format!("--queue requires a positive integer, got {v:?}")
                             })?;
+                    }
+                    "--deadline-ms" => {
+                        let v = take_value(args, &mut i, inline, "--deadline-ms")?;
+                        serve.deadline_ms =
+                            Some(v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                                format!("--deadline-ms requires a positive integer, got {v:?}")
+                            })?);
+                    }
+                    "--max-requests" => {
+                        let v = take_value(args, &mut i, inline, "--max-requests")?;
+                        serve.max_requests =
+                            Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                                format!("--max-requests requires a positive integer, got {v:?}")
+                            })?);
+                    }
+                    "--idle-timeout-ms" => {
+                        // 0 is meaningful here: it disables the timeout.
+                        let v = take_value(args, &mut i, inline, "--idle-timeout-ms")?;
+                        let ms = v.parse::<u64>().map_err(|_| {
+                            format!(
+                                "--idle-timeout-ms requires a non-negative integer \
+                                 (0 disables), got {v:?}"
+                            )
+                        })?;
+                        serve.idle_timeout_ms = (ms > 0).then_some(ms);
+                    }
+                    "--fault-plan" => {
+                        let v = take_value(args, &mut i, inline, "--fault-plan")?;
+                        serve.fault_plan = Some(dvafs::faultplan::FaultPlan::parse(&v)?);
                     }
                     flag if flag.starts_with("--") => {
                         warnings.push(format!("warning: ignoring unrecognized flag {flag}"));
@@ -369,9 +419,30 @@ fn run_one(s: &'static dyn Scenario, opts: &RunOpts) -> Result<String, String> {
 /// socket error. Replies stream directly to stdout (stdio mode) or the
 /// client socket (TCP mode), so the returned stdout text is empty.
 fn run_serve(args: &ServeArgs) -> Result<String, String> {
+    // The test-only injection hook: the explicit flag wins; otherwise the
+    // environment variable (so chaos harnesses can wrap an unmodified
+    // invocation). A plan that fails to parse is a hard error — silently
+    // serving *without* the faults a test asked for would pass vacuously.
+    let fault_plan = match &args.fault_plan {
+        Some(plan) => Some(plan.clone()),
+        None => match std::env::var(dvafs::faultplan::FAULT_PLAN_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => Some(
+                dvafs::faultplan::FaultPlan::parse(&raw)
+                    .map_err(|e| format!("{}: {e}", dvafs::faultplan::FAULT_PLAN_ENV))?,
+            ),
+            _ => None,
+        },
+    };
+    if let Some(plan) = &fault_plan {
+        eprintln!("dvafs: serve: FAULT INJECTION ACTIVE ({plan}) — testing only");
+    }
     let opts = dvafs::serve::ServeOpts {
         threads: args.threads,
         queue: args.queue,
+        deadline_ms: args.deadline_ms,
+        max_requests: args.max_requests,
+        idle_timeout_ms: args.idle_timeout_ms,
+        fault_plan,
     };
     match &args.listen {
         None => {
@@ -660,6 +731,13 @@ mod tests {
         assert!(opts.listen.is_none());
         assert!(opts.threads >= 1);
         assert_eq!(opts.queue, dvafs::serve::DEFAULT_QUEUE);
+        assert_eq!(opts.deadline_ms, None);
+        assert_eq!(opts.max_requests, None);
+        assert_eq!(
+            opts.idle_timeout_ms,
+            Some(dvafs::serve::DEFAULT_IDLE_TIMEOUT_MS)
+        );
+        assert!(opts.fault_plan.is_none());
 
         let (cmd, _) = parse(&argv(&[
             "serve",
@@ -668,6 +746,13 @@ mod tests {
             "--threads=3",
             "--queue",
             "8",
+            "--deadline-ms",
+            "250",
+            "--max-requests=100",
+            "--idle-timeout-ms",
+            "5000",
+            "--fault-plan",
+            "panic@2,delay@4:10",
         ]))
         .unwrap();
         let Command::Serve(opts) = cmd else {
@@ -676,6 +761,18 @@ mod tests {
         assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(opts.threads, 3);
         assert_eq!(opts.queue, 8);
+        assert_eq!(opts.deadline_ms, Some(250));
+        assert_eq!(opts.max_requests, Some(100));
+        assert_eq!(opts.idle_timeout_ms, Some(5000));
+        let plan = opts.fault_plan.expect("fault plan parsed");
+        assert_eq!(plan.to_string(), "panic@2,delay@4:10");
+
+        // 0 disables the idle timeout (it is the one zero-meaningful knob).
+        let (Command::Serve(opts), _) = parse(&argv(&["serve", "--idle-timeout-ms", "0"])).unwrap()
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(opts.idle_timeout_ms, None);
     }
 
     #[test]
@@ -689,6 +786,18 @@ mod tests {
         assert!(parse(&argv(&["serve", "--queue", "none"]))
             .unwrap_err()
             .contains("positive integer"));
+        assert!(parse(&argv(&["serve", "--deadline-ms", "0"]))
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&argv(&["serve", "--max-requests", "0"]))
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&argv(&["serve", "--idle-timeout-ms", "soon"]))
+            .unwrap_err()
+            .contains("non-negative integer"));
+        assert!(parse(&argv(&["serve", "--fault-plan", "explode@1"]))
+            .unwrap_err()
+            .contains("unknown kind"));
         assert!(parse(&argv(&["serve", "fig2"]))
             .unwrap_err()
             .contains("no positional arguments"));

@@ -24,6 +24,10 @@
 //!   `dvafs serve`: newline-delimited JSON over stdin/stdout or TCP,
 //!   deterministic ordered replies, and model caches that amortize
 //!   across requests;
+//! * [`faultplan`] — deterministic fault injection for the serving
+//!   layer: seeded per-request panic/delay/oversize/garble schedules
+//!   that let chaos tests prove serve degrades per-request, never
+//!   per-process;
 //! * [`executor`] — the deterministic parallel sweep executor (re-exported
 //!   [`dvafs_executor`]): every sweep above runs serial or parallel with
 //!   bit-identical results;
@@ -54,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod faultplan;
 pub mod report;
 pub mod scenario;
 pub mod serve;

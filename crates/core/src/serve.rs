@@ -34,8 +34,8 @@
 //!
 //! ## Scheduling and determinism
 //!
-//! A session is [`Executor::pipeline_ordered`]: the connection reader
-//! produces requests, the worker pool executes them concurrently
+//! A session is [`Executor::pipeline_ordered_policy`]: the connection
+//! reader produces requests, the worker pool executes them concurrently
 //! (`--threads`), and replies are written back **in request order** with
 //! at most `--queue` requests in flight (bounded-queue backpressure — a
 //! slow client stalls the reader, not memory). Because every handler is a
@@ -46,20 +46,55 @@
 //! measurement: it is rejected with an error reply rather than allowed to
 //! break the guarantee.
 //!
+//! ## Failure model
+//!
+//! The paper's contract — degrade controllably, never fall over — is the
+//! serving layer's contract too: **every fault is contained to the
+//! request that caused it.** Concretely:
+//!
+//! * a panicking handler is contained by [`PanicPolicy::Isolate`] and
+//!   answered `{"ok":false,"error":"internal: ..."}` at its position in
+//!   the reply stream; later requests (including ones already in flight)
+//!   are unaffected and keep their exact no-fault reply bytes;
+//! * a request line longer than [`MAX_REQUEST_BYTES`] is **drained, not
+//!   buffered**, and answered with an error reply;
+//! * a line that is not valid UTF-8 gets an error reply and the session
+//!   continues (only a transport-level read error fuses the stream);
+//! * with `--deadline-ms N`, a `run`/`predict` whose execution overruns
+//!   the wall deadline has its result discarded and replaced by an error
+//!   reply — the check happens *after* execution, so the reply is always
+//!   either the complete result or the deadline error, nothing partial;
+//! * under TCP each accepted connection carries a read timeout
+//!   (`--idle-timeout-ms`): an idle client is closed cleanly with a
+//!   stderr note instead of stalling the sequential accept loop, and
+//!   `--max-requests N` caps a session the same clean way;
+//! * a panic inside the model cache recovers the poisoned lock and
+//!   rebuilds (see [`ServeState`]).
+//!
+//! All of this is provable because faults are injectable: a seeded
+//! [`FaultPlan`](crate::faultplan::FaultPlan) (`--fault-plan`, test-only,
+//! or the `DVAFS_FAULT_PLAN` environment variable) deterministically
+//! panics, delays, oversizes or garbles chosen requests, and the chaos
+//! tests assert the process survives with every non-faulted reply
+//! byte-identical to the fault-free transcript.
+//!
 //! [`WeightCache`]: dvafs_nn::kernel::WeightCache
 //! [`Network::predict_all`]: dvafs_nn::Network::predict_all
 //! [`ModelSpec`]: dvafs_nn::models::ModelSpec
 
+use crate::faultplan::{FaultKind, FaultPlan};
 use crate::report::json::{self, JsonValue};
 use crate::scenario::{self, Format, ScenarioCtx};
-use dvafs_executor::Executor;
+use dvafs_executor::{Executor, PanicPolicy};
 use dvafs_nn::models::ModelSpec;
 use dvafs_nn::network::QuantConfig;
 use dvafs_nn::Network;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Wire-protocol version, reported by `ping`.
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -71,7 +106,19 @@ pub const DEFAULT_QUEUE: usize = 32;
 /// hold the worker pool for minutes.
 pub const MAX_PREDICT_SAMPLES: usize = 4096;
 
-/// Server configuration: worker count and in-flight request bound.
+/// Upper bound on one request line's bytes (excluding the newline). An
+/// oversized line is *drained* from the stream — never accumulated in
+/// memory — and answered with an ordered error reply, so an abusive or
+/// broken client costs one buffer, not the process.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// Default per-connection read timeout under TCP (`--idle-timeout-ms`):
+/// a client this idle is closed cleanly so the sequential accept loop
+/// can serve the next one.
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 30_000;
+
+/// Server configuration: worker count, in-flight request bound, and the
+/// fault-containment knobs of the failure model (module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeOpts {
     /// Workers executing requests concurrently (1 = fully serial).
@@ -79,6 +126,21 @@ pub struct ServeOpts {
     /// Bounded-queue capacity: at most this many requests are parsed but
     /// not yet replied to (clamped to ≥ 1).
     pub queue: usize,
+    /// Per-request wall deadline for `run`/`predict` (`--deadline-ms`):
+    /// a request whose execution overruns it has its result discarded
+    /// and replaced by an error reply. `None` disables the check.
+    pub deadline_ms: Option<u64>,
+    /// Session cap (`--max-requests`): after this many requests the
+    /// session closes cleanly, as if the client had sent EOF. `None`
+    /// serves until EOF/shutdown.
+    pub max_requests: Option<usize>,
+    /// Per-connection read timeout under TCP (`--idle-timeout-ms`,
+    /// milliseconds): an idle connection is closed cleanly with a stderr
+    /// note. `None` disables the timeout; stdio sessions ignore it.
+    pub idle_timeout_ms: Option<u64>,
+    /// Deterministic fault injection (`--fault-plan` /
+    /// `DVAFS_FAULT_PLAN`) — test-only; `None` in production.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeOpts {
@@ -86,6 +148,10 @@ impl Default for ServeOpts {
         ServeOpts {
             threads: Executor::from_env().threads(),
             queue: DEFAULT_QUEUE,
+            deadline_ms: None,
+            max_requests: None,
+            idle_timeout_ms: Some(DEFAULT_IDLE_TIMEOUT_MS),
+            fault_plan: None,
         }
     }
 }
@@ -98,6 +164,10 @@ pub struct SessionOutcome {
     /// Whether a `shutdown` request ended the session (as opposed to EOF
     /// or a disconnect) — the TCP accept loop stops serving when true.
     pub shutdown: bool,
+    /// Whether the session ended because the connection's read timeout
+    /// expired (TCP idle client) — closed cleanly, noted on stderr by
+    /// the accept loop.
+    pub timed_out: bool,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -113,6 +183,11 @@ struct ModelKey {
 /// built networks keyed by resolved spec. Holding `Arc<Network>` (never
 /// cloning the network) is what preserves the interior weight-panel cache
 /// across requests; a `Network` clone would start cold.
+///
+/// The cache lock is **poison-recovering**: a contained panic while the
+/// lock was held (e.g. mid-`build`) clears the poison flag and drops the
+/// possibly half-updated entries, so the next `predict` rebuilds from
+/// cold instead of panicking for the rest of the session.
 #[derive(Debug, Default)]
 pub struct ServeState {
     models: Mutex<HashMap<ModelKey, Arc<Network>>>,
@@ -125,14 +200,22 @@ impl ServeState {
         ServeState::default()
     }
 
+    /// Takes the cache lock, recovering from poison by clearing both the
+    /// flag and the stale entries (a rebuild costs a warm-up; a bricked
+    /// cache costs every later request in the session).
+    fn lock_models(&self) -> MutexGuard<'_, HashMap<ModelKey, Arc<Network>>> {
+        self.models.lock().unwrap_or_else(|poisoned| {
+            self.models.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        })
+    }
+
     /// Number of distinct networks currently cached.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous cache user panicked mid-insert.
     #[must_use]
     pub fn cached_models(&self) -> usize {
-        self.models.lock().expect("model cache lock").len()
+        self.lock_models().len()
     }
 
     fn model_for(&self, spec: &ModelSpec) -> Arc<Network> {
@@ -142,7 +225,7 @@ impl ServeState {
             scale_bits: spec.scale().to_bits(),
             seed: spec.seed(),
         };
-        let mut cache = self.models.lock().expect("model cache lock");
+        let mut cache = self.lock_models();
         Arc::clone(cache.entry(key).or_insert_with(|| Arc::new(spec.build())))
     }
 }
@@ -446,47 +529,169 @@ fn execute_request(env: &Envelope, state: &ServeState) -> (String, bool) {
     }
 }
 
+/// One bounded line read off the wire.
+enum LineRead {
+    /// A complete line (newline stripped), at most [`MAX_REQUEST_BYTES`].
+    Line(Vec<u8>),
+    /// The line exceeded [`MAX_REQUEST_BYTES`]: its bytes were consumed
+    /// from the stream (up to and including the newline, or EOF) but
+    /// **never accumulated** beyond the cap.
+    Oversized,
+    /// Clean end of stream.
+    Eof,
+    /// The transport's read timeout expired (TCP idle client).
+    TimedOut,
+    /// A non-timeout transport error.
+    Failed(std::io::Error),
+}
+
+/// Reads one newline-terminated line without ever buffering more than
+/// [`MAX_REQUEST_BYTES`] of it: past the cap the remainder of the line is
+/// drained chunk-by-chunk straight out of the `BufRead` buffer. A final
+/// unterminated line before EOF still counts as a line.
+fn read_bounded_line<R: BufRead>(reader: &mut R) -> LineRead {
+    let mut line: Vec<u8> = Vec::new();
+    let mut dropped = false;
+    loop {
+        let (consumed, at_newline) = {
+            let chunk = match reader.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return LineRead::TimedOut
+                }
+                Err(e) => return LineRead::Failed(e),
+            };
+            if chunk.is_empty() {
+                return if dropped {
+                    LineRead::Oversized
+                } else if line.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line(std::mem::take(&mut line))
+                };
+            }
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            let keep = newline.unwrap_or(chunk.len());
+            if !dropped {
+                if line.len() + keep > MAX_REQUEST_BYTES {
+                    dropped = true;
+                    line = Vec::new(); // release, don't retain, the prefix
+                } else {
+                    line.extend_from_slice(&chunk[..keep]);
+                }
+            }
+            (newline.map_or(chunk.len(), |p| p + 1), newline.is_some())
+        };
+        reader.consume(consumed);
+        if at_newline {
+            return if dropped {
+                LineRead::Oversized
+            } else {
+                LineRead::Line(std::mem::take(&mut line))
+            };
+        }
+    }
+}
+
+fn oversized_reply_message() -> String {
+    format!("request line exceeds {MAX_REQUEST_BYTES} bytes (line drained, not buffered)")
+}
+
 /// The request stream: one [`Envelope`] per non-blank line, fused after
 /// `shutdown` (the shutdown request itself is still yielded and answered;
-/// anything after it on the stream is never read).
-struct RequestIter<R: BufRead> {
+/// anything after it on the stream is never read), after `max_requests`
+/// requests, or after a transport error. Read-site faults from an active
+/// [`FaultPlan`] (oversize, garble) are injected here, *after* the real
+/// line has been consumed from the stream — injection can change this
+/// request's reply but never desynchronizes the stream.
+struct RequestIter<'a, R: BufRead> {
     reader: R,
     seq: usize,
     fused: bool,
+    /// `max_requests` session cap (`None` = unbounded).
+    limit: Option<usize>,
+    /// Active fault plan for read-site injection.
+    plan: Option<&'a FaultPlan>,
+    /// seq → reply id, recorded for every yielded envelope so the
+    /// consumer can still echo the right id when the worker *task* for
+    /// this envelope panicked away the envelope itself.
+    ids: &'a Mutex<HashMap<usize, u64>>,
+    /// Set when the stream ended on a read timeout (idle TCP client).
+    timed_out: &'a AtomicBool,
 }
 
-impl<R: BufRead> Iterator for RequestIter<R> {
+impl<R: BufRead> Iterator for RequestIter<'_, R> {
     type Item = Envelope;
 
     fn next(&mut self) -> Option<Envelope> {
         if self.fused {
             return None;
         }
+        if self.limit.is_some_and(|cap| self.seq >= cap) {
+            self.fused = true; // session cap: close as cleanly as EOF
+            return None;
+        }
         loop {
-            let mut line = String::new();
-            match self.reader.read_line(&mut line) {
-                Ok(0) => return None, // EOF
-                Ok(_) => {}
-                Err(e) => {
+            let seq = self.seq;
+            let env = match read_bounded_line(&mut self.reader) {
+                LineRead::Eof => return None,
+                LineRead::TimedOut => {
                     self.fused = true;
-                    let seq = self.seq;
-                    self.seq += 1;
-                    return Some(Envelope {
+                    self.timed_out.store(true, Ordering::Relaxed);
+                    return None;
+                }
+                LineRead::Failed(e) => {
+                    self.fused = true;
+                    Envelope {
                         id: seq as u64,
                         seq,
                         parsed: Err(format!("read error: {e}")),
-                    });
+                    }
                 }
-            }
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue; // blank lines are keep-alives, not requests
-            }
-            let env = parse_request(trimmed, self.seq);
+                LineRead::Oversized => Envelope {
+                    id: seq as u64,
+                    seq,
+                    parsed: Err(oversized_reply_message()),
+                },
+                LineRead::Line(bytes) => match String::from_utf8(bytes) {
+                    Err(_) => Envelope {
+                        id: seq as u64,
+                        seq,
+                        parsed: Err("request is not valid UTF-8".to_string()),
+                    },
+                    Ok(text) => {
+                        let trimmed = text.trim();
+                        if trimmed.is_empty() {
+                            continue; // blank lines are keep-alives, not requests
+                        }
+                        match self.plan.and_then(|p| p.fault(seq)) {
+                            Some(FaultKind::Oversize) => Envelope {
+                                id: seq as u64,
+                                seq,
+                                parsed: Err(oversized_reply_message()),
+                            },
+                            // Truncated JSON: exercises the real
+                            // malformed-request reply path.
+                            Some(FaultKind::Garble) => parse_request("{\"op\":\"garbled", seq),
+                            _ => parse_request(trimmed, seq),
+                        }
+                    }
+                },
+            };
             self.seq += 1;
             if env.parsed == Ok(Request::Shutdown) {
                 self.fused = true;
             }
+            self.ids
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(seq, env.id);
             return Some(env);
         }
     }
@@ -518,19 +723,78 @@ where
     W: Write,
 {
     let exec = Executor::new(opts.threads);
+    let ids: Mutex<HashMap<usize, u64>> = Mutex::new(HashMap::new());
+    let timed_out = AtomicBool::new(false);
     let requests = RequestIter {
         reader,
         seq: 0,
         fused: false,
+        limit: opts.max_requests,
+        plan: opts.fault_plan.as_ref(),
+        ids: &ids,
+        timed_out: &timed_out,
     };
+    let plan = opts.fault_plan.as_ref();
     let mut served = 0usize;
     let mut shutdown = false;
     let mut io_error: Option<std::io::Error> = None;
-    exec.pipeline_ordered(
+    // PanicPolicy::Isolate is the whole point of the serving posture: a
+    // panicking handler costs its own request an "internal:" error reply
+    // — in order, id echoed — and nothing else.
+    exec.pipeline_ordered_policy(
+        PanicPolicy::Isolate,
         opts.queue,
         requests,
-        |_, env| execute_request(&env, state),
-        |_, (reply, is_shutdown)| {
+        |seq, env| {
+            let started = Instant::now();
+            match plan.and_then(|p| p.fault(seq)) {
+                Some(FaultKind::Panic) => panic!("injected fault: panic at request {seq}"),
+                Some(FaultKind::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                _ => {}
+            }
+            let (reply, is_shutdown) = execute_request(&env, state);
+            if let Some(deadline) = opts.deadline_ms {
+                // Checked around the expensive ops only; the result of an
+                // overrunning request is discarded *after* it completed,
+                // so the reply is deterministically all-or-error.
+                let expensive = matches!(
+                    env.parsed,
+                    Ok(Request::Run { .. } | Request::Predict { .. })
+                );
+                if expensive && started.elapsed().as_millis() > u128::from(deadline) {
+                    return (
+                        error_reply(
+                            env.id,
+                            &format!("deadline: request exceeded {deadline}ms; result discarded"),
+                        ),
+                        false,
+                    );
+                }
+            }
+            (reply, is_shutdown)
+        },
+        |seq, result| {
+            let (reply, is_shutdown) = match result {
+                Ok(pair) => {
+                    ids.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .remove(&seq);
+                    pair
+                }
+                Err(task_panic) => {
+                    // The envelope died with its task; the id survives in
+                    // the side map the reader maintains.
+                    let id = ids
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .remove(&seq)
+                        .unwrap_or(seq as u64);
+                    (
+                        error_reply(id, &format!("internal: {}", task_panic.message)),
+                        false,
+                    )
+                }
+            };
             if io_error.is_none() {
                 let r = writeln!(writer, "{reply}").and_then(|()| writer.flush());
                 match r {
@@ -543,7 +807,11 @@ where
     );
     match io_error {
         Some(e) => Err(e),
-        None => Ok(SessionOutcome { served, shutdown }),
+        None => Ok(SessionOutcome {
+            served,
+            shutdown,
+            timed_out: timed_out.load(Ordering::Relaxed),
+        }),
     }
 }
 
@@ -554,6 +822,10 @@ where
 /// stops the loop; a connection-level I/O error is logged to stderr and
 /// the loop continues with the next client.
 ///
+/// Each accepted connection gets `opts.idle_timeout_ms` as its read
+/// timeout: a hung client is closed cleanly (stderr note) instead of
+/// stalling every later connection behind the sequential accept loop.
+///
 /// # Errors
 ///
 /// Returns the listener's `accept` error, which is fatal for the loop.
@@ -561,11 +833,23 @@ pub fn serve_tcp(listener: &TcpListener, opts: &ServeOpts) -> std::io::Result<()
     let state = ServeState::new();
     for conn in listener.incoming() {
         let stream = conn?;
+        if let Some(ms) = opts.idle_timeout_ms.filter(|&ms| ms > 0) {
+            stream.set_read_timeout(Some(Duration::from_millis(ms)))?;
+        }
         let reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
         match serve_session(reader, &mut writer, opts, &state) {
             Ok(outcome) if outcome.shutdown => return Ok(()),
-            Ok(_) => {}
+            Ok(outcome) => {
+                if outcome.timed_out {
+                    eprintln!(
+                        "dvafs: serve: closed idle connection after {}ms \
+                         read timeout ({} request(s) answered)",
+                        opts.idle_timeout_ms.unwrap_or_default(),
+                        outcome.served
+                    );
+                }
+            }
             Err(e) => eprintln!("dvafs: serve connection error: {e}"),
         }
     }
@@ -583,10 +867,22 @@ mod tests {
         let outcome = serve_session(
             Cursor::new(input.to_string()),
             &mut out,
-            &ServeOpts { threads, queue },
+            &ServeOpts {
+                threads,
+                queue,
+                ..ServeOpts::default()
+            },
             &state,
         )
         .expect("in-memory serve cannot fail on io");
+        (String::from_utf8(out).expect("replies are utf-8"), outcome)
+    }
+
+    fn serve_with_opts(input: &str, opts: &ServeOpts) -> (String, SessionOutcome) {
+        let state = ServeState::new();
+        let mut out = Vec::new();
+        let outcome = serve_session(Cursor::new(input.to_string()), &mut out, opts, &state)
+            .expect("in-memory serve cannot fail on io");
         (String::from_utf8(out).expect("replies are utf-8"), outcome)
     }
 
@@ -650,6 +946,7 @@ mod tests {
         let opts = ServeOpts {
             threads: 2,
             queue: 4,
+            ..ServeOpts::default()
         };
         let two = format!("{req}{req}");
         serve_session(Cursor::new(two), &mut out, &opts, &state).unwrap();
@@ -685,6 +982,177 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"id\":0,"));
         assert!(lines[1].starts_with("{\"id\":1,"));
+    }
+
+    #[test]
+    fn model_cache_recovers_from_poison() {
+        let state = Arc::new(ServeState::new());
+        // Warm the cache, then poison its lock from a panicking thread —
+        // the shape a contained mid-build panic leaves behind.
+        let spec = ModelSpec::resolve("lenet5", None, None, 1).unwrap();
+        let _ = state.model_for(&spec);
+        assert_eq!(state.cached_models(), 1);
+        let poisoner = Arc::clone(&state);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.models.lock().expect("first lock is clean");
+            panic!("poison the model cache");
+        })
+        .join();
+        assert!(state.models.is_poisoned());
+        // Recovery: the stale entries are dropped, the flag cleared, and
+        // predict works again for the rest of the session.
+        assert_eq!(state.cached_models(), 0);
+        assert!(!state.models.is_poisoned());
+        let rebuilt = state.model_for(&spec);
+        assert_eq!(state.cached_models(), 1);
+        drop(rebuilt);
+        let (out, _) = serve_bytes("{\"op\":\"predict\",\"samples\":2}\n", 1, 1);
+        assert!(out.contains("\"ok\":true"), "{out}");
+    }
+
+    #[test]
+    fn oversized_lines_are_drained_not_buffered() {
+        // An over-cap line gets an ordered error reply; the requests on
+        // either side are answered exactly as if it had been well-formed.
+        let huge = format!(
+            "{{\"op\":\"ping\",\"pad\":\"{}\"}}",
+            "x".repeat(MAX_REQUEST_BYTES)
+        );
+        let input = format!("{{\"op\":\"ping\"}}\n{huge}\n{{\"op\":\"list\"}}\n");
+        let (out, outcome) = serve_bytes(&input, 2, 4);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"op\":\"ping\""));
+        assert!(lines[1].contains("\"ok\":false"), "{}", lines[1]);
+        assert!(
+            lines[1].contains(&format!("exceeds {MAX_REQUEST_BYTES} bytes")),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[1].starts_with("{\"id\":1,"));
+        assert!(lines[2].contains("\"scenarios\""));
+        assert_eq!(outcome.served, 3);
+
+        // Exactly at the cap is still a (merely unparseable) request,
+        // pinning the boundary.
+        let at_cap = "x".repeat(MAX_REQUEST_BYTES);
+        let (out, _) = serve_bytes(&format!("{at_cap}\n"), 1, 1);
+        assert!(out.contains("unparseable request"), "{out}");
+        let over_cap = "x".repeat(MAX_REQUEST_BYTES + 1);
+        let (out, _) = serve_bytes(&format!("{over_cap}\n"), 1, 1);
+        assert!(out.contains("exceeds"), "{out}");
+    }
+
+    #[test]
+    fn invalid_utf8_line_gets_error_reply_and_session_continues() {
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        input.extend_from_slice(&[0xff, 0xfe, b'{', 0x80, b'\n']);
+        input.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let state = ServeState::new();
+        let mut out = Vec::new();
+        let outcome = serve_session(
+            Cursor::new(input),
+            &mut out,
+            &ServeOpts {
+                threads: 2,
+                queue: 2,
+                ..ServeOpts::default()
+            },
+            &state,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"ok\":true"));
+        assert_eq!(
+            lines[1],
+            "{\"id\":1,\"ok\":false,\"error\":\"request is not valid UTF-8\"}"
+        );
+        assert!(lines[2].contains("\"ok\":true"));
+        assert_eq!(outcome.served, 3);
+        assert!(!outcome.timed_out);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_to_its_request() {
+        let input = "{\"op\":\"ping\"}\n\
+                     {\"id\":9,\"op\":\"ping\"}\n\
+                     {\"op\":\"list\"}\n";
+        let (clean, _) = serve_bytes(input, 3, 4);
+        let opts = ServeOpts {
+            threads: 3,
+            queue: 4,
+            fault_plan: Some(FaultPlan::parse("panic@1").unwrap()),
+            ..ServeOpts::default()
+        };
+        let (out, outcome) = serve_with_opts(input, &opts);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // The faulted request: ordered error reply, explicit id echoed
+        // even though the envelope died with its task.
+        assert_eq!(
+            lines[1],
+            "{\"id\":9,\"ok\":false,\"error\":\"internal: injected fault: \
+             panic at request 1\"}"
+        );
+        // Its neighbors: byte-identical to the fault-free run.
+        let clean_lines: Vec<&str> = clean.lines().collect();
+        assert_eq!(lines[0], clean_lines[0]);
+        assert_eq!(lines[2], clean_lines[2]);
+        assert_eq!(outcome.served, 3);
+    }
+
+    #[test]
+    fn deadline_discards_overrunning_results_deterministically() {
+        // delay(60) ≫ deadline(1): the run result is computed, then
+        // discarded in favor of the deadline error. Cheap ops (ping) are
+        // not deadline-checked, so a delayed ping still answers normally.
+        let input = "{\"op\":\"run\",\"scenario\":\"fig2\",\"format\":\"json\",\"fast\":true}\n\
+                     {\"op\":\"ping\"}\n";
+        let opts = ServeOpts {
+            threads: 2,
+            queue: 2,
+            deadline_ms: Some(1),
+            fault_plan: Some(FaultPlan::parse("delay@0:60,delay@1:60").unwrap()),
+            ..ServeOpts::default()
+        };
+        let (out, _) = serve_with_opts(input, &opts);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"id\":0,\"ok\":false,\"error\":\"deadline: request exceeded \
+             1ms; result discarded\"}"
+        );
+        assert!(lines[1].contains("\"op\":\"ping\""), "{}", lines[1]);
+        // Without the delays the same deadline is never tripped by the
+        // fast ops themselves... a generous deadline keeps run intact.
+        let opts = ServeOpts {
+            threads: 2,
+            queue: 2,
+            deadline_ms: Some(600_000),
+            ..ServeOpts::default()
+        };
+        let (out, _) = serve_with_opts(input, &opts);
+        assert!(out.lines().next().unwrap().contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn max_requests_caps_the_session_cleanly() {
+        let input = "{\"op\":\"ping\"}\n".repeat(5);
+        let opts = ServeOpts {
+            threads: 2,
+            queue: 4,
+            max_requests: Some(3),
+            ..ServeOpts::default()
+        };
+        let (out, outcome) = serve_with_opts(&input, &opts);
+        assert_eq!(out.lines().count(), 3);
+        assert_eq!(outcome.served, 3);
+        assert!(!outcome.shutdown);
+        assert!(!outcome.timed_out);
     }
 
     #[test]

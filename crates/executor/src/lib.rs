@@ -47,6 +47,59 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "DVAFS_THREADS";
 
+/// What [`Executor::pipeline_ordered_policy`] does when a task panics.
+///
+/// [`Propagate`](PanicPolicy::Propagate) is the default and the retained
+/// oracle: a panicking task tears down the pipeline and the panic resumes
+/// on the caller, exactly as [`Executor::pipeline_ordered`] always
+/// behaved. [`Isolate`](PanicPolicy::Isolate) is the serving posture: the
+/// panic is contained to its task, surfaced to `consume` as
+/// [`Err(TaskPanic)`](TaskPanic) **in item order**, and every other item
+/// — earlier, later, in flight — is processed as if the faulted task had
+/// returned normally. Panics raised by `consume` itself always propagate
+/// under either policy (the consumer runs on the caller's thread and
+/// owns the output stream; nothing can answer for it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PanicPolicy {
+    /// Tear down the pipeline and re-raise the first task panic on the
+    /// caller (the historical behavior, kept as the oracle).
+    #[default]
+    Propagate,
+    /// Contain a task panic to its item: `consume` receives
+    /// `Err(TaskPanic)` at that item's position and the stream continues.
+    Isolate,
+}
+
+/// A contained task panic, delivered in item order under
+/// [`PanicPolicy::Isolate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The item index whose task panicked.
+    pub seq: usize,
+    /// The panic payload, when it was a string (the overwhelmingly common
+    /// case: `panic!`, `assert!`, `expect`); a placeholder otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.seq, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Resolves a raw `DVAFS_THREADS` value to a worker count.
 ///
 /// Returns the chosen count plus a warning message when the value was
@@ -289,18 +342,70 @@ impl Executor {
         F: Fn(usize, T) -> R + Sync,
         C: FnMut(usize, R),
     {
+        self.pipeline_ordered_policy(PanicPolicy::Propagate, capacity, items, f, |i, r| {
+            match r {
+                Ok(r) => consume(i, r),
+                // Propagate never delivers Err: the task panic resumed on
+                // the caller before the consumer could see this item.
+                Err(p) => unreachable!("contained panic under Propagate: {p}"),
+            }
+        })
+    }
+
+    /// [`pipeline_ordered`](Self::pipeline_ordered) with an explicit
+    /// [`PanicPolicy`]: `consume` receives `Result<R, TaskPanic>` so that
+    /// under [`PanicPolicy::Isolate`] a panicking task becomes an ordered,
+    /// per-item `Err` instead of tearing down the pipeline — the fault
+    /// containment `dvafs serve` is built on. Under
+    /// [`PanicPolicy::Propagate`] the `Err` arm is never entered and the
+    /// behavior is exactly `pipeline_ordered`.
+    ///
+    /// All three `pipeline_ordered` properties (order, backpressure,
+    /// liveness) hold unchanged; under `Isolate` a faulted item occupies
+    /// its queue slot like any other and its `Err` is consumed at the
+    /// item's own position.
+    ///
+    /// # Panics
+    ///
+    /// Under `Propagate`, propagates the first panic raised inside `f`.
+    /// Under either policy, propagates a panic raised by `consume`
+    /// (remaining claimed items are drained without executing `f`).
+    pub fn pipeline_ordered_policy<T, R, I, F, C>(
+        &self,
+        policy: PanicPolicy,
+        capacity: usize,
+        items: I,
+        f: F,
+        mut consume: C,
+    ) -> usize
+    where
+        T: Send,
+        R: Send,
+        I: Iterator<Item = T> + Send,
+        F: Fn(usize, T) -> R + Sync,
+        C: FnMut(usize, Result<R, TaskPanic>),
+    {
         let capacity = capacity.max(1);
         if self.threads == 1 {
             let mut n = 0usize;
             for item in items {
-                consume(n, f(n, item));
+                let result = match policy {
+                    PanicPolicy::Propagate => Ok(f(n, item)),
+                    PanicPolicy::Isolate => {
+                        catch_unwind(AssertUnwindSafe(|| f(n, item))).map_err(|p| TaskPanic {
+                            seq: n,
+                            message: panic_message(p.as_ref()),
+                        })
+                    }
+                };
+                consume(n, result);
                 n += 1;
             }
             return n;
         }
 
         struct PipeState<R> {
-            ready: std::collections::BTreeMap<usize, R>,
+            ready: std::collections::BTreeMap<usize, Result<R, TaskPanic>>,
             consumed: usize,
             total: Option<usize>,
             panic: Option<Box<dyn std::any::Any + Send>>,
@@ -368,14 +473,25 @@ impl Executor {
                     let mut st = state.lock().expect("pipeline state lock");
                     match result {
                         Ok(r) => {
-                            st.ready.insert(seq, r);
+                            st.ready.insert(seq, Ok(r));
                         }
-                        Err(p) => {
-                            poisoned.store(1, Ordering::Relaxed);
-                            if st.panic.is_none() {
-                                st.panic = Some(p);
+                        Err(p) => match policy {
+                            PanicPolicy::Propagate => {
+                                poisoned.store(1, Ordering::Relaxed);
+                                if st.panic.is_none() {
+                                    st.panic = Some(p);
+                                }
                             }
-                        }
+                            PanicPolicy::Isolate => {
+                                st.ready.insert(
+                                    seq,
+                                    Err(TaskPanic {
+                                        seq,
+                                        message: panic_message(p.as_ref()),
+                                    }),
+                                );
+                            }
+                        },
                     }
                     ready_cv.notify_all();
                     space_cv.notify_all();
@@ -652,6 +768,101 @@ mod tests {
             },
             |_, _| {},
         );
+    }
+
+    #[test]
+    fn pipeline_isolate_contains_panics_in_order() {
+        // Under Isolate a panicking task becomes an ordered Err; every
+        // other item — before, after, concurrent — is untouched, and the
+        // consumed stream is identical for any thread count.
+        let run = |threads: usize, capacity: usize| {
+            let mut seen: Vec<(usize, Result<u64, String>)> = Vec::new();
+            let n = Executor::new(threads).pipeline_ordered_policy(
+                PanicPolicy::Isolate,
+                capacity,
+                0..64u64,
+                |i, x| {
+                    if i % 13 == 5 {
+                        panic!("isolated boom at {i}");
+                    }
+                    x * 3
+                },
+                |i, r| seen.push((i, r.map_err(|p| p.message))),
+            );
+            assert_eq!(n, 64);
+            seen
+        };
+        let serial = run(1, 4);
+        assert_eq!(serial.len(), 64);
+        for (i, r) in &serial {
+            if i % 13 == 5 {
+                assert_eq!(*r, Err(format!("isolated boom at {i}")));
+            } else {
+                assert_eq!(*r, Ok(*i as u64 * 3));
+            }
+        }
+        for (threads, capacity) in [(2, 1), (3, 4), (8, 64)] {
+            assert_eq!(
+                run(threads, capacity),
+                serial,
+                "{threads} threads / capacity {capacity} diverged under Isolate"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_isolate_reports_seq_and_placeholder_payloads() {
+        let mut errs: Vec<TaskPanic> = Vec::new();
+        Executor::new(3).pipeline_ordered_policy(
+            PanicPolicy::Isolate,
+            2,
+            0..8usize,
+            |i, _| {
+                if i == 2 {
+                    // A String payload (panic! with formatting).
+                    panic!("string payload {i}");
+                }
+                if i == 5 {
+                    // A non-string payload must not poison the stream.
+                    std::panic::panic_any(42u32);
+                }
+                i
+            },
+            |_, r| {
+                if let Err(p) = r {
+                    errs.push(p);
+                }
+            },
+        );
+        assert_eq!(errs.len(), 2);
+        assert_eq!(errs[0].seq, 2);
+        assert_eq!(errs[0].message, "string payload 2");
+        assert_eq!(errs[1].seq, 5);
+        assert_eq!(errs[1].message, "non-string panic payload");
+        assert_eq!(errs[0].to_string(), "task 2 panicked: string payload 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "consumer boom under isolate")]
+    fn pipeline_isolate_still_propagates_consumer_panics() {
+        // Isolate contains *task* panics only: the consumer owns the
+        // output stream and nothing can answer for it.
+        Executor::new(4).pipeline_ordered_policy(
+            PanicPolicy::Isolate,
+            4,
+            0..64usize,
+            |_, x| x,
+            |i, _| {
+                if i == 3 {
+                    panic!("consumer boom under isolate");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn panic_policy_defaults_to_propagate() {
+        assert_eq!(PanicPolicy::default(), PanicPolicy::Propagate);
     }
 
     #[test]

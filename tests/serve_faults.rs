@@ -1,0 +1,300 @@
+//! Fault-isolation tests for `dvafs serve` (PR 10's tentpole proof).
+//!
+//! The serving layer claims the paper's own contract — degrade
+//! per-request, never per-process — and this file is where the claim is
+//! tested *under fault*. The centerpiece is the chaos proptest: random
+//! seeded [`FaultPlan`]s × thread counts 1..=4 × queue depths 1..=8, with
+//! three invariants that must hold for every combination:
+//!
+//! 1. **the process survives** — `serve_session` returns `Ok`, never
+//!    panics, never aborts;
+//! 2. **non-faulted requests are untouched** — their replies are
+//!    byte-identical to the fault-free golden run of the same batch
+//!    (injected *delays* must also leave bytes untouched when no
+//!    deadline is set);
+//! 3. **faulted requests fail well** — an ordered, well-formed
+//!    `{"ok":false}` reply at exactly the faulted request's position.
+//!
+//! Around it: deterministic pins for the error paths the wire protocol
+//! already had but nothing exercised (deep JSON, predict sample bounds,
+//! shutdown-mid-queue draining) and a TCP idle-timeout round trip.
+
+use dvafs::faultplan::FaultPlan;
+use dvafs::report::json;
+use dvafs::serve::{
+    serve_session, ServeOpts, ServeState, SessionOutcome, MAX_PREDICT_SAMPLES, MAX_REQUEST_BYTES,
+};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
+
+fn serve_with(input: &str, opts: &ServeOpts) -> (String, SessionOutcome) {
+    let state = ServeState::new();
+    let mut out = Vec::new();
+    let outcome = serve_session(Cursor::new(input.to_string()), &mut out, opts, &state)
+        .expect("in-memory serve cannot fail on io");
+    (String::from_utf8(out).expect("replies are utf-8"), outcome)
+}
+
+/// The chaos request batch: every op kind the protocol has (minus
+/// `shutdown`, which would fuse the stream and hide later faults), plus
+/// a malformed line — cheap enough to run many plan × schedule combos.
+fn chaos_requests() -> String {
+    let mut requests = String::new();
+    for i in 0..12 {
+        let line = match i % 4 {
+            0 => "{\"op\":\"ping\"}".to_string(),
+            1 => format!(
+                "{{\"op\":\"predict\",\"samples\":{},\"wbits\":5,\"abits\":7}}",
+                2 + i % 3
+            ),
+            2 => "{\"op\":\"list\"}".to_string(),
+            _ => "{\"op\":\"nonsense\"}".to_string(),
+        };
+        requests.push_str(&line);
+        requests.push('\n');
+    }
+    requests
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The acceptance criterion, literally: for random seeded fault
+    /// plans × threads 1..=4 × queue 1..=8, the session never aborts,
+    /// faulted requests get ordered well-formed error replies, and every
+    /// non-faulted reply is byte-identical to the fault-free golden
+    /// transcript of the same batch.
+    #[test]
+    fn chaos_plans_degrade_per_request_never_per_process(
+        seed in 0u64..=u64::from(u32::MAX),
+        threads in 1usize..=4,
+        queue in 1usize..=8,
+    ) {
+        let requests = chaos_requests();
+        let n = requests.lines().count();
+        let plan = FaultPlan::seeded(seed, n);
+
+        // The fault-free golden transcript (serial: the determinism net
+        // in serve_wire.rs already proves schedule-invariance).
+        let (golden, _) = serve_with(&requests, &ServeOpts {
+            threads: 1,
+            queue: 1,
+            ..ServeOpts::default()
+        });
+        let golden: Vec<&str> = golden.lines().collect();
+        prop_assert_eq!(golden.len(), n);
+
+        let (out, outcome) = serve_with(&requests, &ServeOpts {
+            threads,
+            queue,
+            fault_plan: Some(plan.clone()),
+            ..ServeOpts::default()
+        });
+        let lines: Vec<&str> = out.lines().collect();
+
+        // 1. Survival: one ordered reply per request, no aborts.
+        prop_assert_eq!(outcome.served, n,
+            "plan {} dropped replies at threads={} queue={}", plan, threads, queue);
+        prop_assert_eq!(lines.len(), n);
+
+        for (seq, line) in lines.iter().enumerate() {
+            if plan.faults_reply_of(seq, None) {
+                // 3. Faulted requests fail well: well-formed JSON,
+                // ok:false, the default id echoed at the right position.
+                let reply = json::parse(line).unwrap_or_else(|e| {
+                    panic!("plan {plan}: faulted reply {seq} is not JSON ({e}): {line}")
+                });
+                prop_assert_eq!(
+                    reply.get("ok").and_then(json::JsonValue::as_bool),
+                    Some(false),
+                    "plan {}: faulted request {} not an error reply: {}", plan, seq, line
+                );
+                prop_assert_eq!(
+                    reply.get("id").and_then(json::JsonValue::as_u64),
+                    Some(seq as u64),
+                    "plan {}: faulted request {} lost its id: {}", plan, seq, line
+                );
+            } else {
+                // 2. Non-faulted (and delay-only) requests: exact bytes.
+                prop_assert_eq!(*line, golden[seq],
+                    "plan {}: non-faulted request {} drifted at threads={} queue={}",
+                    plan, seq, threads, queue);
+            }
+        }
+    }
+}
+
+/// A fixed mixed plan as a deterministic regression pin next to the
+/// proptest: one panic, one oversize, one garble, one (reply-preserving)
+/// delay, all mid-stream.
+#[test]
+fn fixed_mixed_plan_matches_golden_outside_faults() {
+    let requests = chaos_requests();
+    let plan = FaultPlan::parse("panic@2,delay@4:20,oversize@6,garble@9").unwrap();
+    let (golden, _) = serve_with(&requests, &ServeOpts::default());
+    let (out, _) = serve_with(
+        &requests,
+        &ServeOpts {
+            threads: 3,
+            queue: 4,
+            fault_plan: Some(plan),
+            ..ServeOpts::default()
+        },
+    );
+    for (seq, (faulted, clean)) in out.lines().zip(golden.lines()).enumerate() {
+        match seq {
+            2 => assert!(
+                faulted.contains("internal: injected fault: panic at request 2"),
+                "{faulted}"
+            ),
+            6 => assert!(
+                faulted.contains(&format!("exceeds {MAX_REQUEST_BYTES} bytes")),
+                "{faulted}"
+            ),
+            9 => assert!(faulted.contains("unparseable request"), "{faulted}"),
+            _ => assert_eq!(faulted, clean, "request {seq} drifted"),
+        }
+    }
+}
+
+/// Satellite pin: JSON nested deeper than the parser's `MAX_DEPTH` (64)
+/// is an ordered error reply naming the limit, not a crash or a hang —
+/// and the session keeps serving.
+#[test]
+fn deep_json_gets_error_reply() {
+    let deep = format!(
+        "{{\"op\":\"ping\",\"x\":{}0{}}}",
+        "[".repeat(70),
+        "]".repeat(70)
+    );
+    let input = format!("{deep}\n{{\"op\":\"ping\"}}\n");
+    let (out, outcome) = serve_with(
+        &input,
+        &ServeOpts {
+            threads: 2,
+            queue: 2,
+            ..ServeOpts::default()
+        },
+    );
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].contains("\"ok\":false"), "{}", lines[0]);
+    assert!(lines[0].contains("deeper than 64"), "{}", lines[0]);
+    assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+    assert_eq!(outcome.served, 2);
+}
+
+/// Satellite pin: both `predict` sample bounds — 0 and
+/// `MAX_PREDICT_SAMPLES + 1` — are rejected with the range in the
+/// message, and the boundary value itself is accepted at parse level
+/// (it fails later only if the model/dataset cannot satisfy it).
+#[test]
+fn predict_sample_bounds_are_pinned() {
+    let input = format!(
+        "{{\"op\":\"predict\",\"samples\":0}}\n\
+         {{\"op\":\"predict\",\"samples\":{}}}\n",
+        MAX_PREDICT_SAMPLES + 1
+    );
+    let (out, _) = serve_with(&input, &ServeOpts::default());
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        assert!(line.contains("\"ok\":false"), "{line}");
+        assert!(
+            line.contains(&format!("1..={MAX_PREDICT_SAMPLES}")),
+            "{line}"
+        );
+    }
+}
+
+/// Satellite pin: `shutdown` arriving while earlier requests are still
+/// in the queue drains them **in request order** — every request before
+/// the shutdown is answered, the shutdown reply is last, nothing after
+/// it is ever read.
+#[test]
+fn shutdown_mid_queue_drains_in_request_order() {
+    let mut input = String::new();
+    for _ in 0..6 {
+        input.push_str("{\"op\":\"predict\",\"samples\":2,\"wbits\":4,\"abits\":4}\n");
+    }
+    input.push_str("{\"op\":\"shutdown\"}\n{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n");
+    let (serial, _) = serve_with(
+        &input,
+        &ServeOpts {
+            threads: 1,
+            queue: 1,
+            ..ServeOpts::default()
+        },
+    );
+    let (out, outcome) = serve_with(
+        &input,
+        &ServeOpts {
+            threads: 4,
+            queue: 8,
+            ..ServeOpts::default()
+        },
+    );
+    assert!(outcome.shutdown);
+    assert_eq!(outcome.served, 7);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 7);
+    for (i, line) in lines.iter().enumerate() {
+        assert!(line.starts_with(&format!("{{\"id\":{i},")), "{line}");
+    }
+    assert!(lines[6].contains("\"op\":\"shutdown\""));
+    assert_eq!(out, serial, "drain order diverged from serial");
+}
+
+/// The idle-timeout satellite at the socket level: a client that goes
+/// quiet is closed cleanly after the read timeout — and the sequential
+/// accept loop moves on to serve the *next* connection instead of
+/// hanging forever behind the hung one.
+#[test]
+fn tcp_idle_client_is_closed_and_accept_loop_continues() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("bound address");
+    let server = std::thread::spawn(move || {
+        dvafs::serve::serve_tcp(
+            &listener,
+            &ServeOpts {
+                threads: 2,
+                queue: 4,
+                idle_timeout_ms: Some(150),
+                ..ServeOpts::default()
+            },
+        )
+    });
+
+    // Client 1: one request, then silence — never closes its socket.
+    let stream = std::net::TcpStream::connect(addr).expect("connect idle client");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"op\":\"ping\"}\n").expect("send ping");
+    writer.flush().expect("flush ping");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read ping reply");
+    assert!(line.contains("\"op\":\"ping\""), "{line}");
+    // The server must hang up on us (EOF), not block forever.
+    let mut rest = Vec::new();
+    reader
+        .read_to_end(&mut rest)
+        .expect("connection closed cleanly");
+    assert!(rest.is_empty(), "unexpected trailing bytes: {rest:?}");
+
+    // Client 2: the accept loop is still alive; shutdown stops it.
+    let stream = std::net::TcpStream::connect(addr).expect("connect second client");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"op\":\"shutdown\"}\n")
+        .expect("send shutdown");
+    writer.flush().expect("flush shutdown");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read shutdown reply");
+    assert!(line.contains("\"op\":\"shutdown\""), "{line}");
+
+    server
+        .join()
+        .expect("server thread")
+        .expect("accept loop exits cleanly after shutdown");
+}

@@ -28,7 +28,11 @@ fn serve_lines(input: &str, threads: usize, queue: usize) -> (String, SessionOut
     let outcome = serve_session(
         Cursor::new(input.to_string()),
         &mut out,
-        &ServeOpts { threads, queue },
+        &ServeOpts {
+            threads,
+            queue,
+            ..ServeOpts::default()
+        },
         &state,
     )
     .expect("in-memory serve cannot fail on io");
@@ -193,6 +197,7 @@ fn tcp_round_trip_serves_and_shuts_down() {
             &ServeOpts {
                 threads: 2,
                 queue: 4,
+                ..ServeOpts::default()
             },
         )
     });
